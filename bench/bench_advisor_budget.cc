@@ -1,0 +1,74 @@
+// Experiment ADV — ablation for the workload advisor (paper related problem
+// (a)): sweep the space budget and report the chosen summary tables, the
+// estimated workload scan cost, and the *measured* workload time after
+// materializing the recommendation. Expected shape (Harinarayan et al.):
+// steeply diminishing returns — a small budget captures most of the win.
+#include <chrono>
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "bench/bench_util.h"
+#include "data/card_schema.h"
+
+namespace sumtab {
+namespace {
+
+const char* kWorkload[] = {
+    "select faid, year(date) as y, count(*) as c from trans "
+    "group by faid, year(date)",
+    "select faid, count(*) as c from trans group by faid",
+    "select year(date) as y, sum(qty * price) as rev from trans "
+    "group by year(date)",
+    "select flid, year(date) as y, count(*) as c from trans "
+    "group by flid, year(date)",
+    "select state, count(*) as c from trans, loc where flid = lid "
+    "group by state",
+    "select fpgid, sum(qty) as q from trans group by fpgid",
+};
+
+double RunWorkloadMs(Database* db) {
+  double total = 0;
+  for (const char* sql : kWorkload) {
+    auto start = std::chrono::steady_clock::now();
+    auto r = db->Query(sql);
+    auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) std::exit(1);
+    total += std::chrono::duration<double, std::milli>(end - start).count();
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace sumtab
+
+int main() {
+  using namespace sumtab;
+  bench::PrintHeader(
+      "ADV   workload advisor budget sweep (related problem (a)): "
+      "6-query workload, |trans| = 200000");
+  std::vector<std::string> workload(std::begin(kWorkload),
+                                    std::end(kWorkload));
+  for (int64_t budget : {0LL, 100LL, 1000LL, 20000LL, 1000000LL}) {
+    Database db;
+    data::CardSchemaParams params;
+    params.num_trans = 200000;
+    if (!data::SetupCardSchema(&db, params).ok()) return 1;
+    double before_ms = RunWorkloadMs(&db);
+    auto rec = advisor::RecommendSummaryTables(&db, workload, budget);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+      return 1;
+    }
+    auto names = advisor::ApplyRecommendation(&db, *rec);
+    if (!names.ok()) return 1;
+    double after_ms = RunWorkloadMs(&db);
+    std::printf("budget %8lld rows: %zu ASTs, %8lld rows used | est. scan "
+                "%8lld -> %8lld | measured %8.1f -> %8.1f ms (%5.1fx)\n",
+                static_cast<long long>(budget), names->size(),
+                static_cast<long long>(rec->total_rows_used),
+                static_cast<long long>(rec->workload_cost_before),
+                static_cast<long long>(rec->workload_cost_after), before_ms,
+                after_ms, before_ms / after_ms);
+  }
+  return 0;
+}

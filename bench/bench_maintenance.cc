@@ -1,0 +1,95 @@
+// Experiment MAINT — ablation for summary-table maintenance (paper related
+// problem (c), cf. [10]): cost of keeping ASTs fresh under inserts.
+// Incremental insert-delta propagation must scale with the DELTA size;
+// recomputation scales with the BASE size. The harness appends batches to a
+// large fact table and reports per-AST refresh times for a mergeable AST
+// (incremental) and a HAVING AST (forced recompute), then verifies both
+// against from-scratch evaluation.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/date.h"
+#include "data/card_schema.h"
+
+namespace sumtab {
+namespace {
+
+std::vector<Row> MakeDelta(int64_t start_tid, int n, uint64_t seed) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    uint64_t h = (seed + i) * 0x9e3779b97f4a7c15ULL;
+    rows.push_back(Row{
+        Value::Int(start_tid + i), Value::Int(static_cast<int>(h % 50)),
+        Value::Int(static_cast<int>((h >> 8) % 12)),
+        Value::Int(static_cast<int>((h >> 16) % 40)),
+        Value::Date(MakeDate(1990 + static_cast<int>((h >> 24) % 5),
+                             1 + static_cast<int>((h >> 32) % 12),
+                             1 + static_cast<int>((h >> 40) % 28))),
+        Value::Int(1 + static_cast<int>((h >> 44) % 5)),
+        Value::Double(5.0 + static_cast<double>((h >> 48) % 995)),
+        Value::Double(0.0)});
+  }
+  return rows;
+}
+
+bool IsFresh(Database* db, const char* def, const char* stored_sql) {
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  auto fresh = db->Query(def, opts);
+  auto stored = db->Query(stored_sql, opts);
+  return fresh.ok() && stored.ok() &&
+         engine::SameRowMultiset(fresh->relation, stored->relation);
+}
+
+}  // namespace
+}  // namespace sumtab
+
+int main() {
+  using namespace sumtab;
+  bench::PrintHeader(
+      "MAINT incremental insert-delta propagation vs recomputation "
+      "(|trans| = 500000)");
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = 500000;
+  if (!data::SetupCardSchema(&db, params).ok()) return 1;
+
+  const char* mergeable =
+      "select faid, year(date) as y, count(*) as c, sum(qty * price) as v "
+      "from trans group by faid, year(date)";
+  const char* having_ast =
+      "select faid, count(*) as c from trans group by faid "
+      "having count(*) > 100";
+  if (!db.DefineSummaryTable("mergeable", mergeable).ok()) return 1;
+  if (!db.DefineSummaryTable("having_ast", having_ast).ok()) return 1;
+
+  int64_t next_tid = 10000000;
+  for (int delta_rows : {100, 1000, 10000}) {
+    auto report = db.Append("trans", MakeDelta(next_tid, delta_rows, 777));
+    next_tid += delta_rows;
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    double incremental_ms = 0;
+    double recompute_ms = 0;
+    for (const auto& entry : report->entries) {
+      if (entry.mode == Database::RefreshMode::kIncremental) {
+        incremental_ms = entry.millis;
+      }
+      if (entry.mode == Database::RefreshMode::kRecompute) {
+        recompute_ms = entry.millis;
+      }
+    }
+    std::printf("delta %6d rows: incremental %8.2f ms | recompute %8.2f ms "
+                "| ratio %6.1fx\n",
+                delta_rows, incremental_ms, recompute_ms,
+                recompute_ms / std::max(incremental_ms, 0.001));
+  }
+
+  bool ok = IsFresh(&db, mergeable, "select faid, y, c, v from mergeable") &&
+            IsFresh(&db, having_ast, "select faid, c from having_ast");
+  std::printf("post-append freshness check: %s\n",
+              ok ? "MATCH" : "DIFFER (!!)");
+  return ok ? 0 : 1;
+}

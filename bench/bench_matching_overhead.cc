@@ -1,0 +1,122 @@
+// Experiment NAV — matcher overhead: the navigator's bottom-up pairwise
+// matching must stay cheap (microseconds-to-milliseconds) so that trying a
+// rewrite is always worth it. We measure pure matching+rewrite time (no
+// execution) as a function of (a) query join width and (b) the number of
+// registered ASTs that do NOT match.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "data/card_schema.h"
+#include "matching/rewriter.h"
+#include "qgm/qgm_builder.h"
+#include "sql/parser.h"
+
+namespace sumtab {
+namespace {
+
+double MatchOnceUs(const qgm::Graph& query,
+                   const matching::SummaryTableDef& def,
+                   const catalog::Catalog& catalog, int reps, bool* matched) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    auto result = matching::RewriteQuery(query, def, catalog);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) std::exit(1);
+    *matched = result->rewritten;
+    double us = std::chrono::duration<double, std::micro>(end - start).count();
+    if (us < best) best = us;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace sumtab
+
+int main() {
+  using namespace sumtab;
+  bench::PrintHeader("NAV   matching/rewrite overhead (no execution)");
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = 100;  // data size is irrelevant here
+  if (!data::SetupCardSchema(&db, params).ok()) return 1;
+
+  struct Case {
+    const char* label;
+    const char* query;
+    const char* ast;
+  };
+  const Case cases[] = {
+      {"1-table GB",
+       "select faid, count(*) as c from trans group by faid",
+       "select faid, flid, count(*) as c from trans group by faid, flid"},
+      {"2-table join GB",
+       "select state, count(*) as c from trans, loc where flid = lid "
+       "group by state",
+       "select flid, count(*) as c from trans group by flid"},
+      {"4-table join GB",
+       "select state, pgname, cname, count(*) as c "
+       "from trans, loc, pgroup, acct, cust "
+       "where flid = lid and fpgid = pgid and faid = aid and acct.cid = "
+       "cust.cid group by state, pgname, cname",
+       "select flid, fpgid, faid, count(*) as c from trans "
+       "group by flid, fpgid, faid"},
+      {"nested blocks",
+       "select tcnt, count(*) as h from (select faid, count(*) as tcnt "
+       "from trans group by faid) group by tcnt",
+       "select tcnt, count(*) as h from (select faid, count(*) as tcnt "
+       "from trans group by faid) group by tcnt"},
+      {"cube 8 cuboids",
+       "select faid, flid, year(date) as y, count(*) as c from trans "
+       "group by cube(faid, flid, year(date))",
+       "select faid, flid, year(date) as y, month(date) as m, count(*) as c "
+       "from trans group by cube(faid, flid, year(date), month(date))"},
+  };
+  for (const Case& c : cases) {
+    auto qstmt = sql::Parse(c.query);
+    auto astmt = sql::Parse(c.ast);
+    if (!qstmt.ok() || !astmt.ok()) return 1;
+    auto qgraph = qgm::BuildGraph(**qstmt, db.catalog());
+    auto agraph = qgm::BuildGraph(**astmt, db.catalog());
+    if (!qgraph.ok() || !agraph.ok()) {
+      std::fprintf(stderr, "build failed\n");
+      return 1;
+    }
+    // Register a dummy table entry name so the rewriter can reference it;
+    // the rewrite graph is not executed here.
+    matching::SummaryTableDef def{"trans", &*agraph};
+    bool matched = false;
+    double us = MatchOnceUs(*qgraph, def, db.catalog(), 50, &matched);
+    std::printf("%-18s query boxes %2d, ast boxes %2d: %8.1f us/match  (%s)\n",
+                c.label, qgraph->size(), agraph->size(), us,
+                matched ? "matched" : "no match");
+  }
+
+  // Scaling with the number of non-matching ASTs consulted per query.
+  std::printf("\nnon-matching ASTs consulted per query:\n");
+  for (int count : {1, 4, 16}) {
+    Database fleet;
+    params.seed = 99;
+    if (!data::SetupCardSchema(&fleet, params).ok()) return 1;
+    for (int i = 0; i < count; ++i) {
+      std::string name = "decoy" + std::to_string(i);
+      std::string sql =
+          "select fpgid, count(*) as c, sum(qty) as q" + std::to_string(i) +
+          " from trans where qty > " + std::to_string(i + 1) +
+          " group by fpgid";
+      if (!fleet.DefineSummaryTable(name, sql).ok()) return 1;
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto r = fleet.Query(
+        "select faid, year(date) as y, count(*) as c from trans "
+        "group by faid, year(date)");
+    auto end = std::chrono::steady_clock::now();
+    if (!r.ok() || r->used_summary_table) return 1;
+    std::printf("  %2d decoys: %8.1f us (query executed against base)\n",
+                count,
+                std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Google-benchmark microbenchmarks for the hot paths of the matcher and the
+// engine: navigator runs, full parse->build->match->rewrite pipelines, and
+// hash aggregation. Complements bench_matching_overhead with
+// statistically-stable per-operation numbers.
+#include <benchmark/benchmark.h>
+
+#include "data/card_schema.h"
+#include "matching/navigator.h"
+#include "matching/rewriter.h"
+#include "qgm/qgm_builder.h"
+#include "sql/parser.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::CardSchemaParams params;
+    params.num_trans = 1000;  // matching cost is data-independent
+    Status st = data::SetupCardSchema(&db, params);
+    if (!st.ok()) std::abort();
+    auto rows = db.DefineSummaryTable(
+        "ast1",
+        "select faid, flid, year(date) as year, count(*) as cnt "
+        "from trans group by faid, flid, year(date)");
+    if (!rows.ok()) std::abort();
+  }
+  Database db;
+};
+
+Fixture& Shared() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+constexpr const char* kQ1 =
+    "select faid, state, year(date) as year, count(*) as cnt "
+    "from trans, loc where flid = lid and country = 'USA' "
+    "group by faid, state, year(date) having count(*) > 100";
+
+void BM_ParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kQ1);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseOnly);
+
+void BM_ParseAndBuildQgm(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    auto stmt = sql::Parse(kQ1);
+    auto graph = qgm::BuildGraph(**stmt, f.db.catalog());
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_ParseAndBuildQgm);
+
+void BM_NavigatorMatch(benchmark::State& state) {
+  Fixture& f = Shared();
+  auto qstmt = sql::Parse(kQ1);
+  auto astmt = sql::Parse(
+      "select faid, flid, year(date) as year, count(*) as cnt "
+      "from trans group by faid, flid, year(date)");
+  auto qgraph = qgm::BuildGraph(**qstmt, f.db.catalog());
+  auto agraph = qgm::BuildGraph(**astmt, f.db.catalog());
+  for (auto _ : state) {
+    matching::MatchSession session(*qgraph, *agraph, f.db.catalog());
+    Status st = matching::RunNavigator(&session);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_NavigatorMatch);
+
+void BM_FullRewrite(benchmark::State& state) {
+  Fixture& f = Shared();
+  auto qstmt = sql::Parse(kQ1);
+  auto astmt = sql::Parse(
+      "select faid, flid, year(date) as year, count(*) as cnt "
+      "from trans group by faid, flid, year(date)");
+  auto qgraph = qgm::BuildGraph(**qstmt, f.db.catalog());
+  auto agraph = qgm::BuildGraph(**astmt, f.db.catalog());
+  matching::SummaryTableDef def{"ast1", &*agraph};
+  for (auto _ : state) {
+    auto rewrite = matching::RewriteQuery(*qgraph, def, f.db.catalog());
+    benchmark::DoNotOptimize(rewrite);
+  }
+}
+BENCHMARK(BM_FullRewrite);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  Fixture& f = Shared();
+  for (auto _ : state) {
+    auto result = f.db.Query(kQ1);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EndToEndQuery);
+
+void BM_HashAggregate(benchmark::State& state) {
+  Fixture& f = Shared();
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  for (auto _ : state) {
+    auto result = f.db.Query(
+        "select faid, year(date) as y, count(*) as c from trans "
+        "group by faid, year(date)",
+        opts);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_HashAggregate);
+
+void BM_GroupingSetsAggregate(benchmark::State& state) {
+  Fixture& f = Shared();
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  for (auto _ : state) {
+    auto result = f.db.Query(
+        "select faid, year(date) as y, count(*) as c from trans "
+        "group by cube(faid, year(date))",
+        opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GroupingSetsAggregate);
+
+}  // namespace
+}  // namespace sumtab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Shared harness for the per-figure benchmarks: timing, validation, and
+// uniform reporting. Every bench (a) reproduces the figure's rewrite and
+// prints original / rewritten SQL, (b) validates that the rewritten query
+// returns exactly the rows of the direct one, and (c) reports direct vs.
+// rewritten wall time and the speedup.
+#ifndef SUMTAB_BENCH_BENCH_UTIL_H_
+#define SUMTAB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "engine/relation.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace bench {
+
+struct RunResult {
+  double direct_ms = 0;
+  double rewritten_ms = 0;
+  bool rewritten = false;
+  bool valid = false;
+  std::string rewritten_sql;
+  size_t result_rows = 0;
+};
+
+inline double TimeQueryMs(Database* db, const std::string& sql,
+                          const QueryOptions& options, int reps,
+                          engine::Relation* out) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<QueryResult> result = db->Query(sql, options);
+    auto end = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n  %s\n",
+                   result.status().ToString().c_str(), sql.c_str());
+      std::exit(1);
+    }
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    if (ms < best) best = ms;
+    if (out != nullptr) *out = std::move(result->relation);
+  }
+  return best;
+}
+
+/// Runs `sql` direct and rewritten, validates multiset equality.
+inline RunResult RunBoth(Database* db, const std::string& sql, int reps = 3) {
+  RunResult r;
+  QueryOptions off;
+  off.enable_rewrite = false;
+  engine::Relation direct;
+  r.direct_ms = TimeQueryMs(db, sql, off, reps, &direct);
+
+  QueryOptions on;
+  engine::Relation routed;
+  r.rewritten_ms = TimeQueryMs(db, sql, on, reps, &routed);
+  StatusOr<QueryResult> once = db->Query(sql, on);
+  if (once.ok()) {
+    r.rewritten = once->used_summary_table;
+    r.rewritten_sql = once->rewritten_sql;
+  }
+  r.valid = engine::SameRowMultiset(direct, routed);
+  r.result_rows = direct.NumRows();
+  return r;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void PrintRun(const std::string& label, const RunResult& r) {
+  std::printf("%-28s direct %9.2f ms | rewritten %9.2f ms | speedup %6.1fx"
+              " | rows %6zu | %s | %s\n",
+              label.c_str(), r.direct_ms, r.rewritten_ms,
+              r.rewritten_ms > 0 ? r.direct_ms / r.rewritten_ms : 0.0,
+              r.result_rows, r.rewritten ? "REWRITTEN" : "not rewritten",
+              r.valid ? "results MATCH" : "results DIFFER (!!)");
+}
+
+inline void MustBeValid(const RunResult& r, bool expect_rewrite = true) {
+  if (!r.valid || r.rewritten != expect_rewrite) {
+    std::fprintf(stderr, "BENCH FAILURE: valid=%d rewritten=%d expected=%d\n",
+                 r.valid, r.rewritten, expect_rewrite);
+    std::exit(1);
+  }
+}
+
+}  // namespace bench
+}  // namespace sumtab
+
+#endif  // SUMTAB_BENCH_BENCH_UTIL_H_

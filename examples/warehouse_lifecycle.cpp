@@ -1,0 +1,110 @@
+// The full warehouse lifecycle in one program:
+//   1. load a fact table,
+//   2. let the ADVISOR recommend summary tables for a workload under a
+//      space budget,
+//   3. serve the workload through the recommended ASTs,
+//   4. APPEND tonight's new transactions — summary tables refresh
+//      incrementally — and serve the workload again, still consistent.
+//
+//   $ ./build/examples/warehouse_lifecycle
+#include <cstdio>
+
+#include "advisor/advisor.h"
+#include "common/date.h"
+#include "data/card_schema.h"
+#include "sumtab/database.h"
+
+namespace {
+
+const char* kWorkload[] = {
+    "select faid, year(date) as y, count(*) as c from trans "
+    "group by faid, year(date)",
+    "select year(date) as y, sum(qty * price) as revenue from trans "
+    "group by year(date)",
+    "select state, count(*) as c from trans, loc where flid = lid "
+    "group by state",
+};
+
+void ServeWorkload(sumtab::Database* db, const char* phase) {
+  std::printf("-- serving workload (%s) --\n", phase);
+  for (const char* sql : kWorkload) {
+    auto r = db->Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("  %4zu rows  %-14s  %.60s...\n", r->relation.NumRows(),
+                r->used_summary_table
+                    ? ("via " + r->summary_table).c_str()
+                    : "direct",
+                sql);
+  }
+}
+
+std::vector<sumtab::Row> TonightsTransactions(int64_t start_tid, int n) {
+  std::vector<sumtab::Row> rows;
+  for (int i = 0; i < n; ++i) {
+    uint64_t h = (start_tid + i) * 0x9e3779b97f4a7c15ULL;
+    rows.push_back(sumtab::Row{
+        sumtab::Value::Int(start_tid + i),
+        sumtab::Value::Int(static_cast<int>(h % 50)),
+        sumtab::Value::Int(static_cast<int>((h >> 8) % 12)),
+        sumtab::Value::Int(static_cast<int>((h >> 16) % 40)),
+        sumtab::Value::Date(sumtab::MakeDate(1994, 12,
+                                             1 + static_cast<int>(h % 28))),
+        sumtab::Value::Int(1 + static_cast<int>((h >> 44) % 5)),
+        sumtab::Value::Double(5.0 + static_cast<double>((h >> 48) % 995)),
+        sumtab::Value::Double(0.0)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main() {
+  sumtab::Database db;
+  sumtab::data::CardSchemaParams params;
+  params.num_trans = 100000;
+  if (!sumtab::data::SetupCardSchema(&db, params).ok()) return 1;
+
+  // 1-2. Advisor under a 5000-row budget.
+  std::vector<std::string> workload(std::begin(kWorkload),
+                                    std::end(kWorkload));
+  auto rec = sumtab::advisor::RecommendSummaryTables(&db, workload, 5000);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("advisor: workload scan cost %lld -> %lld leaf rows\n",
+              static_cast<long long>(rec->workload_cost_before),
+              static_cast<long long>(rec->workload_cost_after));
+  for (const auto& candidate : rec->candidates) {
+    std::printf("  %s %7lld rows  %s\n", candidate.chosen ? "[x]" : "[ ]",
+                static_cast<long long>(candidate.estimated_rows),
+                candidate.sql.c_str());
+  }
+  auto names = sumtab::advisor::ApplyRecommendation(&db, *rec);
+  if (!names.ok()) return 1;
+  std::printf("materialized %zu summary tables\n\n", names->size());
+
+  // 3. Serve.
+  ServeWorkload(&db, "day 1");
+
+  // 4. Nightly append; incremental maintenance keeps the ASTs fresh.
+  auto report = db.Append("trans", TonightsTransactions(5000000, 20000));
+  if (!report.ok()) return 1;
+  std::printf("\n-- nightly append of 20000 rows --\n");
+  for (const auto& entry : report->entries) {
+    const char* mode =
+        entry.mode == sumtab::Database::RefreshMode::kIncremental
+            ? "incremental"
+            : entry.mode == sumtab::Database::RefreshMode::kRecompute
+                  ? "recompute"
+                  : "unaffected";
+    std::printf("  %-14s %-12s %.2f ms\n", entry.summary_table.c_str(), mode,
+                entry.millis);
+  }
+  std::printf("\n");
+  ServeWorkload(&db, "day 2, after append");
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "matching/rewriter.h"
+#include "qgm/qgm_builder.h"
+#include "qgm/qgm_to_sql.h"
+#include "sql/parser.h"
+
+namespace sumtab {
+namespace advisor {
+
+namespace {
+
+/// Leaf-scan cost of a graph: total rows of all scanned base tables, with
+/// `candidate_name` costed at `candidate_rows` (it is not materialized yet).
+int64_t LeafCost(const qgm::Graph& graph, const Database& db,
+                 const std::string& candidate_name, int64_t candidate_rows) {
+  int64_t cost = 0;
+  for (int id = 0; id < graph.size(); ++id) {
+    const qgm::Box* box = graph.box(id);
+    if (box->kind != qgm::Box::Kind::kBase) continue;
+    cost += box->table_name == candidate_name ? candidate_rows
+                                              : db.TableRows(box->table_name);
+  }
+  return cost;
+}
+
+/// Extracts candidate definitions from one query graph: for every GROUP-BY
+/// box whose block sits directly over base tables, emit the subgraph rooted
+/// at that GROUP-BY as SQL, with a COUNT(*) ensured so that coarser queries
+/// can re-aggregate (rule (a) needs a row count).
+Status ExtractCandidates(const qgm::Graph& graph,
+                         std::vector<std::string>* out) {
+  for (qgm::BoxId id : graph.TopologicalOrder()) {
+    const qgm::Box* gb = graph.box(id);
+    if (!gb->IsGroupBy()) continue;
+    const qgm::Box* lower = graph.box(gb->quantifiers[0].child);
+    if (lower->kind != qgm::Box::Kind::kSelect) continue;
+    bool over_base = true;
+    for (const qgm::Quantifier& q : lower->quantifiers) {
+      over_base = over_base &&
+                  graph.box(q.child)->kind == qgm::Box::Kind::kBase &&
+                  q.kind == qgm::Quantifier::Kind::kForeach;
+    }
+    if (!over_base) continue;
+
+    // Clone the GROUP-BY subgraph into a standalone graph, add COUNT(*).
+    qgm::Graph candidate;
+    qgm::BoxId root = candidate.CloneSubgraph(graph, id);
+    qgm::Box* root_box = candidate.box(root);
+    bool has_count_star = false;
+    for (const auto& col : root_box->outputs) {
+      has_count_star = has_count_star ||
+                       (col.expr->kind == expr::Expr::Kind::kAggregate &&
+                        col.expr->agg_star);
+    }
+    if (!has_count_star) {
+      root_box->outputs.push_back(
+          qgm::OutputColumn{"advisor_cnt", expr::CountStar()});
+    }
+    candidate.set_root(root);
+    SUMTAB_ASSIGN_OR_RETURN(std::string sql, qgm::ToSql(candidate));
+    out->push_back(std::move(sql));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Recommendation> RecommendSummaryTables(
+    Database* db, const std::vector<std::string>& workload,
+    int64_t budget_rows) {
+  Recommendation rec;
+  rec.budget_rows = budget_rows;
+
+  // Parse the workload once.
+  std::vector<qgm::Graph> query_graphs;
+  for (const std::string& sql : workload) {
+    SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                            sql::Parse(sql));
+    SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph,
+                            qgm::BuildGraph(*stmt, db->catalog()));
+    query_graphs.push_back(std::move(graph));
+  }
+
+  // Candidate generation + dedup.
+  std::vector<std::string> sqls;
+  for (const qgm::Graph& graph : query_graphs) {
+    SUMTAB_RETURN_NOT_OK(ExtractCandidates(graph, &sqls));
+  }
+  std::set<std::string> seen;
+  std::vector<std::string> unique_sqls;
+  for (std::string& sql : sqls) {
+    if (seen.insert(sql).second) unique_sqls.push_back(std::move(sql));
+  }
+
+  // Size + benefit estimation per candidate. A temporary catalog entry named
+  // `advisor_candidate` lets the rewriter produce a costable graph.
+  QueryOptions direct;
+  direct.enable_rewrite = false;
+  std::vector<std::vector<int64_t>> cost_with(unique_sqls.size());
+  std::vector<int64_t> direct_cost(query_graphs.size());
+  for (size_t qi = 0; qi < query_graphs.size(); ++qi) {
+    direct_cost[qi] = LeafCost(query_graphs[qi], *db, "", 0);
+    rec.workload_cost_before += direct_cost[qi];
+  }
+
+  for (size_t ci = 0; ci < unique_sqls.size(); ++ci) {
+    Candidate candidate;
+    candidate.sql = unique_sqls[ci];
+
+    SUMTAB_ASSIGN_OR_RETURN(
+        QueryResult count,
+        db->Query("select count(*) as n from (" + candidate.sql + ") c",
+                  direct));
+    candidate.estimated_rows = count.relation.rows[0][0].AsInt();
+
+    SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                            sql::Parse(candidate.sql));
+    SUMTAB_ASSIGN_OR_RETURN(qgm::Graph cand_graph,
+                            qgm::BuildGraph(*stmt, db->catalog()));
+    matching::SummaryTableDef def{"advisor_candidate", &cand_graph};
+
+    cost_with[ci].assign(query_graphs.size(), -1);
+    for (size_t qi = 0; qi < query_graphs.size(); ++qi) {
+      SUMTAB_ASSIGN_OR_RETURN(
+          matching::RewriteResult rewrite,
+          matching::RewriteQuery(query_graphs[qi], def, db->catalog()));
+      if (!rewrite.rewritten) continue;
+      int64_t cost = LeafCost(rewrite.graph, *db, "advisor_candidate",
+                              candidate.estimated_rows);
+      if (cost < direct_cost[qi]) {
+        cost_with[ci][qi] = cost;
+        candidate.covered_queries.push_back(static_cast<int>(qi));
+        candidate.standalone_benefit += direct_cost[qi] - cost;
+      }
+    }
+    rec.candidates.push_back(std::move(candidate));
+  }
+
+  // Greedy selection by marginal benefit per materialized row.
+  std::vector<int64_t> current_cost = direct_cost;
+  int64_t rows_used = 0;
+  while (true) {
+    int best = -1;
+    double best_ratio = 0;
+    int64_t best_gain = 0;
+    for (size_t ci = 0; ci < rec.candidates.size(); ++ci) {
+      Candidate& candidate = rec.candidates[ci];
+      if (candidate.chosen) continue;
+      if (rows_used + candidate.estimated_rows > budget_rows) continue;
+      int64_t gain = 0;
+      for (size_t qi = 0; qi < query_graphs.size(); ++qi) {
+        if (cost_with[ci][qi] >= 0 && cost_with[ci][qi] < current_cost[qi]) {
+          gain += current_cost[qi] - cost_with[ci][qi];
+        }
+      }
+      if (gain <= 0) continue;
+      double ratio = static_cast<double>(gain) /
+                     static_cast<double>(std::max<int64_t>(
+                         1, candidate.estimated_rows));
+      if (best == -1 || ratio > best_ratio) {
+        best = static_cast<int>(ci);
+        best_ratio = ratio;
+        best_gain = gain;
+      }
+    }
+    if (best == -1) break;
+    (void)best_gain;
+    rec.candidates[best].chosen = true;
+    rows_used += rec.candidates[best].estimated_rows;
+    for (size_t qi = 0; qi < query_graphs.size(); ++qi) {
+      if (cost_with[best][qi] >= 0) {
+        current_cost[qi] = std::min(current_cost[qi], cost_with[best][qi]);
+      }
+    }
+  }
+  rec.total_rows_used = rows_used;
+  for (size_t qi = 0; qi < query_graphs.size(); ++qi) {
+    rec.workload_cost_after += current_cost[qi];
+  }
+  return rec;
+}
+
+StatusOr<std::vector<std::string>> ApplyRecommendation(
+    Database* db, const Recommendation& recommendation,
+    const std::string& prefix) {
+  std::vector<std::string> names;
+  int counter = 0;
+  for (const Candidate& candidate : recommendation.candidates) {
+    if (!candidate.chosen) continue;
+    std::string name = prefix + std::to_string(counter++);
+    SUMTAB_ASSIGN_OR_RETURN(int64_t rows,
+                            db->DefineSummaryTable(name, candidate.sql));
+    (void)rows;
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+}  // namespace advisor
+}  // namespace sumtab

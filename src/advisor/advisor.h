@@ -1,0 +1,59 @@
+// Workload advisor: which summary tables should exist? (The paper's related
+// problem (a), citing Harinarayan/Rajaraman/Ullman, "Implementing Data Cubes
+// Efficiently".)
+//
+// Candidates are generated from the workload's own aggregate blocks (each
+// query's SELECT->GROUPBY stack over base tables, augmented with COUNT(*) so
+// coarser queries can re-aggregate). Sizes are estimated by counting the
+// candidate's groups; benefits are computed with the *real* matcher: a
+// candidate benefits a query iff RewriteQuery fires, and the saving is the
+// reduction in scanned leaf rows. A greedy loop then picks candidates with
+// the best marginal-benefit-per-row under a total-row budget.
+#ifndef SUMTAB_ADVISOR_ADVISOR_H_
+#define SUMTAB_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace advisor {
+
+struct Candidate {
+  std::string sql;              // candidate summary-table definition
+  int64_t estimated_rows = 0;   // number of groups it would materialize
+  /// Workload indexes this candidate can answer (matcher-verified).
+  std::vector<int> covered_queries;
+  /// Total leaf rows saved per one run of the whole workload, when this
+  /// candidate is used alone.
+  int64_t standalone_benefit = 0;
+  bool chosen = false;
+};
+
+struct Recommendation {
+  std::vector<Candidate> candidates;  // all generated, chosen ones flagged
+  int64_t budget_rows = 0;
+  int64_t total_rows_used = 0;
+  int64_t workload_cost_before = 0;  // leaf rows per workload run, no ASTs
+  int64_t workload_cost_after = 0;   // with the chosen set
+};
+
+/// Analyzes `workload` against the database's schema and data statistics.
+/// The database is only read (candidate sizes are estimated with COUNT
+/// queries); nothing is materialized.
+StatusOr<Recommendation> RecommendSummaryTables(
+    Database* db, const std::vector<std::string>& workload,
+    int64_t budget_rows);
+
+/// Materializes the chosen candidates as summary tables named
+/// `<prefix>0`, `<prefix>1`, ...; returns the created names.
+StatusOr<std::vector<std::string>> ApplyRecommendation(
+    Database* db, const Recommendation& recommendation,
+    const std::string& prefix = "advisor_ast");
+
+}  // namespace advisor
+}  // namespace sumtab
+
+#endif  // SUMTAB_ADVISOR_ADVISOR_H_

@@ -1,0 +1,111 @@
+#include "catalog/catalog.h"
+
+#include "common/str_util.h"
+
+namespace sumtab {
+namespace catalog {
+
+int Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (EqualsIgnoreCase(columns[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Catalog::AddTable(Table table) {
+  std::string key = ToLower(table.name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + table.name + "'");
+  }
+  table.name = key;
+  for (Column& col : table.columns) col.name = ToLower(col.name);
+  for (std::string& pk : table.primary_key) pk = ToLower(pk);
+  for (const std::string& pk : table.primary_key) {
+    if (table.ColumnIndex(pk) < 0) {
+      return Status::InvalidArgument("primary key column '" + pk +
+                                     "' not in table '" + key + "'");
+    }
+  }
+  tables_.emplace(key, std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddForeignKey(const std::string& child_table,
+                              const std::string& child_column,
+                              const std::string& parent_table,
+                              const std::string& parent_column) {
+  ForeignKey fk{ToLower(child_table), ToLower(child_column),
+                ToLower(parent_table), ToLower(parent_column)};
+  const Table* child = FindTable(fk.child_table);
+  const Table* parent = FindTable(fk.parent_table);
+  if (child == nullptr) {
+    return Status::NotFound("table '" + fk.child_table + "'");
+  }
+  if (parent == nullptr) {
+    return Status::NotFound("table '" + fk.parent_table + "'");
+  }
+  if (child->ColumnIndex(fk.child_column) < 0) {
+    return Status::NotFound("column '" + fk.child_column + "' in '" +
+                            fk.child_table + "'");
+  }
+  if (!IsPrimaryKey(fk.parent_table, fk.parent_column)) {
+    return Status::InvalidArgument("FK must reference the parent's "
+                                   "single-column primary key");
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table '" + key + "'");
+  }
+  for (size_t i = foreign_keys_.size(); i-- > 0;) {
+    if (foreign_keys_[i].child_table == key ||
+        foreign_keys_[i].parent_table == key) {
+      foreign_keys_.erase(foreign_keys_.begin() + i);
+    }
+  }
+  return Status::OK();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const ForeignKey* Catalog::FindForeignKey(const std::string& child_table,
+                                          const std::string& child_column,
+                                          const std::string& parent_table) const {
+  std::string ct = ToLower(child_table);
+  std::string cc = ToLower(child_column);
+  std::string pt = ToLower(parent_table);
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (fk.child_table == ct && fk.child_column == cc &&
+        fk.parent_table == pt) {
+      return &fk;
+    }
+  }
+  return nullptr;
+}
+
+bool Catalog::IsPrimaryKey(const std::string& table,
+                           const std::string& column) const {
+  const Table* t = FindTable(table);
+  if (t == nullptr) return false;
+  return t->primary_key.size() == 1 &&
+         EqualsIgnoreCase(t->primary_key[0], column);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace catalog
+}  // namespace sumtab

@@ -1,0 +1,78 @@
+// Schema catalog: tables, column types/nullability, primary keys, and
+// referential-integrity (foreign key) constraints. The matcher consults RI
+// constraints to prove extra-join losslessness (paper Sec. 4.1.1 condition 1)
+// and primary keys to prove 1:N rejoin multiplicity (Sec. 4.2.1).
+#ifndef SUMTAB_CATALOG_CATALOG_H_
+#define SUMTAB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sumtab {
+namespace catalog {
+
+struct Column {
+  std::string name;
+  Type type;
+  bool nullable = false;
+};
+
+/// Single-column foreign key: child_table.child_column references
+/// parent_table.parent_column (which must be the parent's primary key).
+struct ForeignKey {
+  std::string child_table;
+  std::string child_column;
+  std::string parent_table;
+  std::string parent_column;
+};
+
+struct Table {
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<std::string> primary_key;  // column names; may be empty
+  bool is_summary_table = false;         // true for materialized ASTs
+
+  int ColumnIndex(const std::string& column_name) const;
+};
+
+class Catalog {
+ public:
+  /// Registers a table; name must be unique (case-insensitive, stored lower).
+  Status AddTable(Table table);
+
+  /// Declares an RI constraint. Both tables/columns must exist; the parent
+  /// column must be the parent's (single-column) primary key.
+  Status AddForeignKey(const std::string& child_table,
+                       const std::string& child_column,
+                       const std::string& parent_table,
+                       const std::string& parent_column);
+
+  const Table* FindTable(const std::string& name) const;
+
+  /// Removes a table (used when a summary table is dropped). Foreign keys
+  /// referencing it are removed as well.
+  Status DropTable(const std::string& name);
+
+  /// The FK on child_table.child_column pointing at parent_table, if any.
+  const ForeignKey* FindForeignKey(const std::string& child_table,
+                                   const std::string& child_column,
+                                   const std::string& parent_table) const;
+
+  /// True if `column` is the single-column primary key of `table`.
+  bool IsPrimaryKey(const std::string& table, const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, Table> tables_;  // keyed by lower-cased name
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace catalog
+}  // namespace sumtab
+
+#endif  // SUMTAB_CATALOG_CATALOG_H_

@@ -1,0 +1,33 @@
+#include "common/date.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sumtab {
+
+StatusOr<int32_t> ParseDate(const std::string& text) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::InvalidArgument("malformed date literal: '" + text + "'");
+  }
+  for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return Status::InvalidArgument("malformed date literal: '" + text + "'");
+    }
+  }
+  int year = std::stoi(text.substr(0, 4));
+  int month = std::stoi(text.substr(5, 2));
+  int day = std::stoi(text.substr(8, 2));
+  if (month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::InvalidArgument("date out of range: '" + text + "'");
+  }
+  return MakeDate(year, month, day);
+}
+
+std::string FormatDate(int32_t date) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", DateYear(date),
+                DateMonth(date), DateDay(date));
+  return buf;
+}
+
+}  // namespace sumtab

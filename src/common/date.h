@@ -1,0 +1,31 @@
+// Date codec. Dates are stored as int32 in packed yyyymmdd form (e.g.
+// 1998-03-17 -> 19980317), which makes year()/month()/day() extraction cheap
+// and keeps ordering comparisons correct.
+#ifndef SUMTAB_COMMON_DATE_H_
+#define SUMTAB_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sumtab {
+
+/// Packs (year, month, day) into yyyymmdd. No range validation.
+constexpr int32_t MakeDate(int year, int month, int day) {
+  return year * 10000 + month * 100 + day;
+}
+
+constexpr int32_t DateYear(int32_t date) { return date / 10000; }
+constexpr int32_t DateMonth(int32_t date) { return (date / 100) % 100; }
+constexpr int32_t DateDay(int32_t date) { return date % 100; }
+
+/// Parses 'yyyy-mm-dd'. Validates month/day ranges (not month lengths).
+StatusOr<int32_t> ParseDate(const std::string& text);
+
+/// Formats as 'yyyy-mm-dd'.
+std::string FormatDate(int32_t date);
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_COMMON_DATE_H_

@@ -1,0 +1,23 @@
+#include "common/status.h"
+
+namespace sumtab {
+
+std::string Status::ToString() const {
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      return "InvalidArgument: " + message_;
+    case Code::kNotFound:
+      return "NotFound: " + message_;
+    case Code::kAlreadyExists:
+      return "AlreadyExists: " + message_;
+    case Code::kNotSupported:
+      return "NotSupported: " + message_;
+    case Code::kInternal:
+      return "Internal: " + message_;
+  }
+  return "Unknown";
+}
+
+}  // namespace sumtab

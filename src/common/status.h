@@ -1,0 +1,113 @@
+// Status / StatusOr error model (no exceptions), in the RocksDB/Arrow idiom.
+#ifndef SUMTAB_COMMON_STATUS_H_
+#define SUMTAB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sumtab {
+
+/// Result of an operation that can fail. Cheap to copy on the OK path.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Dereference only when ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "use the value constructor for OK results");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define SUMTAB_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::sumtab::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors, else binds the value.
+#define SUMTAB_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define SUMTAB_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SUMTAB_ASSIGN_OR_RETURN_NAME(a, b) SUMTAB_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SUMTAB_ASSIGN_OR_RETURN(lhs, expr) \
+  SUMTAB_ASSIGN_OR_RETURN_IMPL(            \
+      SUMTAB_ASSIGN_OR_RETURN_NAME(_status_or_, __COUNTER__), lhs, expr)
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_COMMON_STATUS_H_

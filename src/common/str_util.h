@@ -1,0 +1,22 @@
+// Small string helpers shared across modules.
+#ifndef SUMTAB_COMMON_STR_UTIL_H_
+#define SUMTAB_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace sumtab {
+
+/// ASCII lower-casing; SQL identifiers and keywords are case-insensitive.
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins parts with sep: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_COMMON_STR_UTIL_H_

@@ -1,0 +1,116 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/date.h"
+
+namespace sumtab {
+
+const char* TypeName(Type type) {
+  switch (type) {
+    case Type::kInt:
+      return "INT";
+    case Type::kDouble:
+      return "DOUBLE";
+    case Type::kString:
+      return "STRING";
+    case Type::kDate:
+      return "DATE";
+    case Type::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+double Value::ToDouble() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return static_cast<double>(AsInt());
+    case Kind::kDouble:
+      return AsDouble();
+    case Kind::kDate:
+      return static_cast<double>(AsDate());
+    case Kind::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+bool Value::IsNumeric() const {
+  switch (kind()) {
+    case Kind::kInt:
+    case Kind::kDouble:
+    case Kind::kDate:
+    case Kind::kBool:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind() == other.kind()) return rep_ == other.rep_;
+  if (IsNumeric() && other.IsNumeric()) {
+    return ToDouble() == other.ToDouble();
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && !other.is_null();
+  if (IsNumeric() && other.IsNumeric()) {
+    return ToDouble() < other.ToDouble();
+  }
+  if (kind() == Kind::kString && other.kind() == Kind::kString) {
+    return AsString() < other.AsString();
+  }
+  // Heterogeneous non-numeric comparison: order by kind tag.
+  return kind() < other.kind();
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case Kind::kString:
+      return std::hash<std::string>{}(AsString());
+    default:
+      // Hash all numerics through double so int 3 and double 3.0 collide,
+      // consistent with operator==.
+      return std::hash<double>{}(ToDouble());
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(AsInt());
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case Kind::kString:
+      return AsString();
+    case Kind::kDate:
+      return FormatDate(AsDate());
+    case Kind::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+size_t RowHash::operator()(const Row& row) const {
+  size_t h = 0x243f6a8885a308d3ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace sumtab

@@ -1,0 +1,143 @@
+#include "data/card_schema.h"
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+
+namespace sumtab {
+namespace data {
+
+namespace {
+
+/// SplitMix64: small, deterministic, seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  int Uniform(int bound) { return static_cast<int>(Next() % bound); }
+  double UnitDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+constexpr const char* kStates[] = {"CA", "NY", "TX", "WA",
+                                   "ON", "BC", "IL", "FL"};
+constexpr const char* kPGroupNames[] = {"TV",     "audio",  "laptop",
+                                        "phone",  "camera", "console",
+                                        "tablet", "watch",  "printer",
+                                        "router", "drone",  "monitor"};
+
+}  // namespace
+
+Status SetupCardSchema(Database* db, const CardSchemaParams& params) {
+  using catalog::Column;
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "cust",
+      {Column{"cid", Type::kInt, false}, Column{"cname", Type::kString, false},
+       Column{"age", Type::kInt, false}},
+      {"cid"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "acct",
+      {Column{"aid", Type::kInt, false}, Column{"cid", Type::kInt, false},
+       Column{"status", Type::kString, false}},
+      {"aid"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "loc",
+      {Column{"lid", Type::kInt, false}, Column{"city", Type::kString, false},
+       Column{"state", Type::kString, false},
+       Column{"country", Type::kString, false}},
+      {"lid"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "pgroup",
+      {Column{"pgid", Type::kInt, false},
+       Column{"pgname", Type::kString, false}},
+      {"pgid"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "trans",
+      {Column{"tid", Type::kInt, false}, Column{"faid", Type::kInt, false},
+       Column{"fpgid", Type::kInt, false}, Column{"flid", Type::kInt, false},
+       Column{"date", Type::kDate, false}, Column{"qty", Type::kInt, false},
+       Column{"price", Type::kDouble, false},
+       Column{"disc", Type::kDouble, false}},
+      {"tid"}));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("acct", "cid", "cust", "cid"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("trans", "faid", "acct", "aid"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("trans", "flid", "loc", "lid"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("trans", "fpgid", "pgroup", "pgid"));
+
+  Rng rng(params.seed);
+
+  std::vector<Row> cust;
+  for (int c = 0; c < params.num_customers; ++c) {
+    cust.push_back(Row{Value::Int(c), Value::String("cust" + std::to_string(c)),
+                       Value::Int(21 + rng.Uniform(60))});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("cust", std::move(cust)));
+
+  std::vector<Row> acct;
+  for (int a = 0; a < params.num_accounts; ++a) {
+    acct.push_back(Row{Value::Int(a),
+                       Value::Int(rng.Uniform(params.num_customers)),
+                       Value::String(rng.Uniform(10) < 8 ? "active"
+                                                         : "frozen")});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("acct", std::move(acct)));
+
+  std::vector<Row> loc;
+  const int num_states = static_cast<int>(sizeof(kStates) / sizeof(kStates[0]));
+  for (int l = 0; l < params.num_locations; ++l) {
+    int state_idx = l % num_states;
+    // ON and BC are Canadian; the rest are USA.
+    bool canadian = state_idx == 4 || state_idx == 5;
+    loc.push_back(Row{Value::Int(l),
+                      Value::String("city" + std::to_string(l)),
+                      Value::String(kStates[state_idx]),
+                      Value::String(canadian ? "Canada" : "USA")});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("loc", std::move(loc)));
+
+  std::vector<Row> pgroup;
+  for (int p = 0; p < params.num_pgroups; ++p) {
+    pgroup.push_back(Row{Value::Int(p), Value::String(kPGroupNames[p % 12])});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("pgroup", std::move(pgroup)));
+
+  // Each account has a home location: ~85% of its transactions happen there,
+  // giving the heavy skew that makes per-(account, location, year) summaries
+  // ~100x smaller than the fact table.
+  std::vector<int> home(params.num_accounts);
+  for (int a = 0; a < params.num_accounts; ++a) {
+    home[a] = rng.Uniform(params.num_locations);
+  }
+  std::vector<Row> trans;
+  trans.reserve(params.num_trans);
+  for (int64_t t = 0; t < params.num_trans; ++t) {
+    int account = rng.Uniform(params.num_accounts);
+    int location = rng.Uniform(100) < 85 ? home[account]
+                                         : rng.Uniform(params.num_locations);
+    int year = params.start_year + rng.Uniform(params.num_years);
+    int month = 1 + rng.Uniform(12);
+    int day = 1 + rng.Uniform(28);
+    double price = 5.0 + rng.UnitDouble() * 995.0;
+    double disc = rng.Uniform(10) < 3 ? 0.05 + rng.UnitDouble() * 0.25 : 0.0;
+    trans.push_back(Row{Value::Int(t), Value::Int(account),
+                        Value::Int(rng.Uniform(params.num_pgroups)),
+                        Value::Int(location),
+                        Value::Date(MakeDate(year, month, day)),
+                        Value::Int(1 + rng.Uniform(5)), Value::Double(price),
+                        Value::Double(disc)});
+  }
+  return db->BulkLoad("trans", std::move(trans));
+}
+
+}  // namespace data
+}  // namespace sumtab

@@ -1,0 +1,45 @@
+// The paper's credit-card star schema (Fig. 1) and a deterministic synthetic
+// data generator for it.
+//
+//   trans(tid, faid, fpgid, flid, date, qty, price, disc)   -- fact
+//   pgroup(pgid, pgname)                                     -- product dim
+//   loc(lid, city, state, country)                           -- location dim
+//   acct(aid, cid, status)                                   -- account dim
+//   cust(cid, cname, age)                                    -- customer dim
+//
+// RI: trans.faid -> acct.aid, trans.fpgid -> pgroup.pgid,
+//     trans.flid -> loc.lid, acct.cid -> cust.cid.
+//
+// Cardinalities are shaped so that per-(account, location, year) aggregates
+// shrink the fact table by roughly the factor the paper quotes ("AST1 is
+// about a hundred times smaller than Trans"): each account performs a few
+// hundred transactions per year, mostly in one city.
+#ifndef SUMTAB_DATA_CARD_SCHEMA_H_
+#define SUMTAB_DATA_CARD_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace data {
+
+struct CardSchemaParams {
+  int64_t num_trans = 100000;
+  int num_accounts = 50;
+  int num_customers = 20;
+  int num_locations = 40;   // spread over ~8 states, 2 countries
+  int num_pgroups = 12;
+  int start_year = 1990;
+  int num_years = 5;
+  uint64_t seed = 42;
+};
+
+/// Creates the five tables (with PKs and FKs) and loads generated data.
+Status SetupCardSchema(Database* db, const CardSchemaParams& params = {});
+
+}  // namespace data
+}  // namespace sumtab
+
+#endif  // SUMTAB_DATA_CARD_SCHEMA_H_

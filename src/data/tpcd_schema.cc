@@ -1,0 +1,134 @@
+#include "data/tpcd_schema.h"
+
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+
+namespace sumtab {
+namespace data {
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  int Uniform(int bound) { return static_cast<int>(Next() % bound); }
+  double UnitDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+constexpr const char* kNations[] = {"FRANCE", "GERMANY", "JAPAN", "CHINA",
+                                    "USA",    "CANADA",  "BRAZIL", "INDIA"};
+constexpr const char* kRegions[] = {"EUROPE", "EUROPE", "ASIA", "ASIA",
+                                    "AMERICA", "AMERICA", "AMERICA", "ASIA"};
+constexpr const char* kTypes[] = {"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+
+}  // namespace
+
+Status SetupTpcdSchema(Database* db, const TpcdParams& params) {
+  using catalog::Column;
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "nation",
+      {Column{"nkey", Type::kInt, false}, Column{"nname", Type::kString, false},
+       Column{"rname", Type::kString, false}},
+      {"nkey"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "customer",
+      {Column{"ckey", Type::kInt, false}, Column{"cname", Type::kString, false},
+       Column{"nkey", Type::kInt, false},
+       Column{"segment", Type::kString, false}},
+      {"ckey"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "part",
+      {Column{"pkey", Type::kInt, false}, Column{"pname", Type::kString, false},
+       Column{"ptype", Type::kString, false},
+       Column{"pbrand", Type::kString, false}},
+      {"pkey"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "orders",
+      {Column{"okey", Type::kInt, false}, Column{"ckey", Type::kInt, false},
+       Column{"odate", Type::kDate, false},
+       Column{"opriority", Type::kString, false}},
+      {"okey"}));
+  SUMTAB_RETURN_NOT_OK(db->CreateTable(
+      "lineitem",
+      {Column{"lkey", Type::kInt, false}, Column{"okey", Type::kInt, false},
+       Column{"pkey", Type::kInt, false}, Column{"lqty", Type::kInt, false},
+       Column{"lprice", Type::kDouble, false},
+       Column{"ldisc", Type::kDouble, false},
+       Column{"shipdate", Type::kDate, false}},
+      {"lkey"}));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("customer", "nkey", "nation", "nkey"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("orders", "ckey", "customer", "ckey"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("lineitem", "okey", "orders", "okey"));
+  SUMTAB_RETURN_NOT_OK(db->AddForeignKey("lineitem", "pkey", "part", "pkey"));
+
+  Rng rng(params.seed);
+
+  std::vector<Row> nation;
+  for (int n = 0; n < 8; ++n) {
+    nation.push_back(Row{Value::Int(n), Value::String(kNations[n]),
+                         Value::String(kRegions[n])});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("nation", std::move(nation)));
+
+  std::vector<Row> customer;
+  for (int c = 0; c < params.num_customers; ++c) {
+    customer.push_back(Row{Value::Int(c),
+                           Value::String("Customer#" + std::to_string(c)),
+                           Value::Int(rng.Uniform(8)),
+                           Value::String(kSegments[rng.Uniform(5)])});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("customer", std::move(customer)));
+
+  std::vector<Row> part;
+  for (int p = 0; p < params.num_parts; ++p) {
+    part.push_back(Row{Value::Int(p),
+                       Value::String("Part#" + std::to_string(p)),
+                       Value::String(kTypes[rng.Uniform(5)]),
+                       Value::String("Brand#" + std::to_string(rng.Uniform(25)))});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("part", std::move(part)));
+
+  std::vector<Row> orders;
+  for (int o = 0; o < params.num_orders; ++o) {
+    int year = params.start_year + rng.Uniform(params.num_years);
+    orders.push_back(Row{
+        Value::Int(o), Value::Int(rng.Uniform(params.num_customers)),
+        Value::Date(MakeDate(year, 1 + rng.Uniform(12), 1 + rng.Uniform(28))),
+        Value::String(kPriorities[rng.Uniform(5)])});
+  }
+  SUMTAB_RETURN_NOT_OK(db->BulkLoad("orders", std::move(orders)));
+
+  std::vector<Row> lineitem;
+  lineitem.reserve(params.num_lineitems);
+  for (int64_t l = 0; l < params.num_lineitems; ++l) {
+    int year = params.start_year + rng.Uniform(params.num_years);
+    lineitem.push_back(Row{
+        Value::Int(l), Value::Int(rng.Uniform(params.num_orders)),
+        Value::Int(rng.Uniform(params.num_parts)),
+        Value::Int(1 + rng.Uniform(50)),
+        Value::Double(900.0 + rng.UnitDouble() * 100000.0),
+        Value::Double(rng.Uniform(11) / 100.0),
+        Value::Date(MakeDate(year, 1 + rng.Uniform(12), 1 + rng.Uniform(28)))});
+  }
+  return db->BulkLoad("lineitem", std::move(lineitem));
+}
+
+}  // namespace data
+}  // namespace sumtab

@@ -1,0 +1,39 @@
+// A miniature TPC-D-like star schema (the paper's Sec. 1/8 performance
+// claims come from TPC-D experience): lineitem fact with order, part and
+// customer dimensions, plus region-coded nations.
+//
+//   lineitem(lkey, okey, pkey, lqty, lprice, ldisc, shipdate)
+//   orders(okey, ckey, odate, opriority)
+//   part(pkey, pname, ptype, pbrand)
+//   customer(ckey, cname, nkey, segment)
+//   nation(nkey, nname, rname)
+//
+// RI: lineitem.okey -> orders.okey, lineitem.pkey -> part.pkey,
+//     orders.ckey -> customer.ckey, customer.nkey -> nation.nkey.
+#ifndef SUMTAB_DATA_TPCD_SCHEMA_H_
+#define SUMTAB_DATA_TPCD_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace data {
+
+struct TpcdParams {
+  int64_t num_lineitems = 200000;
+  int num_orders = 20000;
+  int num_parts = 500;
+  int num_customers = 300;
+  int start_year = 1992;
+  int num_years = 6;
+  uint64_t seed = 7;
+};
+
+Status SetupTpcdSchema(Database* db, const TpcdParams& params = {});
+
+}  // namespace data
+}  // namespace sumtab
+
+#endif  // SUMTAB_DATA_TPCD_SCHEMA_H_

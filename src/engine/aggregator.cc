@@ -1,0 +1,170 @@
+#include "engine/aggregator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sumtab {
+namespace engine {
+
+namespace {
+
+using expr::AggFunc;
+
+/// Streaming accumulator for one aggregate within one group.
+struct Accum {
+  int64_t count = 0;          // rows (COUNT(*)) or non-null arguments
+  int64_t sum_int = 0;
+  double sum_double = 0.0;
+  bool saw_double = false;
+  bool saw_value = false;
+  Value extreme;              // running MIN or MAX
+  std::unordered_set<Value, ValueHash> distinct;
+
+  void AddValue(const AggSpec& spec, const Value& v) {
+    if (spec.star) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    if (spec.distinct) {
+      distinct.insert(v);
+      return;
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        ++count;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        ++count;
+        saw_value = true;
+        if (v.kind() == Value::Kind::kInt && !saw_double) {
+          sum_int += v.AsInt();
+        } else {
+          if (!saw_double) {
+            sum_double = static_cast<double>(sum_int);
+            saw_double = true;
+          }
+          sum_double += v.ToDouble();
+        }
+        break;
+      case AggFunc::kMin:
+        if (!saw_value || v < extreme) extreme = v;
+        saw_value = true;
+        break;
+      case AggFunc::kMax:
+        if (!saw_value || extreme < v) extreme = v;
+        saw_value = true;
+        break;
+    }
+  }
+
+  Value Finish(const AggSpec& spec) const {
+    if (spec.distinct) {
+      switch (spec.func) {
+        case AggFunc::kCount:
+          return Value::Int(static_cast<int64_t>(distinct.size()));
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          if (distinct.empty()) return Value::Null();
+          bool any_double = false;
+          int64_t si = 0;
+          double sd = 0.0;
+          for (const Value& v : distinct) {
+            if (v.kind() == Value::Kind::kInt) {
+              si += v.AsInt();
+            } else {
+              any_double = true;
+            }
+            sd += v.ToDouble();
+          }
+          Value sum = any_double ? Value::Double(sd) : Value::Int(si);
+          if (spec.func == AggFunc::kSum) return sum;
+          return Value::Double(sd / static_cast<double>(distinct.size()));
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax: {
+          if (distinct.empty()) return Value::Null();
+          Value best;
+          bool first = true;
+          for (const Value& v : distinct) {
+            if (first || (spec.func == AggFunc::kMin ? v < best : best < v)) {
+              best = v;
+            }
+            first = false;
+          }
+          return best;
+        }
+      }
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        return Value::Int(count);
+      case AggFunc::kSum:
+        if (!saw_value) return Value::Null();
+        return saw_double ? Value::Double(sum_double) : Value::Int(sum_int);
+      case AggFunc::kAvg:
+        if (!saw_value) return Value::Null();
+        return Value::Double(
+            (saw_double ? sum_double : static_cast<double>(sum_int)) /
+            static_cast<double>(count));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return saw_value ? extreme : Value::Null();
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<Row>> Aggregate(
+    const std::vector<Row>& input, const std::vector<int>& grouping_cols,
+    const std::vector<std::vector<int>>& grouping_sets,
+    const std::vector<AggSpec>& aggs) {
+  for (const AggSpec& spec : aggs) {
+    if (!spec.star && spec.arg_col < 0) {
+      return Status::Internal("aggregate argument column missing");
+    }
+  }
+  std::vector<Row> output;
+  for (const std::vector<int>& set : grouping_sets) {
+    std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
+    for (const Row& row : input) {
+      Row key;
+      key.reserve(set.size());
+      for (int g : set) key.push_back(row[grouping_cols[g]]);
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(aggs.size());
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        const AggSpec& spec = aggs[a];
+        it->second[a].AddValue(
+            spec, spec.star ? Value::Null() : row[spec.arg_col]);
+      }
+    }
+    if (groups.empty() && set.empty()) {
+      // Global aggregation over an empty input produces one row.
+      groups.try_emplace(Row{}).first->second.resize(aggs.size());
+    }
+    for (const auto& [key, accums] : groups) {
+      Row out;
+      out.reserve(grouping_cols.size() + aggs.size());
+      for (size_t g = 0; g < grouping_cols.size(); ++g) {
+        // NULL-pad grouped-out columns of this cuboid.
+        int pos = -1;
+        for (size_t k = 0; k < set.size(); ++k) {
+          if (set[k] == static_cast<int>(g)) pos = static_cast<int>(k);
+        }
+        out.push_back(pos >= 0 ? key[pos] : Value::Null());
+      }
+      for (size_t a = 0; a < aggs.size(); ++a) {
+        out.push_back(accums[a].Finish(aggs[a]));
+      }
+      output.push_back(std::move(out));
+    }
+  }
+  return output;
+}
+
+}  // namespace engine
+}  // namespace sumtab

@@ -1,0 +1,399 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "engine/aggregator.h"
+#include "expr/expr_eval.h"
+#include "expr/expr_rewrite.h"
+
+namespace sumtab {
+namespace engine {
+
+namespace {
+
+using expr::ExprPtr;
+using qgm::Box;
+using qgm::BoxId;
+using qgm::Quantifier;
+
+/// Quantifier indexes referenced by a predicate.
+std::vector<int> PredQuantifiers(const ExprPtr& pred) {
+  std::vector<int> qs;
+  expr::CollectQuantifiers(pred, &qs);
+  return qs;
+}
+
+/// True for `ColRef{qa,*} = ColRef{qb,*}` with qa != qb.
+bool IsEquiJoin(const ExprPtr& pred, int* qa, int* ca, int* qb, int* cb) {
+  if (pred->kind != expr::Expr::Kind::kBinary ||
+      pred->binary_op != expr::BinaryOp::kEq) {
+    return false;
+  }
+  const ExprPtr& l = pred->children[0];
+  const ExprPtr& r = pred->children[1];
+  if (l->kind != expr::Expr::Kind::kColumnRef ||
+      r->kind != expr::Expr::Kind::kColumnRef) {
+    return false;
+  }
+  if (l->quantifier == r->quantifier) return false;
+  *qa = l->quantifier;
+  *ca = l->column;
+  *qb = r->quantifier;
+  *cb = r->column;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Executor::RelPtr> Executor::ExecBox(const qgm::Graph& graph,
+                                             BoxId id) {
+  const Box& box = *graph.box(id);
+  switch (box.kind) {
+    case Box::Kind::kBase: {
+      if (options_.table_overrides != nullptr) {
+        auto it = options_.table_overrides->find(box.table_name);
+        if (it != options_.table_overrides->end()) {
+          return RelPtr(RelPtr{}, it->second);
+        }
+      }
+      const Relation* table = storage_.FindTable(box.table_name);
+      if (table == nullptr) {
+        return Status::NotFound("no data for table '" + box.table_name + "'");
+      }
+      // Non-owning alias: base tables are scanned in place.
+      return RelPtr(RelPtr{}, table);
+    }
+    case Box::Kind::kSelect:
+      return ExecSelect(graph, box);
+    case Box::Kind::kGroupBy:
+      return ExecGroupBy(graph, box);
+  }
+  return Status::Internal("unknown box kind");
+}
+
+StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
+                                                const Box& box) {
+  const int nq = static_cast<int>(box.quantifiers.size());
+
+  // 1. Execute children. Scalar subqueries collapse to a single row.
+  std::vector<std::vector<Row>> child_rows(nq);
+  std::vector<int> child_width(nq);
+  for (int q = 0; q < nq; ++q) {
+    SUMTAB_ASSIGN_OR_RETURN(RelPtr rel,
+                            ExecBox(graph, box.quantifiers[q].child));
+    child_width[q] = rel->NumColumns();
+    if (box.quantifiers[q].kind == Quantifier::Kind::kScalar) {
+      if (rel->NumRows() > 1) {
+        return Status::InvalidArgument(
+            "scalar subquery returned more than one row");
+      }
+      if (rel->NumRows() == 1) {
+        child_rows[q].push_back(rel->rows[0]);
+      } else {
+        child_rows[q].push_back(Row(rel->NumColumns(), Value::Null()));
+      }
+    } else {
+      child_rows[q] = rel->rows;  // copy; filtered below
+    }
+  }
+
+  // 2. Partition predicates: single-quantifier filters push down; equi-joins
+  //    become hash keys; the rest apply as soon as their quantifiers join.
+  std::vector<ExprPtr> residual;
+  struct JoinPred {
+    int qa, ca, qb, cb;
+    ExprPtr pred;
+    bool used = false;
+  };
+  std::vector<JoinPred> join_preds;
+  for (const ExprPtr& pred : box.predicates) {
+    std::vector<int> qs = PredQuantifiers(pred);
+    if (qs.size() == 1) {
+      int q = qs[0];
+      // Push down: filter the child rows in place.
+      std::vector<int> offsets(nq, -1);
+      offsets[q] = 0;
+      std::vector<Row> kept;
+      kept.reserve(child_rows[q].size());
+      for (Row& row : child_rows[q]) {
+        expr::EvalContext ctx{&offsets, &row};
+        SUMTAB_ASSIGN_OR_RETURN(bool pass, expr::EvalPredicate(pred, ctx));
+        if (pass) kept.push_back(std::move(row));
+      }
+      child_rows[q] = std::move(kept);
+      continue;
+    }
+    JoinPred jp;
+    if (!options_.disable_hash_join && qs.size() == 2 &&
+        IsEquiJoin(pred, &jp.qa, &jp.ca, &jp.qb, &jp.cb)) {
+      jp.pred = pred;
+      join_preds.push_back(jp);
+      continue;
+    }
+    residual.push_back(pred);
+  }
+
+  // 3. Greedy join. Combined rows hold the concatenated child columns of all
+  //    joined quantifiers; offsets[q] is the slot where q's columns start.
+  std::vector<int> offsets(nq, -1);
+  std::vector<Row> combined;
+  std::vector<bool> joined(nq, false);
+  int joined_count = 0;
+  int width = 0;
+
+  auto apply_ready_residuals = [&]() -> Status {
+    std::vector<ExprPtr> still;
+    for (const ExprPtr& pred : residual) {
+      bool ready = true;
+      for (int q : PredQuantifiers(pred)) ready = ready && joined[q];
+      if (!ready) {
+        still.push_back(pred);
+        continue;
+      }
+      std::vector<Row> kept;
+      kept.reserve(combined.size());
+      for (Row& row : combined) {
+        expr::EvalContext ctx{&offsets, &row};
+        SUMTAB_ASSIGN_OR_RETURN(bool pass, expr::EvalPredicate(pred, ctx));
+        if (pass) kept.push_back(std::move(row));
+      }
+      combined = std::move(kept);
+    }
+    residual = std::move(still);
+    return Status::OK();
+  };
+
+  while (joined_count < nq) {
+    // Pick the next quantifier: one with a hash-join edge to the joined set,
+    // else the smallest unjoined child (cartesian step).
+    int next = -1;
+    std::vector<JoinPred*> edges;
+    if (joined_count > 0) {
+      for (JoinPred& jp : join_preds) {
+        if (jp.used) continue;
+        int inside = -1, outside = -1;
+        if (joined[jp.qa] && !joined[jp.qb]) {
+          inside = jp.qa;
+          outside = jp.qb;
+        } else if (joined[jp.qb] && !joined[jp.qa]) {
+          inside = jp.qb;
+          outside = jp.qa;
+        } else {
+          continue;
+        }
+        (void)inside;
+        if (next == -1) next = outside;
+        if (outside == next) edges.push_back(&jp);
+      }
+    }
+    if (next == -1) {
+      for (int q = 0; q < nq; ++q) {
+        if (joined[q]) continue;
+        if (next == -1 || child_rows[q].size() < child_rows[next].size()) {
+          next = q;
+        }
+      }
+    }
+
+    if (joined_count == 0) {
+      // Seed the combined set with the first quantifier's rows.
+      combined = std::move(child_rows[next]);
+      offsets[next] = 0;
+      width = child_width[next];
+    } else if (!edges.empty()) {
+      // Hash join `next` against the combined rows.
+      std::vector<int> build_cols;  // columns of `next`
+      std::vector<int> probe_slots; // slots in combined rows
+      for (JoinPred* jp : edges) {
+        jp->used = true;
+        int cn = jp->qa == next ? jp->ca : jp->cb;
+        int qj = jp->qa == next ? jp->qb : jp->qa;
+        int cj = jp->qa == next ? jp->cb : jp->ca;
+        build_cols.push_back(cn);
+        probe_slots.push_back(offsets[qj] + cj);
+      }
+      std::unordered_map<Row, std::vector<const Row*>, RowHash> table;
+      table.reserve(child_rows[next].size());
+      for (const Row& row : child_rows[next]) {
+        Row key;
+        key.reserve(build_cols.size());
+        bool has_null = false;
+        for (int c : build_cols) {
+          has_null = has_null || row[c].is_null();
+          key.push_back(row[c]);
+        }
+        if (has_null) continue;  // SQL '=' never matches NULL
+        table[std::move(key)].push_back(&row);
+      }
+      std::vector<Row> next_combined;
+      for (const Row& left : combined) {
+        Row key;
+        key.reserve(probe_slots.size());
+        bool has_null = false;
+        for (int slot : probe_slots) {
+          has_null = has_null || left[slot].is_null();
+          key.push_back(left[slot]);
+        }
+        if (has_null) continue;
+        auto it = table.find(key);
+        if (it == table.end()) continue;
+        for (const Row* right : it->second) {
+          Row merged = left;
+          merged.insert(merged.end(), right->begin(), right->end());
+          next_combined.push_back(std::move(merged));
+        }
+      }
+      combined = std::move(next_combined);
+      offsets[next] = width;
+      width += child_width[next];
+      child_rows[next].clear();
+    } else {
+      // Nested-loop (cartesian) step; residual predicates prune right after.
+      std::vector<Row> next_combined;
+      next_combined.reserve(combined.size() * child_rows[next].size());
+      for (const Row& left : combined) {
+        for (const Row& right : child_rows[next]) {
+          Row merged = left;
+          merged.insert(merged.end(), right.begin(), right.end());
+          next_combined.push_back(std::move(merged));
+        }
+      }
+      combined = std::move(next_combined);
+      offsets[next] = width;
+      width += child_width[next];
+      child_rows[next].clear();
+    }
+    joined[next] = true;
+    ++joined_count;
+    SUMTAB_RETURN_NOT_OK(apply_ready_residuals());
+    // Equi-join predicates between already-joined quantifiers that were not
+    // used as hash keys must still be applied as filters.
+    for (JoinPred& jp : join_preds) {
+      if (jp.used || !joined[jp.qa] || !joined[jp.qb]) continue;
+      jp.used = true;
+      residual.push_back(jp.pred);
+      SUMTAB_RETURN_NOT_OK(apply_ready_residuals());
+    }
+  }
+  if (!residual.empty()) {
+    return Status::Internal("residual predicates left after join");
+  }
+
+  // 4. Project.
+  auto result = std::make_shared<Relation>();
+  for (const auto& out : box.outputs) result->column_names.push_back(out.name);
+  result->rows.reserve(combined.size());
+  for (const Row& row : combined) {
+    expr::EvalContext ctx{&offsets, &row};
+    Row out;
+    out.reserve(box.outputs.size());
+    for (const auto& col : box.outputs) {
+      SUMTAB_ASSIGN_OR_RETURN(Value v, expr::Eval(col.expr, ctx));
+      out.push_back(std::move(v));
+    }
+    result->rows.push_back(std::move(out));
+  }
+
+  if (box.distinct) {
+    std::unordered_set<Row, RowHash> seen;
+    std::vector<Row> unique;
+    for (Row& row : result->rows) {
+      if (seen.insert(row).second) unique.push_back(std::move(row));
+    }
+    result->rows = std::move(unique);
+  }
+  return RelPtr(result);
+}
+
+StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
+                                                 const Box& box) {
+  SUMTAB_ASSIGN_OR_RETURN(RelPtr child,
+                          ExecBox(graph, box.quantifiers[0].child));
+  // Grouping outputs and aggregates may be interleaved in compensation
+  // boxes: map output positions to aggregator ordinals and back.
+  std::vector<int> grouping_cols;      // per grouping ordinal: child column
+  std::vector<int> grouping_ordinal(box.NumOutputs(), -1);
+  std::vector<AggSpec> aggs;
+  std::vector<int> agg_ordinal(box.NumOutputs(), -1);
+  for (int i = 0; i < box.NumOutputs(); ++i) {
+    const ExprPtr& e = box.outputs[i].expr;
+    if (box.IsGroupingOutput(i)) {
+      int col = -1;
+      if (!expr::IsSimpleColumnRef(e, 0, &col)) {
+        return Status::Internal("grouping output is not a simple column");
+      }
+      grouping_ordinal[i] = static_cast<int>(grouping_cols.size());
+      grouping_cols.push_back(col);
+    } else {
+      if (e->kind != expr::Expr::Kind::kAggregate) {
+        return Status::Internal("GROUPBY output is neither grouping column "
+                                "nor aggregate");
+      }
+      AggSpec spec;
+      spec.func = e->agg;
+      spec.distinct = e->agg_distinct;
+      spec.star = e->agg_star;
+      if (!spec.star) {
+        if (!expr::IsSimpleColumnRef(e->children[0], 0, &spec.arg_col)) {
+          return Status::Internal("aggregate argument is not a simple column");
+        }
+      }
+      agg_ordinal[i] = static_cast<int>(aggs.size());
+      aggs.push_back(spec);
+    }
+  }
+  // Translate grouping sets from output indexes to grouping ordinals.
+  std::vector<std::vector<int>> sets;
+  for (const auto& set : box.grouping_sets) {
+    std::vector<int> ordinals;
+    for (int output_idx : set) {
+      if (output_idx < 0 || output_idx >= box.NumOutputs() ||
+          grouping_ordinal[output_idx] < 0) {
+        return Status::Internal("grouping set entry is not a grouping output");
+      }
+      ordinals.push_back(grouping_ordinal[output_idx]);
+    }
+    sets.push_back(std::move(ordinals));
+  }
+  SUMTAB_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      Aggregate(child->rows, grouping_cols, sets, aggs));
+  auto result = std::make_shared<Relation>();
+  for (const auto& out : box.outputs) result->column_names.push_back(out.name);
+  result->rows.reserve(rows.size());
+  const int ng = static_cast<int>(grouping_cols.size());
+  for (Row& packed : rows) {
+    Row out(box.NumOutputs());
+    for (int i = 0; i < box.NumOutputs(); ++i) {
+      out[i] = grouping_ordinal[i] >= 0
+                   ? std::move(packed[grouping_ordinal[i]])
+                   : std::move(packed[ng + agg_ordinal[i]]);
+    }
+    result->rows.push_back(std::move(out));
+  }
+  return RelPtr(result);
+}
+
+StatusOr<Relation> Executor::Execute(const qgm::Graph& graph) {
+  SUMTAB_ASSIGN_OR_RETURN(RelPtr root, ExecBox(graph, graph.root()));
+  Relation result = *root;  // copy; root may alias storage
+  if (!graph.order_by().empty()) {
+    const std::vector<qgm::OrderSpec>& spec = graph.order_by();
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&spec](const Row& a, const Row& b) {
+                       for (const qgm::OrderSpec& s : spec) {
+                         const Value& va = a[s.output_index];
+                         const Value& vb = b[s.output_index];
+                         if (va < vb) return s.ascending;
+                         if (vb < va) return !s.ascending;
+                       }
+                       return false;
+                     });
+  }
+  return result;
+}
+
+}  // namespace engine
+}  // namespace sumtab

@@ -1,0 +1,55 @@
+// QGM interpreter. Executes a graph bottom-up: BASE boxes scan storage,
+// SELECT boxes join (greedy equi-join hash joins with nested-loop fallback),
+// filter and project, GROUPBY boxes hash-aggregate (incl. grouping sets),
+// scalar quantifiers evaluate uncorrelated scalar subqueries.
+//
+// QGM describes semantics, not plans; this interpreter picks a plan with two
+// fixed policies (single-quantifier predicate pushdown, greedy hash joins)
+// that suffice for benchmarking relative costs.
+#ifndef SUMTAB_ENGINE_EXECUTOR_H_
+#define SUMTAB_ENGINE_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/relation.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+namespace engine {
+
+struct ExecOptions {
+  /// Disables hash joins (nested loops only); exists for the join-strategy
+  /// ablation bench.
+  bool disable_hash_join = false;
+  /// Per-table substitutions: BASE boxes naming a key scan the mapped
+  /// relation instead of storage. Used by incremental summary-table
+  /// maintenance to evaluate an AST definition against a delta.
+  const std::map<std::string, const Relation*>* table_overrides = nullptr;
+};
+
+class Executor {
+ public:
+  explicit Executor(const Storage& storage, ExecOptions options = {})
+      : storage_(storage), options_(options) {}
+
+  /// Executes the graph; applies the graph's ORDER BY to the final result.
+  StatusOr<Relation> Execute(const qgm::Graph& graph);
+
+ private:
+  using RelPtr = std::shared_ptr<const Relation>;
+
+  StatusOr<RelPtr> ExecBox(const qgm::Graph& graph, qgm::BoxId id);
+  StatusOr<RelPtr> ExecSelect(const qgm::Graph& graph, const qgm::Box& box);
+  StatusOr<RelPtr> ExecGroupBy(const qgm::Graph& graph, const qgm::Box& box);
+
+  const Storage& storage_;
+  ExecOptions options_;
+};
+
+}  // namespace engine
+}  // namespace sumtab
+
+#endif  // SUMTAB_ENGINE_EXECUTOR_H_

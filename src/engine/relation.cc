@@ -1,0 +1,121 @@
+#include "engine/relation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace sumtab {
+namespace engine {
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(column_names.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    widths[i] = column_names[i].size();
+  }
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row_cells;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string cell = rows[r][c].ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], cell.size());
+      row_cells.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(row_cells));
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += (c ? " | " : "") + pad(column_names[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < column_names.size(); ++c) {
+    out += (c ? "-+-" : "") + std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& row_cells : cells) {
+    for (size_t c = 0; c < row_cells.size(); ++c) {
+      size_t w = c < widths.size() ? widths[c] : 0;
+      out += (c ? " | " : "") + pad(row_cells[c], w);
+    }
+    out += "\n";
+  }
+  if (rows.size() > shown) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Floating-point results may differ in the last bits between a direct
+/// aggregation and a re-aggregation of partial sums; compare with a relative
+/// tolerance.
+bool ApproxEqual(const Value& x, const Value& y) {
+  if (x == y) return true;
+  if (!x.IsNumeric() || !y.IsNumeric()) return false;
+  double a = x.ToDouble();
+  double b = y.ToDouble();
+  double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+bool SameRowMultiset(const Relation& a, const Relation& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  std::vector<Row> left = a.rows;
+  std::vector<Row> right = b.rows;
+  auto cmp = [](const Row& x, const Row& y) {
+    return std::lexicographical_compare(x.begin(), x.end(), y.begin(), y.end());
+  };
+  std::sort(left.begin(), left.end(), cmp);
+  std::sort(right.begin(), right.end(), cmp);
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (left[i].size() != right[i].size()) return false;
+    for (size_t j = 0; j < left[i].size(); ++j) {
+      if (!ApproxEqual(left[i][j], right[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+void SortRows(Relation* relation) {
+  std::sort(relation->rows.begin(), relation->rows.end(),
+            [](const Row& x, const Row& y) {
+              return std::lexicographical_compare(x.begin(), x.end(),
+                                                  y.begin(), y.end());
+            });
+}
+
+Status Storage::AddTable(const std::string& name, Relation relation) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table data for '" + key + "'");
+  }
+  tables_.emplace(key, std::move(relation));
+  return Status::OK();
+}
+
+Status Storage::DropTable(const std::string& name) {
+  if (tables_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("table data for '" + name + "'");
+  }
+  return Status::OK();
+}
+
+const Relation* Storage::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Relation* Storage::FindTableMutable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace engine
+}  // namespace sumtab

@@ -1,0 +1,51 @@
+// In-memory relations (row store) and the table storage the engine scans.
+#ifndef SUMTAB_ENGINE_RELATION_H_
+#define SUMTAB_ENGINE_RELATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sumtab {
+namespace engine {
+
+/// A materialized relational table: named columns + rows.
+struct Relation {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+
+  int NumColumns() const { return static_cast<int>(column_names.size()); }
+  size_t NumRows() const { return rows.size(); }
+
+  /// ASCII table rendering (for examples and benches); caps row output at
+  /// max_rows and appends an ellipsis line beyond it.
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// Multiset equality of rows (column names ignored); the canonical check
+/// that a rewritten query computed the same answer as the original.
+bool SameRowMultiset(const Relation& a, const Relation& b);
+
+/// Sorts rows lexicographically in place (stable display order).
+void SortRows(Relation* relation);
+
+/// Named table storage.
+class Storage {
+ public:
+  Status AddTable(const std::string& name, Relation relation);
+  Status DropTable(const std::string& name);
+  const Relation* FindTable(const std::string& name) const;
+  /// Mutable access for appends and incremental maintenance.
+  Relation* FindTableMutable(const std::string& name);
+
+ private:
+  std::map<std::string, Relation> tables_;  // keyed by lower-cased name
+};
+
+}  // namespace engine
+}  // namespace sumtab
+
+#endif  // SUMTAB_ENGINE_RELATION_H_

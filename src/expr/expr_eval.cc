@@ -1,0 +1,201 @@
+#include "expr/expr_eval.h"
+
+#include <cmath>
+
+#include "common/date.h"
+#include "common/str_util.h"
+
+namespace sumtab {
+namespace expr {
+
+namespace {
+
+bool BothInts(const Value& a, const Value& b) {
+  return a.kind() == Value::Kind::kInt && b.kind() == Value::Kind::kInt;
+}
+
+StatusOr<Value> EvalArith(BinaryOp op, const Value& left, const Value& right) {
+  if (!left.IsNumeric() || !right.IsNumeric()) {
+    return Status::InvalidArgument("arithmetic on non-numeric value");
+  }
+  switch (op) {
+    case BinaryOp::kAdd:
+      if (BothInts(left, right)) return Value::Int(left.AsInt() + right.AsInt());
+      return Value::Double(left.ToDouble() + right.ToDouble());
+    case BinaryOp::kSub:
+      if (BothInts(left, right)) return Value::Int(left.AsInt() - right.AsInt());
+      return Value::Double(left.ToDouble() - right.ToDouble());
+    case BinaryOp::kMul:
+      if (BothInts(left, right)) return Value::Int(left.AsInt() * right.AsInt());
+      return Value::Double(left.ToDouble() * right.ToDouble());
+    case BinaryOp::kDiv: {
+      // '/' always computes in double; integer division surprises are not
+      // worth it in an analytics engine. 0-divisor yields NULL.
+      double d = right.ToDouble();
+      if (d == 0.0) return Value::Null();
+      return Value::Double(left.ToDouble() / d);
+    }
+    case BinaryOp::kMod: {
+      if (!BothInts(left, right)) {
+        return Status::InvalidArgument("% requires integer operands");
+      }
+      int64_t d = right.AsInt();
+      if (d == 0) return Value::Null();
+      return Value::Int(left.AsInt() % d);
+    }
+    default:
+      return Status::Internal("EvalArith: not an arithmetic op");
+  }
+}
+
+}  // namespace
+
+Value CompareValues(BinaryOp op, const Value& left, const Value& right) {
+  bool eq;
+  bool lt;
+  if (left.IsNumeric() && right.IsNumeric()) {
+    double a = left.ToDouble();
+    double b = right.ToDouble();
+    eq = a == b;
+    lt = a < b;
+  } else if (left.kind() == Value::Kind::kString &&
+             right.kind() == Value::Kind::kString) {
+    int c = left.AsString().compare(right.AsString());
+    eq = c == 0;
+    lt = c < 0;
+  } else {
+    // Incomparable kinds: only (in)equality is meaningful.
+    eq = false;
+    lt = false;
+  }
+  switch (op) {
+    case BinaryOp::kEq:
+      return Value::Bool(eq);
+    case BinaryOp::kNe:
+      return Value::Bool(!eq);
+    case BinaryOp::kLt:
+      return Value::Bool(lt);
+    case BinaryOp::kLe:
+      return Value::Bool(lt || eq);
+    case BinaryOp::kGt:
+      return Value::Bool(!lt && !eq);
+    case BinaryOp::kGe:
+      return Value::Bool(!lt);
+    default:
+      return Value::Null();
+  }
+}
+
+StatusOr<Value> Eval(const ExprPtr& e, const EvalContext& ctx) {
+  switch (e->kind) {
+    case Expr::Kind::kLiteral:
+      return e->literal;
+
+    case Expr::Kind::kColumnRef:
+      return ctx.ColumnValue(e->quantifier, e->column);
+
+    case Expr::Kind::kRejoinRef:
+      return Status::Internal("rejoin reference escaped the matcher");
+
+    case Expr::Kind::kColumnName:
+      return Status::Internal("unresolved column '" + e->name +
+                              "' reached the evaluator");
+
+    case Expr::Kind::kScalarSubquery:
+      return Status::Internal(
+          "scalar subquery reached the evaluator (QGM builder should have "
+          "converted it)");
+
+    case Expr::Kind::kUnary: {
+      SUMTAB_ASSIGN_OR_RETURN(Value v, Eval(e->children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (e->unary_op == UnaryOp::kNeg) {
+        if (v.kind() == Value::Kind::kInt) return Value::Int(-v.AsInt());
+        if (v.IsNumeric()) return Value::Double(-v.ToDouble());
+        return Status::InvalidArgument("negation of non-numeric value");
+      }
+      // kNot
+      if (v.kind() != Value::Kind::kBool) {
+        return Status::InvalidArgument("NOT on non-boolean value");
+      }
+      return Value::Bool(!v.AsBool());
+    }
+
+    case Expr::Kind::kBinary: {
+      BinaryOp op = e->binary_op;
+      if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+        SUMTAB_ASSIGN_OR_RETURN(Value l, Eval(e->children[0], ctx));
+        SUMTAB_ASSIGN_OR_RETURN(Value r, Eval(e->children[1], ctx));
+        // 3VL: NULL acts as 'unknown'.
+        auto truth = [](const Value& v) -> int {
+          if (v.is_null()) return -1;
+          return v.AsBool() ? 1 : 0;
+        };
+        int a = truth(l);
+        int b = truth(r);
+        if (op == BinaryOp::kAnd) {
+          if (a == 0 || b == 0) return Value::Bool(false);
+          if (a == -1 || b == -1) return Value::Null();
+          return Value::Bool(true);
+        }
+        if (a == 1 || b == 1) return Value::Bool(true);
+        if (a == -1 || b == -1) return Value::Null();
+        return Value::Bool(false);
+      }
+      SUMTAB_ASSIGN_OR_RETURN(Value l, Eval(e->children[0], ctx));
+      SUMTAB_ASSIGN_OR_RETURN(Value r, Eval(e->children[1], ctx));
+      if (l.is_null() || r.is_null()) return Value::Null();
+      switch (op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return CompareValues(op, l, r);
+        default:
+          return EvalArith(op, l, r);
+      }
+    }
+
+    case Expr::Kind::kFunction: {
+      if (e->children.size() == 1 &&
+          (EqualsIgnoreCase(e->name, "year") ||
+           EqualsIgnoreCase(e->name, "month") ||
+           EqualsIgnoreCase(e->name, "day"))) {
+        SUMTAB_ASSIGN_OR_RETURN(Value v, Eval(e->children[0], ctx));
+        if (v.is_null()) return Value::Null();
+        if (v.kind() != Value::Kind::kDate) {
+          return Status::InvalidArgument(e->name + "() requires a DATE");
+        }
+        int32_t d = v.AsDate();
+        if (EqualsIgnoreCase(e->name, "year")) return Value::Int(DateYear(d));
+        if (EqualsIgnoreCase(e->name, "month")) return Value::Int(DateMonth(d));
+        return Value::Int(DateDay(d));
+      }
+      return Status::NotSupported("scalar function '" + e->name + "'");
+    }
+
+    case Expr::Kind::kAggregate:
+      return Status::Internal("aggregate reached the scalar evaluator");
+
+    case Expr::Kind::kIsNull: {
+      SUMTAB_ASSIGN_OR_RETURN(Value v, Eval(e->children[0], ctx));
+      bool isnull = v.is_null();
+      return Value::Bool(e->is_null_negated ? !isnull : isnull);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+StatusOr<bool> EvalPredicate(const ExprPtr& e, const EvalContext& ctx) {
+  SUMTAB_ASSIGN_OR_RETURN(Value v, Eval(e, ctx));
+  if (v.is_null()) return false;
+  if (v.kind() != Value::Kind::kBool) {
+    return Status::InvalidArgument("predicate did not evaluate to boolean");
+  }
+  return v.AsBool();
+}
+
+}  // namespace expr
+}  // namespace sumtab

@@ -1,0 +1,42 @@
+// Row-at-a-time expression evaluation with SQL three-valued logic (NULL is
+// represented by Value::Null(); unknown truth values propagate as NULL).
+// Aggregate nodes are not evaluable here — the engine's aggregator handles
+// them; encountering one is an Internal error.
+#ifndef SUMTAB_EXPR_EXPR_EVAL_H_
+#define SUMTAB_EXPR_EXPR_EVAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "expr/expr.h"
+
+namespace sumtab {
+namespace expr {
+
+/// Evaluation context: a combined tuple laid out as the concatenation of the
+/// child rows of a box, with offsets[q] giving the first slot of quantifier q.
+struct EvalContext {
+  const std::vector<int>* offsets = nullptr;
+  const Row* row = nullptr;
+
+  const Value& ColumnValue(int quantifier, int column) const {
+    return (*row)[(*offsets)[quantifier] + column];
+  }
+};
+
+/// Evaluates e against ctx. Division by zero yields NULL (keeps aggregate
+/// pipelines total); type mismatches yield InvalidArgument.
+StatusOr<Value> Eval(const ExprPtr& e, const EvalContext& ctx);
+
+/// Evaluates a predicate: true only if Eval returns BOOL true (NULL and false
+/// both reject the row).
+StatusOr<bool> EvalPredicate(const ExprPtr& e, const EvalContext& ctx);
+
+/// SQL comparison semantics on two non-null values for the given operator.
+Value CompareValues(BinaryOp op, const Value& left, const Value& right);
+
+}  // namespace expr
+}  // namespace sumtab
+
+#endif  // SUMTAB_EXPR_EXPR_EVAL_H_

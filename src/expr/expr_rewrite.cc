@@ -1,0 +1,72 @@
+#include "expr/expr_rewrite.h"
+
+#include "expr/expr_eval.h"
+
+namespace sumtab {
+namespace expr {
+
+ExprPtr MapColumnRefs(const ExprPtr& e,
+                      const std::function<ExprPtr(int, int)>& fn) {
+  return RewriteLeaves(e, [&fn](const ExprPtr& leaf) -> ExprPtr {
+    if (leaf->kind != Expr::Kind::kColumnRef) return nullptr;
+    return fn(leaf->quantifier, leaf->column);
+  });
+}
+
+ExprPtr MapRejoinRefs(const ExprPtr& e,
+                      const std::function<ExprPtr(int, int)>& fn) {
+  return RewriteLeaves(e, [&fn](const ExprPtr& leaf) -> ExprPtr {
+    if (leaf->kind != Expr::Kind::kRejoinRef) return nullptr;
+    return fn(leaf->quantifier, leaf->column);
+  });
+}
+
+ExprPtr FoldConstants(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  if (e->children.empty()) return e;
+  bool changed = false;
+  bool all_literal = true;
+  std::vector<ExprPtr> folded;
+  folded.reserve(e->children.size());
+  for (const ExprPtr& child : e->children) {
+    ExprPtr f = FoldConstants(child);
+    changed = changed || f != child;
+    all_literal = all_literal && f->kind == Expr::Kind::kLiteral;
+    folded.push_back(std::move(f));
+  }
+  ExprPtr node = e;
+  if (changed) {
+    auto copy = std::make_shared<Expr>(*e);
+    copy->children = folded;
+    node = copy;
+  }
+  // Only pure scalar operators fold; aggregates and subqueries never do.
+  if (all_literal && (node->kind == Expr::Kind::kUnary ||
+                      node->kind == Expr::Kind::kBinary ||
+                      node->kind == Expr::Kind::kFunction ||
+                      node->kind == Expr::Kind::kIsNull)) {
+    EvalContext empty_ctx;
+    StatusOr<Value> v = Eval(node, empty_ctx);
+    if (v.ok()) return Lit(std::move(v).value());
+  }
+  return node;
+}
+
+bool IsSimpleColumnRef(const ExprPtr& e, int quantifier, int* column) {
+  if (e->kind != Expr::Kind::kColumnRef || e->quantifier != quantifier) {
+    return false;
+  }
+  if (column != nullptr) *column = e->column;
+  return true;
+}
+
+bool RefersOnlyToQuantifier(const ExprPtr& e, int quantifier) {
+  return !Any(e, [quantifier](const Expr& node) {
+    if (node.kind == Expr::Kind::kRejoinRef) return true;
+    return node.kind == Expr::Kind::kColumnRef &&
+           node.quantifier != quantifier;
+  });
+}
+
+}  // namespace expr
+}  // namespace sumtab

@@ -1,0 +1,82 @@
+#include "matching/column_equivalence.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+bool IsLeafRef(const expr::Expr& e) {
+  return e.kind == expr::Expr::Kind::kColumnRef ||
+         e.kind == expr::Expr::Kind::kRejoinRef;
+}
+
+}  // namespace
+
+ColumnEquivalence::Key ColumnEquivalence::MakeKey(const expr::Expr& e) {
+  int tag = e.kind == expr::Expr::Kind::kRejoinRef ? 1 : 0;
+  return Key{tag, e.quantifier, e.column};
+}
+
+int ColumnEquivalence::Intern(const Key& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  int idx = static_cast<int>(parent_.size());
+  parent_.push_back(idx);
+  index_.emplace(key, idx);
+  return idx;
+}
+
+int ColumnEquivalence::FindRoot(int idx) const {
+  while (parent_[idx] != idx) {
+    parent_[idx] = parent_[parent_[idx]];  // path halving
+    idx = parent_[idx];
+  }
+  return idx;
+}
+
+void ColumnEquivalence::AddEquality(const expr::Expr& a, const expr::Expr& b) {
+  int ia = Intern(MakeKey(a));
+  int ib = Intern(MakeKey(b));
+  parent_[FindRoot(ia)] = FindRoot(ib);
+}
+
+void ColumnEquivalence::AddPredicates(
+    const std::vector<expr::ExprPtr>& predicates) {
+  for (const expr::ExprPtr& p : predicates) {
+    if (p->kind == expr::Expr::Kind::kBinary &&
+        p->binary_op == expr::BinaryOp::kEq &&
+        IsLeafRef(*p->children[0]) && IsLeafRef(*p->children[1])) {
+      AddEquality(*p->children[0], *p->children[1]);
+    }
+  }
+}
+
+bool ColumnEquivalence::Equivalent(const expr::Expr& a,
+                                   const expr::Expr& b) const {
+  Key ka = MakeKey(a);
+  Key kb = MakeKey(b);
+  if (ka == kb) return true;
+  auto ia = index_.find(ka);
+  auto ib = index_.find(kb);
+  if (ia == index_.end() || ib == index_.end()) return false;
+  return FindRoot(ia->second) == FindRoot(ib->second);
+}
+
+std::vector<std::tuple<int, int, int>> ColumnEquivalence::ClassMembers(
+    const expr::Expr& a) const {
+  std::vector<std::tuple<int, int, int>> members;
+  Key ka = MakeKey(a);
+  auto ia = index_.find(ka);
+  if (ia == index_.end()) {
+    members.push_back(ka);
+    return members;
+  }
+  int root = FindRoot(ia->second);
+  for (const auto& [key, idx] : index_) {
+    if (FindRoot(idx) == root) members.push_back(key);
+  }
+  return members;
+}
+
+}  // namespace matching
+}  // namespace sumtab

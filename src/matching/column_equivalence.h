@@ -1,0 +1,49 @@
+// Column-equivalence classes. Equality predicates between column references
+// (join predicates like `faid = aid`, or rejoin predicates like
+// `flid = lid`) make the joined columns interchangeable inside their box;
+// the matcher exploits this to recognize, e.g., that the query's `aid` can
+// be derived from the AST's `faid` (paper Sec. 4.1.1, Fig. 5).
+//
+// Leaves are (kind, quantifier-or-rejoin-id, column) triples so that both
+// subsumer QNCs (kColumnRef) and rejoin columns (kRejoinRef) participate.
+#ifndef SUMTAB_MATCHING_COLUMN_EQUIVALENCE_H_
+#define SUMTAB_MATCHING_COLUMN_EQUIVALENCE_H_
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sumtab {
+namespace matching {
+
+class ColumnEquivalence {
+ public:
+  /// Scans conjuncts for `ref = ref` predicates and unions the operands.
+  void AddPredicates(const std::vector<expr::ExprPtr>& predicates);
+
+  /// Unions the classes of two leaf reference nodes.
+  void AddEquality(const expr::Expr& a, const expr::Expr& b);
+
+  /// True if the two leaf references are in the same class (or identical).
+  bool Equivalent(const expr::Expr& a, const expr::Expr& b) const;
+
+  /// All members of a's class, including a itself (kind, quantifier, column).
+  std::vector<std::tuple<int, int, int>> ClassMembers(const expr::Expr& a) const;
+
+ private:
+  using Key = std::tuple<int, int, int>;  // (kind tag, quantifier, column)
+
+  static Key MakeKey(const expr::Expr& e);
+  int FindRoot(int idx) const;
+  int Intern(const Key& key);
+
+  std::map<Key, int> index_;
+  mutable std::vector<int> parent_;
+};
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_COLUMN_EQUIVALENCE_H_

@@ -1,0 +1,214 @@
+#include "matching/derive.h"
+
+#include "expr/expr_print.h"
+#include "matching/predicate_match.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+using expr::AggFunc;
+using expr::Expr;
+using expr::ExprPtr;
+
+bool ContainsRejoin(const ExprPtr& e) {
+  return expr::Any(e, [](const Expr& node) {
+    return node.kind == Expr::Kind::kRejoinRef;
+  });
+}
+
+}  // namespace
+
+bool Deriver::OutputAllowed(int k) const {
+  if (!subsumer_->IsGroupBy()) return true;
+  if (subsumer_->IsGroupingOutput(k)) {
+    if (!options_.restrict_grouping) return true;
+    for (int allowed : options_.allowed_grouping) {
+      if (allowed == k) return true;
+    }
+    return false;
+  }
+  return !options_.grouping_outputs_only;
+}
+
+int Deriver::FindOutput(const ExprPtr& translated) const {
+  for (int k = 0; k < subsumer_->NumOutputs(); ++k) {
+    if (!OutputAllowed(k)) continue;
+    const ExprPtr& def = subsumer_->outputs[k].expr;
+    if (def == nullptr) continue;
+    if (EquivExprEqual(def, translated, *equiv_)) return k;
+  }
+  return -1;
+}
+
+StatusOr<ExprPtr> Deriver::Derive(const ExprPtr& translated) const {
+  // Rejoin columns and literals are free: keep them as-is. In particular a
+  // rejoin column must NOT be replaced by an equivalent subsumer column, or
+  // the rejoin's join predicate would collapse into a tautology and the
+  // rejoin would become a cross product.
+  if (translated->kind == Expr::Kind::kRejoinRef ||
+      translated->kind == Expr::Kind::kLiteral) {
+    return translated;
+  }
+
+  // Prefer the whole-subtree match: this yields the minimum-QCL derivation.
+  int k = FindOutput(translated);
+  if (k >= 0) return expr::ColRef(0, k);
+
+  switch (translated->kind) {
+    case Expr::Kind::kColumnRef:
+      return Status::NotFound("subsumer does not preserve column q" +
+                              std::to_string(translated->quantifier) + "." +
+                              std::to_string(translated->column));
+    case Expr::Kind::kAggregate:
+      return Status::NotFound("aggregate '" + expr::ToString(translated) +
+                              "' is not a subsumer QCL");
+    default:
+      break;
+  }
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(translated->children.size());
+  for (const ExprPtr& child : translated->children) {
+    SUMTAB_ASSIGN_OR_RETURN(ExprPtr d, Derive(child));
+    changed = changed || d != child;
+    children.push_back(std::move(d));
+  }
+  if (!changed) return translated;
+  auto node = std::make_shared<Expr>(*translated);
+  node->children = std::move(children);
+  return ExprPtr(node);
+}
+
+StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
+                                        const qgm::Box& gb,
+                                        const qgm::Graph& ast_graph,
+                                        const ColumnEquivalence& equiv,
+                                        const Deriver& deriver) {
+  if (translated_agg->kind != Expr::Kind::kAggregate) {
+    return Status::Internal("DeriveAggregate on a non-aggregate");
+  }
+  const bool star = translated_agg->agg_star;
+  const bool distinct = translated_agg->agg_distinct;
+  const ExprPtr arg = star ? nullptr : translated_agg->children[0];
+  if (arg != nullptr && ContainsRejoin(arg)) {
+    // Paper Sec. 4.2.1 assumption: aggregate arguments originate from
+    // non-rejoin columns only (relaxation is future work, see [13]).
+    return Status::NotFound("aggregate argument uses a rejoin column");
+  }
+
+  // Finds a subsumer aggregate output satisfying `pred`.
+  auto find_agg_output = [&gb](auto&& pred) -> int {
+    for (int k = 0; k < gb.NumOutputs(); ++k) {
+      const ExprPtr& def = gb.outputs[k].expr;
+      if (def->kind == Expr::Kind::kAggregate && pred(def)) return k;
+    }
+    return -1;
+  };
+
+  // Rule (a) helper: a COUNT(*) QCL, or COUNT(z) with z non-nullable.
+  auto find_row_count = [&]() -> int {
+    return find_agg_output([&](const ExprPtr& def) {
+      if (def->agg != AggFunc::kCount || def->agg_distinct) return false;
+      if (def->agg_star) return true;
+      StatusOr<qgm::ColumnInfo> info =
+          qgm::ExprInfo(def->children[0], gb, ast_graph);
+      return info.ok() && !info->nullable;
+    });
+  };
+
+  // A grouping output (respecting the cuboid restriction) equal to `x`.
+  auto find_grouping = [&](const ExprPtr& x) -> int {
+    int k = deriver.FindOutput(x);
+    return (k >= 0 && gb.IsGroupingOutput(k)) ? k : -1;
+  };
+
+  auto same_arg = [&](const ExprPtr& def, const ExprPtr& x) {
+    return !def->agg_star && EquivExprEqual(def->children[0], x, equiv);
+  };
+
+  switch (translated_agg->agg) {
+    case AggFunc::kCount: {
+      if (distinct) {
+        // Rule (f): COUNT(distinct x) over a grouping column. We use the
+        // always-safe COUNT(DISTINCT y) form; the paper's plain COUNT(y) is
+        // valid only when the residual grouping set is exactly {y} finer.
+        if (star) return Status::NotFound("count(distinct *) is invalid");
+        int g = find_grouping(arg);
+        if (g < 0) {
+          return Status::NotFound("count distinct needs a grouping column");
+        }
+        return AggDerivation{AggFunc::kCount, true, expr::ColRef(0, g)};
+      }
+      if (star) {
+        // Rule (a): COUNT(*) = SUM(cnt).
+        int k = find_row_count();
+        if (k < 0) return Status::NotFound("no COUNT(*) subsumer QCL");
+        return AggDerivation{AggFunc::kSum, false, expr::ColRef(0, k)};
+      }
+      // Rule (b): COUNT(x) = SUM(COUNT(y)) with y ≡ x.
+      int k = find_agg_output([&](const ExprPtr& def) {
+        return def->agg == AggFunc::kCount && !def->agg_distinct &&
+               same_arg(def, arg);
+      });
+      if (k < 0) {
+        // If x is non-nullable, any row count works.
+        StatusOr<qgm::ColumnInfo> info = qgm::ExprInfo(arg, gb, ast_graph);
+        if (info.ok() && !info->nullable) k = find_row_count();
+      }
+      if (k < 0) return Status::NotFound("no COUNT subsumer QCL for argument");
+      return AggDerivation{AggFunc::kSum, false, expr::ColRef(0, k)};
+    }
+
+    case AggFunc::kSum: {
+      if (distinct) {
+        // Rule (g): SUM(distinct x) over a grouping column.
+        int g = find_grouping(arg);
+        if (g < 0) {
+          return Status::NotFound("sum distinct needs a grouping column");
+        }
+        return AggDerivation{AggFunc::kSum, true, expr::ColRef(0, g)};
+      }
+      // Rule (c): SUM(x) = SUM(sm) with sm = SUM(y), y ≡ x...
+      int k = find_agg_output([&](const ExprPtr& def) {
+        return def->agg == AggFunc::kSum && !def->agg_distinct &&
+               same_arg(def, arg);
+      });
+      if (k >= 0) return AggDerivation{AggFunc::kSum, false, expr::ColRef(0, k)};
+      // ... or SUM(y * cnt) when y is a grouping column.
+      int g = find_grouping(arg);
+      int cnt = find_row_count();
+      if (g >= 0 && cnt >= 0) {
+        return AggDerivation{
+            AggFunc::kSum, false,
+            expr::Binary(expr::BinaryOp::kMul, expr::ColRef(0, g),
+                         expr::ColRef(0, cnt))};
+      }
+      return Status::NotFound("no SUM derivation for argument");
+    }
+
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      // Rules (d)/(e): MIN/MAX re-aggregate over the matching extreme QCL or
+      // over the grouping column itself. DISTINCT is a no-op for extremes.
+      AggFunc f = translated_agg->agg;
+      int k = find_agg_output([&](const ExprPtr& def) {
+        return def->agg == f && same_arg(def, arg);
+      });
+      if (k >= 0) return AggDerivation{f, false, expr::ColRef(0, k)};
+      int g = find_grouping(arg);
+      if (g >= 0) return AggDerivation{f, false, expr::ColRef(0, g)};
+      return Status::NotFound("no MIN/MAX derivation for argument");
+    }
+
+    case AggFunc::kAvg:
+      // The QGM builder lowers AVG to SUM/COUNT; reaching here means a
+      // hand-constructed graph.
+      return Status::NotSupported("derive AVG directly (lower it first)");
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+}  // namespace matching
+}  // namespace sumtab

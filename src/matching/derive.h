@@ -1,0 +1,79 @@
+// Derivation (paper Secs. 4 and 6): rewriting a *translated* subsumee
+// expression as a function of the subsumer's output columns (QCLs) and/or
+// rejoin columns. Whole-subtree matches are preferred, so alternative
+// derivations resolve to the one using the fewest subsumer QCLs (paper
+// Fig. 5: amt derives as value*(1-disc), not qty*price*(1-disc)).
+//
+// Derived vocabulary (the compensation SELECT box context): kColumnRef{0, k}
+// is subsumer output k (quantifier 0 of the compensation box is the
+// subsumer-ref); kRejoinRef leaves are kept and mapped to rejoin quantifiers
+// when the box is assembled.
+#ifndef SUMTAB_MATCHING_DERIVE_H_
+#define SUMTAB_MATCHING_DERIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "matching/column_equivalence.h"
+#include "matching/match_result.h"
+
+namespace sumtab {
+namespace matching {
+
+class Deriver {
+ public:
+  struct Options {
+    /// GROUP-BY subsumers: restrict usable grouping outputs to this set of
+    /// output indexes (the selected cuboid, paper Sec. 5.1). Empty = all.
+    std::vector<int> allowed_grouping;
+    bool restrict_grouping = false;
+    /// Condition "derivable from the subsumer's *grouping columns*"
+    /// (Sec. 4.2.1): aggregate outputs are not usable.
+    bool grouping_outputs_only = false;
+  };
+
+  /// `subsumer` is the AST box (in `ast_graph`) whose outputs are available.
+  Deriver(const qgm::Box* subsumer, const ColumnEquivalence* equiv)
+      : subsumer_(subsumer), equiv_(equiv) {}
+  Deriver(const qgm::Box* subsumer, const ColumnEquivalence* equiv,
+          Options options)
+      : subsumer_(subsumer), equiv_(equiv), options_(std::move(options)) {}
+
+  /// Derives `translated`; NotFound if some leaf is not derivable.
+  StatusOr<expr::ExprPtr> Derive(const expr::ExprPtr& translated) const;
+
+  /// Output index of the subsumer QCL semantically equal to `translated`
+  /// (respecting the options' restrictions), or -1.
+  int FindOutput(const expr::ExprPtr& translated) const;
+
+ private:
+  bool OutputAllowed(int k) const;
+
+  const qgm::Box* subsumer_;
+  const ColumnEquivalence* equiv_;
+  Options options_;
+};
+
+/// Result of deriving one subsumee aggregate for REGROUPING compensation
+/// (paper Sec. 4.1.2 rules (a)-(g)): apply `func` (with `distinct`) over
+/// `arg` — an expression in the derived vocabulary — when re-aggregating.
+struct AggDerivation {
+  expr::AggFunc func = expr::AggFunc::kSum;
+  bool distinct = false;
+  expr::ExprPtr arg;  // never null (COUNT(*) derives as SUM(cnt))
+};
+
+/// Derives subsumee aggregate `translated_agg` (an expr::Aggregate over the
+/// translated vocabulary) from the outputs of GROUP-BY subsumer `gb`.
+/// `ast_graph` supplies child nullability for rules (a)/(b); `deriver`
+/// carries the cuboid restriction for grouping-column-based rules (c)-(g).
+StatusOr<AggDerivation> DeriveAggregate(const expr::ExprPtr& translated_agg,
+                                        const qgm::Box& gb,
+                                        const qgm::Graph& ast_graph,
+                                        const ColumnEquivalence& equiv,
+                                        const Deriver& deriver);
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_DERIVE_H_

@@ -1,0 +1,89 @@
+// The match function (paper Secs. 3-5): pattern entry points plus the
+// helpers shared between the SELECT/SELECT, GROUPBY/GROUPBY and cube
+// patterns. All functions return NotFound when the boxes do not match under
+// the implemented sufficient conditions; other error codes indicate internal
+// inconsistencies.
+#ifndef SUMTAB_MATCHING_MATCH_FN_H_
+#define SUMTAB_MATCHING_MATCH_FN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "matching/column_equivalence.h"
+#include "matching/match_result.h"
+#include "matching/translate.h"
+
+namespace sumtab {
+namespace matching {
+
+/// Dispatches on box kinds (paper condition: subsumee and subsumer must have
+/// the same type) and runs the appropriate pattern.
+StatusOr<MatchResult> MatchBoxes(MatchSession* session, qgm::BoxId subsumee,
+                                 qgm::BoxId subsumer);
+
+/// Patterns 4.1.1 / 4.2.3 / 4.2.4.
+StatusOr<MatchResult> MatchSelectSelect(MatchSession* session,
+                                        const qgm::Box& e, const qgm::Box& r);
+
+/// Patterns 4.1.2 / 4.2.1 / 4.2.2 and the cube patterns 5.1 / 5.2.
+StatusOr<MatchResult> MatchGroupByGroupBy(MatchSession* session,
+                                          const qgm::Box& e,
+                                          const qgm::Box& r);
+
+// ---- shared helpers (implemented in select_select.cc) ----
+
+/// Child assignment between E's and R's quantifiers, driven by the child
+/// matches already recorded in the session (paper Sec. 3: the navigator
+/// matches children before parents).
+struct Assignment {
+  std::vector<ChildSlot> slots;      // per E quantifier
+  std::vector<int> matched_e_child;  // per R quantifier: E index or -1 (extra)
+  bool any_match = false;
+  bool all_exact = true;
+  int num_rejoins = 0;
+  /// E children whose child compensation contains a GROUP-BY box.
+  std::vector<int> gb_comp_children;
+};
+
+/// Builds the assignment. Prefers exact child matches; each subsumer child
+/// is used at most once (paper Sec. 4 assumptions (a)/(b)). Unmatched E
+/// children become rejoin slots (their subtrees are cloned into the comp
+/// graph). NotFound if no E child matches any R child.
+StatusOr<Assignment> AssignChildren(MatchSession* session, const qgm::Box& e,
+                                    const qgm::Box& r);
+
+/// Compensation-chain description: the spine from the root down to the
+/// subsumer-ref leaf, following quantifier 0.
+struct CompChain {
+  std::vector<qgm::BoxId> spine;  // [root, ..., bottom box]
+  qgm::BoxId subsumer_ref = qgm::kInvalidBox;
+  int lowest_gb_pos = -1;  // spine index of the lowest GROUPBY box, -1 if none
+  bool select_only() const { return lowest_gb_pos < 0; }
+};
+
+StatusOr<CompChain> AnalyzeComp(const MatchSession& session,
+                                qgm::BoxId comp_root);
+
+/// Paper Sec. 4.1.1 condition 1: extra subsumer children must join
+/// losslessly. Proven via RI: every subsumer predicate touching the extra
+/// child must be an equality between a non-nullable foreign key of another
+/// (base) child and the extra child's single-column primary key. Extra
+/// scalar-subquery children are lossless by construction.
+/// `is_extra` flags every extra subsumer quantifier (snowflake chains hop
+/// from one extra child to another).
+bool ExtraJoinIsLossless(const MatchSession& session, const qgm::Box& r,
+                         int extra_quant, const std::vector<bool>& is_extra);
+
+/// Assembles a compensation SELECT box over `below` (a comp-graph box).
+/// Predicates/outputs are in the derived vocabulary: ColRef{0,k} refers to
+/// below's output k; RejoinRef{box,c} leaves get rejoin quantifiers (kind
+/// from the session's rejoin registry). Fills column_info.
+StatusOr<qgm::BoxId> AssembleCompSelect(
+    MatchSession* session, qgm::BoxId below,
+    std::vector<expr::ExprPtr> predicates,
+    std::vector<qgm::OutputColumn> outputs);
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_MATCH_FN_H_

@@ -1,0 +1,33 @@
+#include "matching/match_result.h"
+
+namespace sumtab {
+namespace matching {
+
+qgm::BoxId MatchSession::SubsumerRef(qgm::BoxId subsumer) {
+  auto it = subsumer_refs_.find(subsumer);
+  if (it != subsumer_refs_.end()) return it->second;
+  const qgm::Box* target = ast_.box(subsumer);
+  qgm::Box* ref = comp_.AddBox(qgm::Box::Kind::kBase);
+  ref->table_name = "$subsumer";
+  for (const qgm::OutputColumn& out : target->outputs) {
+    ref->outputs.push_back(qgm::OutputColumn{out.name, nullptr});
+  }
+  ref->column_info = target->column_info;
+  subsumer_refs_[subsumer] = ref->id;
+  ref_target_[ref->id] = subsumer;
+  return ref->id;
+}
+
+qgm::BoxId MatchSession::CloneRejoin(qgm::BoxId query_box,
+                                     qgm::Quantifier::Kind kind) {
+  auto it = rejoin_clones_.find(query_box);
+  if (it != rejoin_clones_.end()) return it->second;
+  qgm::BoxId clone = comp_.CloneSubgraph(query_, query_box);
+  rejoin_clones_[query_box] = clone;
+  rejoin_source_[clone] = query_box;
+  rejoin_kind_[clone] = kind;
+  return clone;
+}
+
+}  // namespace matching
+}  // namespace sumtab

@@ -1,0 +1,105 @@
+// Match bookkeeping shared by the whole matching pipeline (paper Sec. 3).
+//
+// A MatchResult records that subsumee box E (query graph) matches subsumer
+// box R (AST graph). Exact matches carry a column map E-QCL -> R-QCL.
+// Non-exact matches carry a *compensation*: a chain of boxes, built in the
+// session's scratch graph, whose single non-rejoin leaf is a "subsumer ref"
+// box standing for R's output. The compensation root produces exactly E's
+// QCLs in E's order — the invariant every pattern maintains.
+#ifndef SUMTAB_MATCHING_MATCH_RESULT_H_
+#define SUMTAB_MATCHING_MATCH_RESULT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+namespace matching {
+
+struct MatchResult {
+  bool exact = false;
+  /// Exact matches: subsumee QCL i is subsumer QCL colmap[i].
+  std::vector<int> colmap;
+  /// Non-exact: root of the compensation chain in MatchSession::comp.
+  qgm::BoxId comp_root = qgm::kInvalidBox;
+};
+
+/// One matching run: a query graph against one AST graph.
+class MatchSession {
+ public:
+  MatchSession(const qgm::Graph& query, const qgm::Graph& ast,
+               const catalog::Catalog& catalog)
+      : query_(query), ast_(ast), catalog_(catalog) {}
+
+  const qgm::Graph& query() const { return query_; }
+  const qgm::Graph& ast() const { return ast_; }
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+  qgm::Graph& comp() { return comp_; }
+  const qgm::Graph& comp() const { return comp_; }
+
+  /// Records a match; returns false if the pair was already matched.
+  bool Record(qgm::BoxId subsumee, qgm::BoxId subsumer, MatchResult result) {
+    return matches_.emplace(std::make_pair(subsumee, subsumer),
+                            std::move(result)).second;
+  }
+
+  const MatchResult* Find(qgm::BoxId subsumee, qgm::BoxId subsumer) const {
+    auto it = matches_.find(std::make_pair(subsumee, subsumer));
+    return it == matches_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::pair<qgm::BoxId, qgm::BoxId>, MatchResult>& matches()
+      const {
+    return matches_;
+  }
+
+  /// Creates (or reuses) the subsumer-ref leaf box for AST box `subsumer`:
+  /// a BASE box in the comp graph whose columns mirror the subsumer's QCLs.
+  qgm::BoxId SubsumerRef(qgm::BoxId subsumer);
+
+  /// If `comp_box` is a subsumer-ref leaf, the AST box it stands for;
+  /// kInvalidBox otherwise.
+  qgm::BoxId SubsumerRefTarget(qgm::BoxId comp_box) const {
+    auto it = ref_target_.find(comp_box);
+    return it == ref_target_.end() ? qgm::kInvalidBox : it->second;
+  }
+
+  /// Clones the query subtree rooted at `query_box` into the comp graph and
+  /// memoizes it (rejoin children are shared across patterns). `kind` is the
+  /// quantifier kind the rejoin had in the subsumee.
+  qgm::BoxId CloneRejoin(qgm::BoxId query_box, qgm::Quantifier::Kind kind);
+
+  /// Quantifier kind recorded for a rejoin clone (kForeach by default).
+  qgm::Quantifier::Kind RejoinKind(qgm::BoxId comp_box) const {
+    auto it = rejoin_kind_.find(comp_box);
+    return it == rejoin_kind_.end() ? qgm::Quantifier::Kind::kForeach
+                                    : it->second;
+  }
+
+  /// The query box a rejoin clone came from (kInvalidBox if not a clone).
+  qgm::BoxId RejoinSource(qgm::BoxId comp_box) const {
+    auto it = rejoin_source_.find(comp_box);
+    return it == rejoin_source_.end() ? qgm::kInvalidBox : it->second;
+  }
+
+ private:
+  const qgm::Graph& query_;
+  const qgm::Graph& ast_;
+  const catalog::Catalog& catalog_;
+  qgm::Graph comp_;
+  std::map<std::pair<qgm::BoxId, qgm::BoxId>, MatchResult> matches_;
+  std::map<qgm::BoxId, qgm::BoxId> subsumer_refs_;  // ast box -> comp box
+  std::map<qgm::BoxId, qgm::BoxId> ref_target_;     // comp box -> ast box
+  std::map<qgm::BoxId, qgm::BoxId> rejoin_clones_;  // query box -> comp box
+  std::map<qgm::BoxId, qgm::BoxId> rejoin_source_;  // comp box -> query box
+  std::map<qgm::BoxId, qgm::Quantifier::Kind> rejoin_kind_;
+};
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_MATCH_RESULT_H_

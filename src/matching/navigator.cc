@@ -1,0 +1,119 @@
+#include "matching/navigator.h"
+
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "matching/groupby_core.h"
+#include "matching/match_fn.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+using qgm::Box;
+using qgm::BoxId;
+
+std::vector<int> ComputeRanks(const qgm::Graph& graph) {
+  std::vector<int> rank(graph.size(), 0);
+  for (BoxId id : graph.TopologicalOrder()) {
+    const Box* box = graph.box(id);
+    int r = 0;
+    for (const qgm::Quantifier& q : box->quantifiers) {
+      r = std::max(r, 1 + rank[q.child]);
+    }
+    rank[id] = r;
+  }
+  return rank;
+}
+
+}  // namespace
+
+StatusOr<MatchResult> MatchBoxes(MatchSession* session, BoxId subsumee,
+                                 BoxId subsumer) {
+  const Box* e = session->query().box(subsumee);
+  const Box* r = session->ast().box(subsumer);
+  // Paper Sec. 3 condition 2: same box type (see footnote 2 for the known
+  // relaxations, which are out of scope here).
+  if (e->kind != r->kind) {
+    return Status::NotFound("box types differ");
+  }
+  switch (e->kind) {
+    case Box::Kind::kBase: {
+      if (e->table_name != r->table_name) {
+        return Status::NotFound("different base tables");
+      }
+      MatchResult result;
+      result.exact = true;
+      result.colmap.resize(e->outputs.size());
+      for (size_t i = 0; i < e->outputs.size(); ++i) {
+        result.colmap[i] = static_cast<int>(i);
+      }
+      return result;
+    }
+    case Box::Kind::kSelect:
+      return MatchSelectSelect(session, *e, *r);
+    case Box::Kind::kGroupBy:
+      return MatchGroupByGroupBy(session, *e, *r);
+  }
+  return Status::Internal("unknown box kind");
+}
+
+Status RunNavigator(MatchSession* session) {
+  const qgm::Graph& query = session->query();
+  const qgm::Graph& ast = session->ast();
+  std::vector<int> qrank = ComputeRanks(query);
+  std::vector<int> arank = ComputeRanks(ast);
+
+  using Entry = std::pair<int, std::pair<BoxId, BoxId>>;  // (rank sum, pair)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  std::set<std::pair<BoxId, BoxId>> enqueued;
+
+  auto enqueue_parents = [&](BoxId e, BoxId r) {
+    for (BoxId pe : query.Parents(e)) {
+      for (BoxId pr : ast.Parents(r)) {
+        auto key = std::make_pair(pe, pr);
+        if (enqueued.insert(key).second) {
+          queue.push(Entry{qrank[pe] + arank[pr], key});
+        }
+      }
+    }
+  };
+
+  // Seed: pair up base-table leaves over the same table.
+  for (BoxId qe : query.TopologicalOrder()) {
+    const Box* eb = query.box(qe);
+    if (eb->kind != Box::Kind::kBase) continue;
+    for (BoxId ra : ast.TopologicalOrder()) {
+      const Box* rb = ast.box(ra);
+      if (rb->kind != Box::Kind::kBase || rb->table_name != eb->table_name) {
+        continue;
+      }
+      StatusOr<MatchResult> m = MatchBoxes(session, qe, ra);
+      if (!m.ok()) continue;
+      session->Record(qe, ra, std::move(*m));
+      enqueue_parents(qe, ra);
+    }
+  }
+
+  while (!queue.empty()) {
+    auto [rank, key] = queue.top();
+    queue.pop();
+    auto [e, r] = key;
+    if (session->Find(e, r) != nullptr) continue;
+    StatusOr<MatchResult> m = MatchBoxes(session, e, r);
+    if (!m.ok()) {
+      if (m.status().code() != Status::Code::kNotFound) {
+        return m.status();  // surface internal errors
+      }
+      continue;
+    }
+    session->Record(e, r, std::move(*m));
+    enqueue_parents(e, r);
+  }
+  return Status::OK();
+}
+
+}  // namespace matching
+}  // namespace sumtab

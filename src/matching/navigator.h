@@ -1,0 +1,22 @@
+// The navigator (paper Sec. 3): seeds candidate pairs from the graphs'
+// base-table leaves and drives the match function bottom-up, guaranteeing
+// that when a pair is examined, all of its child pairs have been examined
+// already.
+#ifndef SUMTAB_MATCHING_NAVIGATOR_H_
+#define SUMTAB_MATCHING_NAVIGATOR_H_
+
+#include "common/status.h"
+#include "matching/match_result.h"
+
+namespace sumtab {
+namespace matching {
+
+/// Runs the navigation to fixpoint, recording every discovered match in the
+/// session. Only internal errors are returned; "no match" simply leaves the
+/// session's match map without root matches.
+Status RunNavigator(MatchSession* session);
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_NAVIGATOR_H_

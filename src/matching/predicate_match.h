@@ -1,0 +1,30 @@
+// Semantic predicate/expression comparison for the matching conditions:
+// structural equality modulo column-equivalence classes, operator
+// commutativity and comparison flipping; plus range-predicate subsumption
+// (paper footnote 4: p1 subsumes p2 if every row p1 eliminates, p2
+// eliminates too — e.g. `x > 10` subsumes `x > 20`).
+#ifndef SUMTAB_MATCHING_PREDICATE_MATCH_H_
+#define SUMTAB_MATCHING_PREDICATE_MATCH_H_
+
+#include "expr/expr.h"
+#include "matching/column_equivalence.h"
+
+namespace sumtab {
+namespace matching {
+
+/// Semantic structural equality: leaf references compare through `equiv`,
+/// commutative binary operators compare order-insensitively, comparisons
+/// compare against their flipped form.
+bool EquivExprEqual(const expr::ExprPtr& a, const expr::ExprPtr& b,
+                    const ColumnEquivalence& equiv);
+
+/// True if subsumer predicate rp subsumes subsumee predicate ep: semantic
+/// equality, or a weaker single-sided range/equality condition on the same
+/// expression (rp `x > 10` subsumes ep `x > 20` and ep `x = 15`).
+bool PredicateSubsumes(const expr::ExprPtr& rp, const expr::ExprPtr& ep,
+                       const ColumnEquivalence& equiv);
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_PREDICATE_MATCH_H_

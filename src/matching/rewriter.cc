@@ -1,0 +1,128 @@
+#include "matching/rewriter.h"
+
+#include <functional>
+#include <map>
+
+#include "matching/navigator.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+using qgm::Box;
+using qgm::BoxId;
+
+}  // namespace
+
+StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
+                                     const SummaryTableDef& ast,
+                                     const catalog::Catalog& catalog) {
+  if (ast.graph == nullptr) {
+    return Status::InvalidArgument("summary table has no definition graph");
+  }
+  MatchSession session(query, *ast.graph, catalog);
+  SUMTAB_RETURN_NOT_OK(RunNavigator(&session));
+
+  // Pick the match against the AST root that covers the largest query
+  // subtree (highest rank): the more of the query the AST answers, the less
+  // work remains.
+  BoxId ast_root = ast.graph->root();
+  BoxId best = qgm::kInvalidBox;
+  const MatchResult* best_match = nullptr;
+  int best_rank = -1;
+  int num_matches = 0;
+  for (const auto& [key, match] : session.matches()) {
+    ++num_matches;
+    if (key.second != ast_root) continue;
+    int rank = query.Rank(key.first);
+    if (rank > best_rank) {
+      best_rank = rank;
+      best = key.first;
+      best_match = &match;
+    }
+  }
+  RewriteResult result;
+  result.num_matches = num_matches;
+  if (best == qgm::kInvalidBox) {
+    result.rewritten = false;
+    return result;
+  }
+
+  qgm::Graph out;
+  Status failure = Status::OK();
+
+  // Builds the replacement subtree: a scan of the materialized summary table
+  // with the match's compensation (or an exact projection) on top.
+  auto build_replacement = [&]() -> BoxId {
+    if (best_match->exact) {
+      Box* scan = out.AddBox(Box::Kind::kBase);
+      scan->table_name = ast.table_name;
+      const Box* ast_root_box = ast.graph->box(ast_root);
+      for (const auto& col : ast_root_box->outputs) {
+        scan->outputs.push_back(qgm::OutputColumn{col.name, nullptr});
+      }
+      // Preset info keeps the graph typed even before the summary table is
+      // materialized (the advisor cost-checks unreified candidates).
+      scan->column_info = ast_root_box->column_info;
+      // Project the subsumee's columns in its own order and names.
+      Box* proj = out.AddBox(Box::Kind::kSelect);
+      proj->quantifiers.push_back(
+          qgm::Quantifier{scan->id, qgm::Quantifier::Kind::kForeach});
+      const Box* e_box = query.box(best);
+      for (size_t i = 0; i < e_box->outputs.size(); ++i) {
+        proj->outputs.push_back(qgm::OutputColumn{
+            e_box->outputs[i].name,
+            expr::ColRef(0, best_match->colmap[i])});
+      }
+      return proj->id;
+    }
+    BoxId cloned = out.CloneSubgraph(session.comp(), best_match->comp_root);
+    // Rewrite every subsumer-ref leaf into a scan of the summary table.
+    // Clone ids were appended; scan all boxes of `out` for the marker.
+    for (int id = 0; id < out.size(); ++id) {
+      Box* box = out.box(id);
+      if (box->kind == Box::Kind::kBase && box->table_name == "$subsumer") {
+        box->table_name = ast.table_name;
+        // column_info stays: it mirrors the AST root's outputs. (The advisor
+        // rewrites against candidates that are not in the catalog yet.)
+      }
+    }
+    return cloned;
+  };
+
+  std::map<BoxId, BoxId> mapping;
+  std::function<BoxId(BoxId)> clone = [&](BoxId id) -> BoxId {
+    auto it = mapping.find(id);
+    if (it != mapping.end()) return it->second;
+    BoxId fresh_id;
+    if (id == best) {
+      fresh_id = build_replacement();
+    } else {
+      Box copy = *query.box(id);
+      for (qgm::Quantifier& q : copy.quantifiers) {
+        q.child = clone(q.child);
+      }
+      Box* fresh = out.AddBox(copy.kind);
+      copy.id = fresh->id;
+      fresh_id = fresh->id;
+      *fresh = std::move(copy);
+    }
+    mapping[id] = fresh_id;
+    return fresh_id;
+  };
+  out.set_root(clone(query.root()));
+  out.set_order_by(query.order_by());
+  if (!failure.ok()) return failure;
+
+  SUMTAB_RETURN_NOT_OK(qgm::InferColumnInfo(&out, catalog));
+
+  result.rewritten = true;
+  result.graph = std::move(out);
+  result.summary_table = ast.table_name;
+  result.replaced_box = best;
+  return result;
+}
+
+}  // namespace matching
+}  // namespace sumtab

@@ -1,0 +1,41 @@
+// Query rewriting: after the navigator matches the AST's root box against a
+// query box, splice the compensation over a scan of the materialized summary
+// table in place of the matched query subtree (the paper's NewQ1, NewQ2, ...).
+#ifndef SUMTAB_MATCHING_REWRITER_H_
+#define SUMTAB_MATCHING_REWRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "matching/match_result.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+namespace matching {
+
+/// A registered AST: the materialized table's name (present in the catalog)
+/// plus its defining QGM graph over the base tables.
+struct SummaryTableDef {
+  std::string table_name;
+  const qgm::Graph* graph = nullptr;
+};
+
+struct RewriteResult {
+  bool rewritten = false;
+  qgm::Graph graph;          // the rewritten query (valid when rewritten)
+  std::string summary_table;
+  qgm::BoxId replaced_box = qgm::kInvalidBox;  // in the original query graph
+  int num_matches = 0;       // total box pairs matched by the navigator
+};
+
+/// Attempts to reroute `query` through `ast`. Picks the highest matched
+/// query box (largest replaced subtree) when several match the AST root.
+/// Returns rewritten=false when the navigator finds no root match.
+StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
+                                     const SummaryTableDef& ast,
+                                     const catalog::Catalog& catalog);
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_REWRITER_H_

@@ -1,0 +1,123 @@
+#include "matching/translate.h"
+
+#include "expr/expr_rewrite.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+/// Maps an AST box to the subsumer QNC space: the quantifier of `subsumer`
+/// whose child is `ast_box`.
+StatusOr<int> SubsumerQuantifierFor(const qgm::Box& subsumer,
+                                    qgm::BoxId ast_box) {
+  for (size_t i = 0; i < subsumer.quantifiers.size(); ++i) {
+    if (subsumer.quantifiers[i].child == ast_box) {
+      return static_cast<int>(i);
+    }
+  }
+  return Status::Internal(
+      "compensation subsumer-ref does not target a child of the subsumer");
+}
+
+}  // namespace
+
+StatusOr<expr::ExprPtr> ExpandCompExpr(const MatchSession& session,
+                                       qgm::BoxId comp_box,
+                                       const expr::ExprPtr& e,
+                                       const qgm::Box& subsumer) {
+  const qgm::Box* box = session.comp().box(comp_box);
+  Status failure = Status::OK();
+  expr::ExprPtr out = expr::RewriteLeaves(e, [&](const expr::ExprPtr& leaf)
+                                                 -> expr::ExprPtr {
+    if (!failure.ok()) return nullptr;
+    if (leaf->kind == expr::Expr::Kind::kRejoinRef) return nullptr;  // keep
+    if (leaf->kind != expr::Expr::Kind::kColumnRef) {
+      failure = Status::Internal("unexpected leaf in compensation expression");
+      return nullptr;
+    }
+    int q = leaf->quantifier;
+    if (q < 0 || q >= static_cast<int>(box->quantifiers.size())) {
+      failure = Status::Internal("compensation column ref out of range");
+      return nullptr;
+    }
+    qgm::BoxId child = box->quantifiers[q].child;
+    // Quantifier 0 is the "below" edge of the chain; others are rejoins.
+    if (q > 0) {
+      return expr::RejoinRef(child, leaf->column);
+    }
+    qgm::BoxId target = session.SubsumerRefTarget(child);
+    if (target != qgm::kInvalidBox) {
+      StatusOr<int> rq = SubsumerQuantifierFor(subsumer, target);
+      if (!rq.ok()) {
+        failure = rq.status();
+        return nullptr;
+      }
+      return expr::ColRef(*rq, leaf->column);
+    }
+    // A rejoin clone reached through quantifier 0 would be a malformed chain.
+    if (session.RejoinSource(child) != qgm::kInvalidBox) {
+      failure = Status::Internal("rejoin clone on the compensation spine");
+      return nullptr;
+    }
+    // Inline the lower compensation box's defining expression and recurse.
+    const qgm::Box* below = session.comp().box(child);
+    StatusOr<expr::ExprPtr> inlined = ExpandCompExpr(
+        session, child, below->outputs[leaf->column].expr, subsumer);
+    if (!inlined.ok()) {
+      failure = inlined.status();
+      return nullptr;
+    }
+    return *inlined;
+  });
+  if (!failure.ok()) return failure;
+  return out;
+}
+
+StatusOr<expr::ExprPtr> Translator::Translate(const expr::ExprPtr& e) const {
+  Status failure = Status::OK();
+  expr::ExprPtr out = expr::RewriteLeaves(e, [&](const expr::ExprPtr& leaf)
+                                                 -> expr::ExprPtr {
+    if (!failure.ok()) return nullptr;
+    if (leaf->kind != expr::Expr::Kind::kColumnRef) {
+      failure = Status::Internal("unexpected leaf in subsumee expression");
+      return nullptr;
+    }
+    int q = leaf->quantifier;
+    if (q < 0 || q >= static_cast<int>(slots_.size())) {
+      failure = Status::Internal("subsumee column ref out of range");
+      return nullptr;
+    }
+    const ChildSlot& slot = slots_[q];
+    if (slot.kind == ChildSlot::Kind::kRejoin) {
+      return expr::RejoinRef(slot.rejoin_box, leaf->column);
+    }
+    const MatchResult& m = *slot.result;
+    if (m.exact) {
+      if (leaf->column >= static_cast<int>(m.colmap.size())) {
+        failure = Status::Internal("exact child colmap too small");
+        return nullptr;
+      }
+      return expr::ColRef(slot.r_quantifier, m.colmap[leaf->column]);
+    }
+    // Non-exact: inline the compensation root's defining expression.
+    const qgm::Box* comp_root = session_->comp().box(m.comp_root);
+    if (leaf->column >= comp_root->NumOutputs()) {
+      failure = Status::Internal("compensation root output out of range");
+      return nullptr;
+    }
+    StatusOr<expr::ExprPtr> expanded =
+        ExpandCompExpr(*session_, m.comp_root,
+                       comp_root->outputs[leaf->column].expr, *subsumer_);
+    if (!expanded.ok()) {
+      failure = expanded.status();
+      return nullptr;
+    }
+    return *expanded;
+  });
+  if (!failure.ok()) return failure;
+  return out;
+}
+
+}  // namespace matching
+}  // namespace sumtab

@@ -1,0 +1,72 @@
+// Expression translation (paper Sec. 6): rewriting a subsumee expression
+// into the subsumer's context so that the two sides become comparable.
+//
+// Translated vocabulary: kColumnRef{q, c} refers to the *subsumer's*
+// quantifier q, column c of its child's outputs (a subsumer QNC);
+// kRejoinRef{box, c} refers to output c of a rejoin subtree cloned into the
+// session's comp graph (box = comp-graph id of the clone root).
+//
+// Translation through a non-exact child match walks down the child's
+// compensation chain, inlining each box's output expressions, until it
+// reaches the subsumer-ref leaf (paper Fig. 15: cnt-3Q -> count(*) ->
+// sum(cnt-2C2) -> sum(cnt-2C1) -> sum(cnt-3A)).
+#ifndef SUMTAB_MATCHING_TRANSLATE_H_
+#define SUMTAB_MATCHING_TRANSLATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "matching/match_result.h"
+
+namespace sumtab {
+namespace matching {
+
+/// How one subsumee child lines up against the subsumer.
+struct ChildSlot {
+  enum class Kind { kMatched, kRejoin };
+  Kind kind = Kind::kRejoin;
+  // kMatched:
+  int r_quantifier = -1;               // subsumer quantifier index
+  const MatchResult* result = nullptr;
+  // kRejoin:
+  qgm::BoxId rejoin_box = qgm::kInvalidBox;  // comp-graph clone root
+};
+
+/// Expands an expression belonging to compensation box `comp_box` into the
+/// translated vocabulary: references to boxes further down the chain are
+/// inlined; the subsumer-ref leaf becomes a subsumer QNC of `subsumer`
+/// (the quantifier of `subsumer` whose child is the ref's target); rejoin
+/// quantifiers become kRejoinRef leaves.
+StatusOr<expr::ExprPtr> ExpandCompExpr(const MatchSession& session,
+                                       qgm::BoxId comp_box,
+                                       const expr::ExprPtr& e,
+                                       const qgm::Box& subsumer);
+
+class Translator {
+ public:
+  /// `subsumee` and `subsumer` are the E/R pair; slots[i] describes E's
+  /// quantifier i.
+  Translator(const MatchSession* session, const qgm::Box* subsumee,
+             const qgm::Box* subsumer, std::vector<ChildSlot> slots)
+      : session_(session),
+        subsumee_(subsumee),
+        subsumer_(subsumer),
+        slots_(std::move(slots)) {}
+
+  /// Translates a subsumee expression (over E's QNCs) into the translated
+  /// vocabulary. Total given every E child is matched or rejoin.
+  StatusOr<expr::ExprPtr> Translate(const expr::ExprPtr& e) const;
+
+  const std::vector<ChildSlot>& slots() const { return slots_; }
+
+ private:
+  const MatchSession* session_;
+  const qgm::Box* subsumee_;
+  const qgm::Box* subsumer_;
+  std::vector<ChildSlot> slots_;
+};
+
+}  // namespace matching
+}  // namespace sumtab
+
+#endif  // SUMTAB_MATCHING_TRANSLATE_H_

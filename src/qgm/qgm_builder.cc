@@ -1,0 +1,446 @@
+#include "qgm/qgm_builder.h"
+
+#include <set>
+
+#include "common/str_util.h"
+#include "expr/expr_rewrite.h"
+
+namespace sumtab {
+namespace qgm {
+
+namespace {
+
+using expr::Expr;
+using expr::ExprPtr;
+
+/// Name-resolution scope: one binding per quantifier of the SELECT box being
+/// built. Scalar-subquery quantifiers get an empty alias (not addressable).
+struct Binding {
+  std::string alias;           // correlation name, lower case; may be empty
+  std::vector<std::string> column_names;
+};
+
+class Builder {
+ public:
+  Builder(const catalog::Catalog& catalog, Graph* graph)
+      : catalog_(catalog), graph_(graph) {}
+
+  StatusOr<BoxId> BuildSelect(const sql::SelectStmt& stmt);
+
+ private:
+  StatusOr<BoxId> BuildFromRef(const sql::TableRef& ref);
+
+  const catalog::Catalog& catalog_;
+  Graph* graph_;
+};
+
+/// Per-block context used while resolving one SELECT statement.
+struct BlockContext {
+  Box* select_box = nullptr;
+  std::vector<Binding> bindings;
+};
+
+StatusOr<BoxId> Builder::BuildFromRef(const sql::TableRef& ref) {
+  if (ref.is_base()) {
+    const catalog::Table* table = catalog_.FindTable(ref.table_name);
+    if (table == nullptr) {
+      return Status::NotFound("table '" + ref.table_name + "'");
+    }
+    Box* base = graph_->AddBox(Box::Kind::kBase);
+    base->table_name = table->name;
+    for (const catalog::Column& col : table->columns) {
+      base->outputs.push_back(OutputColumn{col.name, nullptr});
+    }
+    return base->id;
+  }
+  return BuildSelect(*ref.subquery);
+}
+
+StatusOr<BoxId> Builder::BuildSelect(const sql::SelectStmt& stmt) {
+  if (stmt.from.empty()) {
+    return Status::NotSupported("SELECT without FROM");
+  }
+  Box* sel = graph_->AddBox(Box::Kind::kSelect);
+  BlockContext ctx;
+  ctx.select_box = sel;
+
+  // FROM list -> quantifiers + name bindings.
+  for (const sql::TableRef& ref : stmt.from) {
+    SUMTAB_ASSIGN_OR_RETURN(BoxId child, BuildFromRef(ref));
+    // AddBox during recursion may have reallocated nothing (unique_ptrs are
+    // stable), but `sel` pointer remains valid because boxes are heap nodes.
+    Quantifier q;
+    q.child = child;
+    sel->quantifiers.push_back(q);
+    Binding binding;
+    binding.alias =
+        !ref.alias.empty()
+            ? ToLower(ref.alias)
+            : (ref.is_base() ? ToLower(ref.table_name) : std::string());
+    for (const OutputColumn& out : graph_->box(child)->outputs) {
+      binding.column_names.push_back(out.name);
+    }
+    ctx.bindings.push_back(std::move(binding));
+  }
+
+  // Duplicate alias check (ignoring anonymous derived tables).
+  {
+    std::set<std::string> seen;
+    for (const Binding& b : ctx.bindings) {
+      if (b.alias.empty()) continue;
+      if (!seen.insert(b.alias).second) {
+        return Status::InvalidArgument("duplicate table alias '" + b.alias +
+                                       "'");
+      }
+    }
+  }
+
+  // Resolves column names (scalar subqueries are attached separately — in a
+  // grouped block they belong to the *top* SELECT box, as in the paper's
+  // Fig. 11 where the subquery is a child of Sel-3Q).
+  std::function<StatusOr<ExprPtr>(const ExprPtr&)> resolve =
+      [&](const ExprPtr& e) -> StatusOr<ExprPtr> {
+    Status failure = Status::OK();
+    ExprPtr resolved = expr::RewriteLeaves(e, [&](const ExprPtr& leaf) -> ExprPtr {
+      if (!failure.ok()) return nullptr;
+      if (leaf->kind == Expr::Kind::kColumnName) {
+        int found_q = -1;
+        int found_c = -1;
+        for (size_t qi = 0; qi < ctx.bindings.size(); ++qi) {
+          const Binding& b = ctx.bindings[qi];
+          if (!leaf->qualifier.empty() && b.alias != ToLower(leaf->qualifier)) {
+            continue;
+          }
+          for (size_t ci = 0; ci < b.column_names.size(); ++ci) {
+            if (b.column_names[ci] == ToLower(leaf->name)) {
+              if (found_q >= 0) {
+                failure = Status::InvalidArgument("ambiguous column '" +
+                                                  leaf->name + "'");
+                return nullptr;
+              }
+              found_q = static_cast<int>(qi);
+              found_c = static_cast<int>(ci);
+            }
+          }
+        }
+        if (found_q < 0) {
+          failure = Status::NotFound("column '" +
+                                     (leaf->qualifier.empty()
+                                          ? leaf->name
+                                          : leaf->qualifier + "." + leaf->name) +
+                                     "'");
+          return nullptr;
+        }
+        return expr::ColRef(found_q, found_c);
+      }
+      return nullptr;
+    });
+    if (!failure.ok()) return failure;
+    return resolved;
+  };
+
+  // Converts the scalar subqueries inside `e` into scalar quantifiers of
+  // `target` (which may be the join box or, for grouped blocks, the top box).
+  std::function<StatusOr<ExprPtr>(const ExprPtr&, Box*)> attach_subqueries =
+      [&](const ExprPtr& e, Box* target) -> StatusOr<ExprPtr> {
+    if (e == nullptr) return e;
+    Status failure = Status::OK();
+    ExprPtr out = expr::RewriteLeaves(e, [&](const ExprPtr& leaf) -> ExprPtr {
+      if (!failure.ok()) return nullptr;
+      if (leaf->kind != Expr::Kind::kScalarSubquery) return nullptr;
+      StatusOr<BoxId> sub = BuildSelect(*leaf->subquery);
+      if (!sub.ok()) {
+        failure = sub.status();
+        return nullptr;
+      }
+      const Box* sub_box = graph_->box(*sub);
+      if (sub_box->NumOutputs() != 1) {
+        failure = Status::InvalidArgument(
+            "scalar subquery must produce exactly one column");
+        return nullptr;
+      }
+      Quantifier q;
+      q.child = *sub;
+      q.kind = Quantifier::Kind::kScalar;
+      target->quantifiers.push_back(q);
+      if (target == sel) ctx.bindings.push_back(Binding{});
+      return expr::ColRef(static_cast<int>(target->quantifiers.size()) - 1, 0);
+    });
+    if (!failure.ok()) return failure;
+    return out;
+  };
+
+  // WHERE.
+  if (stmt.where != nullptr) {
+    SUMTAB_ASSIGN_OR_RETURN(ExprPtr where, resolve(stmt.where));
+    SUMTAB_ASSIGN_OR_RETURN(where, attach_subqueries(where, sel));
+    if (expr::ContainsAggregate(where)) {
+      return Status::InvalidArgument("aggregate not allowed in WHERE");
+    }
+    expr::SplitConjuncts(where, &sel->predicates);
+  }
+
+  // Resolve select list and having.
+  std::vector<ExprPtr> select_exprs;
+  std::vector<std::string> select_names;
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    SUMTAB_ASSIGN_OR_RETURN(ExprPtr e, resolve(stmt.select_list[i].expr));
+    select_exprs.push_back(std::move(e));
+    select_names.push_back(ToLower(sql::SelectItemName(stmt, i)));
+  }
+  ExprPtr having;
+  if (stmt.having != nullptr) {
+    SUMTAB_ASSIGN_OR_RETURN(having, resolve(stmt.having));
+  }
+
+  bool has_aggregates = having != nullptr || stmt.group_by.has_value();
+  for (const ExprPtr& e : select_exprs) {
+    has_aggregates = has_aggregates || expr::ContainsAggregate(e);
+  }
+
+  // Lower AVG(x) to SUM(x)/COUNT(x): GROUP-BY boxes then carry only
+  // re-aggregatable functions, which the matching derivation rules
+  // (Sec. 4.1.2 (a)-(g)) require. AVG(DISTINCT x) lowers likewise.
+  std::function<ExprPtr(const ExprPtr&)> lower_avg =
+      [&lower_avg](const ExprPtr& e) -> ExprPtr {
+    if (e == nullptr) return nullptr;
+    if (e->kind == Expr::Kind::kAggregate && e->agg == expr::AggFunc::kAvg) {
+      ExprPtr arg = lower_avg(e->children[0]);
+      return expr::Binary(
+          expr::BinaryOp::kDiv,
+          expr::Aggregate(expr::AggFunc::kSum, arg, e->agg_distinct),
+          expr::Aggregate(expr::AggFunc::kCount, arg, e->agg_distinct));
+    }
+    bool changed = false;
+    std::vector<ExprPtr> children;
+    children.reserve(e->children.size());
+    for (const ExprPtr& child : e->children) {
+      ExprPtr c = lower_avg(child);
+      changed = changed || c != child;
+      children.push_back(std::move(c));
+    }
+    if (!changed) return e;
+    auto node = std::make_shared<Expr>(*e);
+    node->children = std::move(children);
+    return node;
+  };
+  for (ExprPtr& e : select_exprs) e = lower_avg(e);
+  having = lower_avg(having);
+
+  BoxId result_box;
+  if (!has_aggregates) {
+    // Plain select-project-join block.
+    for (size_t i = 0; i < select_exprs.size(); ++i) {
+      SUMTAB_ASSIGN_OR_RETURN(ExprPtr attached,
+                              attach_subqueries(select_exprs[i], sel));
+      sel->outputs.push_back(OutputColumn{select_names[i], attached});
+    }
+    sel->distinct = stmt.distinct;
+    result_box = sel->id;
+  } else {
+    // Grouped block: SELECT -> GROUPBY -> SELECT stack.
+    std::vector<ExprPtr> grouping_exprs;
+    std::vector<std::vector<int>> grouping_sets;
+    if (stmt.group_by.has_value()) {
+      for (const ExprPtr& item : stmt.group_by->items) {
+        SUMTAB_ASSIGN_OR_RETURN(ExprPtr g, resolve(item));
+        SUMTAB_ASSIGN_OR_RETURN(g, attach_subqueries(g, sel));
+        if (expr::ContainsAggregate(g)) {
+          return Status::InvalidArgument("aggregate in GROUP BY");
+        }
+        grouping_exprs.push_back(std::move(g));
+      }
+      grouping_sets = stmt.group_by->sets;
+    } else {
+      grouping_sets = {{}};  // scalar aggregation: one global group
+    }
+
+    // Collect the distinct aggregates appearing in SELECT/HAVING.
+    std::vector<ExprPtr> aggregates;
+    auto collect_aggs = [&aggregates](const ExprPtr& e) {
+      std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& node) {
+        if (node == nullptr) return;
+        if (node->kind == Expr::Kind::kAggregate) {
+          for (const ExprPtr& existing : aggregates) {
+            if (expr::Equal(existing, node)) return;
+          }
+          aggregates.push_back(node);
+          return;  // aggregates do not nest
+        }
+        for (const ExprPtr& child : node->children) walk(child);
+      };
+      walk(e);
+    };
+    for (const ExprPtr& e : select_exprs) collect_aggs(e);
+    collect_aggs(having);
+
+    // Lower SELECT outputs: grouping expressions, then aggregate arguments.
+    auto lower_output_index = [&sel](const ExprPtr& e,
+                                     const std::string& name) -> int {
+      for (size_t i = 0; i < sel->outputs.size(); ++i) {
+        if (expr::Equal(sel->outputs[i].expr, e)) return static_cast<int>(i);
+      }
+      sel->outputs.push_back(OutputColumn{name, e});
+      return static_cast<int>(sel->outputs.size()) - 1;
+    };
+    std::vector<int> grouping_cols;  // index into sel->outputs
+    for (size_t i = 0; i < grouping_exprs.size(); ++i) {
+      // Prefer a select-list alias when the grouping expression is also a
+      // (bare) select item, for readable rewritten SQL.
+      std::string name = "g" + std::to_string(i);
+      for (size_t s = 0; s < select_exprs.size(); ++s) {
+        if (expr::Equal(select_exprs[s], grouping_exprs[i])) {
+          name = select_names[s];
+          break;
+        }
+      }
+      grouping_cols.push_back(lower_output_index(grouping_exprs[i], name));
+    }
+    struct LoweredAgg {
+      expr::AggFunc func;
+      bool distinct;
+      bool star;
+      int arg;  // sel output index; -1 for COUNT(*)
+    };
+    std::vector<LoweredAgg> lowered;
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      const ExprPtr& agg = aggregates[i];
+      LoweredAgg la{agg->agg, agg->agg_distinct, agg->agg_star, -1};
+      if (!agg->agg_star) {
+        SUMTAB_ASSIGN_OR_RETURN(ExprPtr arg,
+                                attach_subqueries(agg->children[0], sel));
+        la.arg = lower_output_index(arg, "a" + std::to_string(i));
+      }
+      lowered.push_back(la);
+    }
+
+    // GROUPBY box.
+    Box* gb = graph_->AddBox(Box::Kind::kGroupBy);
+    gb->quantifiers.push_back(Quantifier{sel->id, Quantifier::Kind::kForeach});
+    for (size_t i = 0; i < grouping_cols.size(); ++i) {
+      gb->outputs.push_back(OutputColumn{
+          sel->outputs[grouping_cols[i]].name,
+          expr::ColRef(0, grouping_cols[i])});
+    }
+    gb->grouping_sets = std::move(grouping_sets);
+    std::vector<int> agg_out;  // gb output index per collected aggregate
+    for (size_t i = 0; i < lowered.size(); ++i) {
+      const LoweredAgg& la = lowered[i];
+      ExprPtr agg_expr =
+          la.star ? expr::CountStar()
+                  : expr::Aggregate(la.func, expr::ColRef(0, la.arg),
+                                    la.distinct);
+      std::string name = "agg" + std::to_string(i);
+      for (size_t s = 0; s < select_exprs.size(); ++s) {
+        if (expr::Equal(select_exprs[s], aggregates[i]) &&
+            !select_names[s].empty()) {
+          name = select_names[s];
+          break;
+        }
+      }
+      gb->outputs.push_back(OutputColumn{name, std::move(agg_expr)});
+      agg_out.push_back(gb->NumOutputs() - 1);
+    }
+
+    // Top SELECT: HAVING + final expressions, in terms of GB outputs.
+    Box* top = graph_->AddBox(Box::Kind::kSelect);
+    top->quantifiers.push_back(
+        Quantifier{gb->id, Quantifier::Kind::kForeach});
+    top->distinct = stmt.distinct;
+
+    // Rewrites a resolved block expression into the top box's context:
+    // aggregate subtrees -> refs to GB aggregate outputs; grouping-expression
+    // subtrees -> refs to GB grouping outputs.
+    std::function<StatusOr<ExprPtr>(const ExprPtr&)> to_top =
+        [&](const ExprPtr& e) -> StatusOr<ExprPtr> {
+      if (e->kind == Expr::Kind::kAggregate) {
+        for (size_t i = 0; i < aggregates.size(); ++i) {
+          if (expr::Equal(aggregates[i], e)) {
+            return expr::ColRef(0, agg_out[i]);
+          }
+        }
+        return Status::Internal("aggregate not collected");
+      }
+      for (size_t i = 0; i < grouping_exprs.size(); ++i) {
+        if (expr::Equal(grouping_exprs[i], e)) {
+          return expr::ColRef(0, static_cast<int>(i));
+        }
+      }
+      if (e->kind == Expr::Kind::kColumnRef) {
+        return Status::InvalidArgument(
+            "column is neither grouped nor aggregated");
+      }
+      if (e->children.empty()) return e;
+      bool changed = false;
+      std::vector<ExprPtr> children;
+      for (const ExprPtr& child : e->children) {
+        SUMTAB_ASSIGN_OR_RETURN(ExprPtr c, to_top(child));
+        changed = changed || c != child;
+        children.push_back(std::move(c));
+      }
+      if (!changed) return e;
+      auto node = std::make_shared<Expr>(*e);
+      node->children = std::move(children);
+      return ExprPtr(node);
+    };
+
+    for (size_t i = 0; i < select_exprs.size(); ++i) {
+      SUMTAB_ASSIGN_OR_RETURN(ExprPtr e, to_top(select_exprs[i]));
+      SUMTAB_ASSIGN_OR_RETURN(e, attach_subqueries(e, top));
+      top->outputs.push_back(OutputColumn{select_names[i], std::move(e)});
+    }
+    if (having != nullptr) {
+      SUMTAB_ASSIGN_OR_RETURN(ExprPtr h, to_top(having));
+      SUMTAB_ASSIGN_OR_RETURN(h, attach_subqueries(h, top));
+      expr::SplitConjuncts(h, &top->predicates);
+    }
+    result_box = top->id;
+  }
+
+  return result_box;
+}
+
+}  // namespace
+
+StatusOr<Graph> BuildGraph(const sql::SelectStmt& stmt,
+                           const catalog::Catalog& catalog) {
+  Graph graph;
+  Builder builder(catalog, &graph);
+  SUMTAB_ASSIGN_OR_RETURN(BoxId root, builder.BuildSelect(stmt));
+  graph.set_root(root);
+
+  // ORDER BY: resolve against root output names or 1-based positions.
+  std::vector<OrderSpec> order;
+  const Box* root_box = graph.box(root);
+  for (const sql::OrderItem& item : stmt.order_by) {
+    OrderSpec spec;
+    spec.ascending = item.ascending;
+    if (item.expr->kind == expr::Expr::Kind::kColumnName &&
+        item.expr->qualifier.empty()) {
+      int idx = root_box->OutputIndex(ToLower(item.expr->name));
+      if (idx < 0) {
+        return Status::NotFound("ORDER BY column '" + item.expr->name + "'");
+      }
+      spec.output_index = idx;
+    } else if (item.expr->kind == expr::Expr::Kind::kLiteral &&
+               item.expr->literal.kind() == Value::Kind::kInt) {
+      int pos = static_cast<int>(item.expr->literal.AsInt());
+      if (pos < 1 || pos > root_box->NumOutputs()) {
+        return Status::InvalidArgument("ORDER BY position out of range");
+      }
+      spec.output_index = pos - 1;
+    } else {
+      return Status::NotSupported(
+          "ORDER BY supports output names and positions only");
+    }
+    order.push_back(spec);
+  }
+  graph.set_order_by(std::move(order));
+
+  SUMTAB_RETURN_NOT_OK(MergeSelectChains(&graph));
+  SUMTAB_RETURN_NOT_OK(InferColumnInfo(&graph, catalog));
+  return graph;
+}
+
+}  // namespace qgm
+}  // namespace sumtab

@@ -1,0 +1,25 @@
+// Builds a QGM graph from a parsed SELECT statement (paper Sec. 2, Fig. 3).
+// A grouped query block becomes the three-box stack the paper uses:
+//   SELECT (join + WHERE + grouping/aggregate-argument expressions)
+//   -> GROUPBY (grouping columns + aggregate functions over simple QNCs)
+//   -> SELECT (HAVING predicates + final select-list expressions).
+// Scalar subqueries become scalar quantifiers of the enclosing SELECT box.
+#ifndef SUMTAB_QGM_QGM_BUILDER_H_
+#define SUMTAB_QGM_QGM_BUILDER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "qgm/qgm.h"
+#include "sql/sql_ast.h"
+
+namespace sumtab {
+namespace qgm {
+
+/// Builds the graph and runs InferColumnInfo on it.
+StatusOr<Graph> BuildGraph(const sql::SelectStmt& stmt,
+                           const catalog::Catalog& catalog);
+
+}  // namespace qgm
+}  // namespace sumtab
+
+#endif  // SUMTAB_QGM_QGM_BUILDER_H_

@@ -1,0 +1,94 @@
+#include "qgm/qgm_print.h"
+
+#include "common/str_util.h"
+#include "expr/expr_print.h"
+
+namespace sumtab {
+namespace qgm {
+
+namespace {
+
+const char* KindName(Box::Kind kind) {
+  switch (kind) {
+    case Box::Kind::kBase:
+      return "BASE";
+    case Box::Kind::kSelect:
+      return "SELECT";
+    case Box::Kind::kGroupBy:
+      return "GROUPBY";
+  }
+  return "?";
+}
+
+expr::RefPrinter NamedRefs(const Graph& graph, const Box& box) {
+  return [&graph, &box](const expr::Expr& e) -> std::string {
+    if (e.kind != expr::Expr::Kind::kColumnRef) return "";
+    if (e.quantifier < 0 ||
+        e.quantifier >= static_cast<int>(box.quantifiers.size())) {
+      return "";
+    }
+    const Box* child = graph.box(box.quantifiers[e.quantifier].child);
+    if (e.column < 0 || e.column >= child->NumOutputs()) return "";
+    return "q" + std::to_string(e.quantifier) + "." +
+           child->outputs[e.column].name;
+  };
+}
+
+}  // namespace
+
+std::string BoxToString(const Graph& graph, BoxId id) {
+  const Box& box = *graph.box(id);
+  std::string out = "box " + std::to_string(id) + " [" + KindName(box.kind);
+  if (box.kind == Box::Kind::kBase) out += " " + box.table_name;
+  if (box.distinct) out += " DISTINCT";
+  out += "]\n";
+  expr::RefPrinter refs = NamedRefs(graph, box);
+  if (!box.quantifiers.empty()) {
+    std::vector<std::string> qs;
+    for (size_t i = 0; i < box.quantifiers.size(); ++i) {
+      const Quantifier& q = box.quantifiers[i];
+      qs.push_back("q" + std::to_string(i) +
+                   (q.kind == Quantifier::Kind::kScalar ? "(scalar)->" : "->") +
+                   std::to_string(q.child));
+    }
+    out += "  children: " + Join(qs, ", ") + "\n";
+  }
+  if (!box.predicates.empty()) {
+    std::vector<std::string> ps;
+    for (const auto& p : box.predicates) ps.push_back(expr::ToString(p, refs));
+    out += "  predicates: " + Join(ps, " AND ") + "\n";
+  }
+  if (box.IsGroupBy()) {
+    std::vector<std::string> sets;
+    for (const auto& set : box.grouping_sets) {
+      std::vector<std::string> cols;
+      for (int k : set) cols.push_back(box.outputs[k].name);
+      sets.push_back("(" + Join(cols, ", ") + ")");
+    }
+    out += "  grouping sets: " + Join(sets, ", ") + "\n";
+  }
+  if (box.kind != Box::Kind::kBase) {
+    std::vector<std::string> outs;
+    for (const auto& col : box.outputs) {
+      outs.push_back(col.name + " := " + expr::ToString(col.expr, refs));
+    }
+    out += "  outputs: " + Join(outs, ", ") + "\n";
+  } else {
+    std::vector<std::string> outs;
+    for (const auto& col : box.outputs) outs.push_back(col.name);
+    out += "  columns: " + Join(outs, ", ") + "\n";
+  }
+  return out;
+}
+
+std::string ToString(const Graph& graph) {
+  std::string out;
+  for (BoxId id : graph.TopologicalOrder()) {
+    out += BoxToString(graph, id);
+  }
+  out += "root: box " + std::to_string(graph.root()) + "\n";
+  return out;
+}
+
+}  // namespace qgm
+}  // namespace sumtab

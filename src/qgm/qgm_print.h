@@ -1,0 +1,18 @@
+// Debug/EXPLAIN dump of a QGM graph, one box per block, children first.
+#ifndef SUMTAB_QGM_QGM_PRINT_H_
+#define SUMTAB_QGM_QGM_PRINT_H_
+
+#include <string>
+
+#include "qgm/qgm.h"
+
+namespace sumtab {
+namespace qgm {
+
+std::string ToString(const Graph& graph);
+std::string BoxToString(const Graph& graph, BoxId id);
+
+}  // namespace qgm
+}  // namespace sumtab
+
+#endif  // SUMTAB_QGM_QGM_PRINT_H_

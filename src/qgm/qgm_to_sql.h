@@ -1,0 +1,20 @@
+// Emits SQL (in this library's own dialect, re-parseable by sql::Parse) from
+// a QGM graph. Used to display rewritten queries (the paper's NewQ1, NewQ2,
+// ...) and for round-trip testing.
+#ifndef SUMTAB_QGM_QGM_TO_SQL_H_
+#define SUMTAB_QGM_QGM_TO_SQL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+namespace qgm {
+
+StatusOr<std::string> ToSql(const Graph& graph);
+
+}  // namespace qgm
+}  // namespace sumtab
+
+#endif  // SUMTAB_QGM_QGM_TO_SQL_H_

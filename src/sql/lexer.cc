@@ -1,0 +1,136 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace sumtab {
+namespace sql {
+
+namespace {
+
+constexpr std::array<const char*, 28> kKeywords = {
+    "select", "from",     "where",  "group",    "by",       "having",
+    "order",  "as",       "and",    "or",       "not",      "is",
+    "null",   "distinct", "asc",    "desc",     "rollup",   "cube",
+    "grouping", "sets",   "date",   "count",    "sum",      "min",
+    "max",    "avg",      "in",     "between",
+};
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+StatusOr<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.text = ToLower(input.substr(start, i - start));
+      tok.type = IsKeyword(tok.text) ? TokenType::kKeyword
+                                     : TokenType::kIdentifier;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tok.text = input.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::stod(tok.text);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::stoll(tok.text);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(tok.position));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char operators.
+    auto two = [&](const char* symbol) {
+      return i + 1 < n && input[i] == symbol[0] && input[i + 1] == symbol[1];
+    };
+    tok.type = TokenType::kSymbol;
+    if (two("<=") || two(">=") || two("<>") || two("!=")) {
+      tok.text = input.substr(i, 2);
+      if (tok.text == "!=") tok.text = "<>";
+      i += 2;
+    } else if (std::string("(),.*+-/%<>=").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace sumtab

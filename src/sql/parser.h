@@ -1,0 +1,23 @@
+// Recursive-descent SQL parser for the subset used by the paper: SELECT
+// [DISTINCT] with arbitrary expressions, FROM with base and derived tables,
+// scalar subqueries in expressions, WHERE, GROUP BY (simple / ROLLUP / CUBE /
+// GROUPING SETS, canonicalized to grouping sets), HAVING, ORDER BY.
+#ifndef SUMTAB_SQL_PARSER_H_
+#define SUMTAB_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/sql_ast.h"
+
+namespace sumtab {
+namespace sql {
+
+/// Parses a single SELECT statement; trailing input is an error.
+StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace sumtab
+
+#endif  // SUMTAB_SQL_PARSER_H_

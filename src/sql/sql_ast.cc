@@ -1,0 +1,17 @@
+#include "sql/sql_ast.h"
+
+namespace sumtab {
+namespace sql {
+
+std::string SelectItemName(const SelectStmt& stmt, size_t i) {
+  const SelectItem& item = stmt.select_list[i];
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr &&
+      item.expr->kind == expr::Expr::Kind::kColumnName) {
+    return item.expr->name;
+  }
+  return "col" + std::to_string(i);
+}
+
+}  // namespace sql
+}  // namespace sumtab

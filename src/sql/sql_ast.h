@@ -1,0 +1,71 @@
+// SQL statement AST produced by the parser and consumed by the QGM builder.
+// Supergroup GROUP BY clauses (ROLLUP / CUBE / GROUPING SETS) are
+// canonicalized by the parser into a single grouping-sets form, as in the
+// paper's Section 5 (every supergroup expression has an equivalent canonical
+// gs(GS1..GSk) form).
+#ifndef SUMTAB_SQL_SQL_AST_H_
+#define SUMTAB_SQL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace sumtab {
+namespace sql {
+
+struct SelectStmt;
+
+/// One entry of the SELECT list.
+struct SelectItem {
+  expr::ExprPtr expr;
+  std::string alias;  // empty if none was given
+};
+
+/// One entry of the FROM list: either a base table or a derived table.
+struct TableRef {
+  std::string table_name;                   // empty for derived tables
+  std::shared_ptr<SelectStmt> subquery;     // non-null for derived tables
+  std::string alias;                        // correlation name; may be empty
+  bool is_base() const { return subquery == nullptr; }
+};
+
+/// Canonical grouping specification: `items` are the distinct grouping
+/// expressions (the union GS of the paper); each element of `sets` lists
+/// item indexes for one grouping set GSi. A simple GROUP BY a, b is
+/// items=[a,b], sets=[[0,1]].
+struct GroupBy {
+  std::vector<expr::ExprPtr> items;
+  std::vector<std::vector<int>> sets;
+
+  bool IsSimple() const {
+    return sets.size() == 1 && sets[0].size() == items.size();
+  }
+};
+
+struct OrderItem {
+  expr::ExprPtr expr;  // typically a column name
+  bool ascending = true;
+};
+
+/// A (possibly nested) SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;
+  expr::ExprPtr where;  // null if absent; arbitrary boolean expression
+  std::optional<GroupBy> group_by;
+  expr::ExprPtr having;  // null if absent
+  std::vector<OrderItem> order_by;
+};
+
+/// Returns the output column name for select item i: the alias when given,
+/// else a name derived from the expression (bare column name) or "col<i>".
+std::string SelectItemName(const SelectStmt& stmt, size_t i);
+
+}  // namespace sql
+}  // namespace sumtab
+
+#endif  // SUMTAB_SQL_SQL_AST_H_

@@ -1,0 +1,221 @@
+#include "sumtab/database.h"
+
+#include "common/str_util.h"
+#include "matching/rewriter.h"
+#include "qgm/qgm_builder.h"
+#include "qgm/qgm_print.h"
+#include "qgm/qgm_to_sql.h"
+#include "sql/parser.h"
+
+namespace sumtab {
+
+Database::Database() = default;
+Database::~Database() = default;
+
+Status Database::CreateTable(const std::string& name,
+                             const std::vector<catalog::Column>& columns,
+                             const std::vector<std::string>& primary_key) {
+  catalog::Table table;
+  table.name = name;
+  table.columns = columns;
+  table.primary_key = primary_key;
+  SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+  engine::Relation empty;
+  for (const catalog::Column& col : columns) {
+    empty.column_names.push_back(ToLower(col.name));
+  }
+  return storage_.AddTable(name, std::move(empty));
+}
+
+Status Database::AddForeignKey(const std::string& child_table,
+                               const std::string& child_column,
+                               const std::string& parent_table,
+                               const std::string& parent_column) {
+  return catalog_.AddForeignKey(child_table, child_column, parent_table,
+                                parent_column);
+}
+
+Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
+  const engine::Relation* existing = storage_.FindTable(table);
+  if (existing == nullptr) {
+    return Status::NotFound("table '" + table + "'");
+  }
+  const catalog::Table* meta = catalog_.FindTable(table);
+  for (const Row& row : rows) {
+    if (row.size() != meta->columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for '" + table + "'");
+    }
+  }
+  engine::Relation updated = *existing;
+  for (Row& row : rows) updated.rows.push_back(std::move(row));
+  SUMTAB_RETURN_NOT_OK(storage_.DropTable(table));
+  return storage_.AddTable(table, std::move(updated));
+}
+
+StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
+                                               const std::string& sql) {
+  if (catalog_.FindTable(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "'");
+  }
+  SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                          sql::Parse(sql));
+  SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+
+  // Materialize.
+  engine::Executor executor(storage_);
+  SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(graph));
+  int64_t rows = static_cast<int64_t>(data.NumRows());
+
+  // Register in the catalog with inferred column types.
+  const qgm::Box* root = graph.box(graph.root());
+  catalog::Table table;
+  table.name = name;
+  table.is_summary_table = true;
+  for (int i = 0; i < root->NumOutputs(); ++i) {
+    catalog::Column col;
+    col.name = root->outputs[i].name;
+    col.type = root->column_info[i].type;
+    col.nullable = root->column_info[i].nullable;
+    table.columns.push_back(std::move(col));
+  }
+  SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+  SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(data)));
+
+  auto st = std::make_unique<SummaryTable>();
+  st->name = ToLower(name);
+  st->sql = sql;
+  st->graph = std::move(graph);
+  summary_tables_.push_back(std::move(st));
+  return rows;
+}
+
+Status Database::DropSummaryTable(const std::string& name) {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < summary_tables_.size(); ++i) {
+    if (summary_tables_[i]->name == key) {
+      summary_tables_.erase(summary_tables_.begin() + i);
+      return storage_.DropTable(key);
+      // Note: the catalog keeps the (now dangling) table entry out of
+      // simplicity; queries naming it will fail at execution.
+    }
+  }
+  return Status::NotFound("summary table '" + name + "'");
+}
+
+std::vector<std::string> Database::SummaryTableNames() const {
+  std::vector<std::string> names;
+  for (const auto& st : summary_tables_) names.push_back(st->name);
+  return names;
+}
+
+int64_t Database::TableRows(const std::string& name) const {
+  const engine::Relation* rel = storage_.FindTable(name);
+  return rel == nullptr ? 0 : static_cast<int64_t>(rel->NumRows());
+}
+
+StatusOr<std::unique_ptr<qgm::Graph>> Database::TryRewrite(
+    const qgm::Graph& query, std::string* chosen, int* candidates) {
+  *candidates = 0;
+  // Cost heuristic: total rows scanned at the leaves.
+  auto leaf_cost = [this](const qgm::Graph& graph) {
+    int64_t cost = 0;
+    for (int id = 0; id < graph.size(); ++id) {
+      const qgm::Box* box = graph.box(id);
+      if (box->kind == qgm::Box::Kind::kBase) {
+        cost += TableRows(box->table_name);
+      }
+    }
+    return cost;
+  };
+
+  // Iterative rerouting (paper Sec. 7): match the best AST, then feed the
+  // rewritten query back through the remaining ASTs — distinct subtrees
+  // (e.g. a scalar subquery and the main block) can each land on their own
+  // summary table.
+  std::unique_ptr<qgm::Graph> current;
+  int64_t current_cost = leaf_cost(query);
+  std::vector<std::string> used;
+  constexpr int kMaxRounds = 4;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::unique_ptr<qgm::Graph> best;
+    int64_t best_cost = current_cost;
+    std::string best_name;
+    for (const auto& st : summary_tables_) {
+      matching::SummaryTableDef def{st->name, &st->graph};
+      StatusOr<matching::RewriteResult> rewrite = matching::RewriteQuery(
+          current != nullptr ? *current : query, def, catalog_);
+      if (!rewrite.ok()) return rewrite.status();
+      if (!rewrite->rewritten) continue;
+      if (round == 0) ++*candidates;
+      int64_t cost = leaf_cost(rewrite->graph);
+      // The first round takes any match (<=): even a same-size SPJ summary
+      // table is worth using (filters/expressions are precomputed). Later
+      // rounds demand strict improvement so the iteration terminates.
+      bool acceptable = best == nullptr
+                            ? (round == 0 ? cost <= current_cost
+                                          : cost < current_cost)
+                            : cost < best_cost;
+      if (acceptable) {
+        best = std::make_unique<qgm::Graph>(std::move(rewrite->graph));
+        best_cost = cost;
+        best_name = st->name;
+      }
+    }
+    if (best == nullptr) break;
+    current = std::move(best);
+    current_cost = best_cost;
+    if (used.empty() || used.back() != best_name) used.push_back(best_name);
+  }
+  *chosen = Join(used, "+");
+  return current;
+}
+
+StatusOr<QueryResult> Database::Query(const std::string& sql,
+                                      const QueryOptions& options) {
+  SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                          sql::Parse(sql));
+  SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+
+  QueryResult result;
+  const qgm::Graph* to_run = &graph;
+  std::unique_ptr<qgm::Graph> rewritten;
+  if (options.enable_rewrite) {
+    std::string chosen;
+    SUMTAB_ASSIGN_OR_RETURN(
+        rewritten, TryRewrite(graph, &chosen, &result.candidate_rewrites));
+    if (rewritten != nullptr) {
+      result.used_summary_table = true;
+      result.summary_table = chosen;
+      SUMTAB_ASSIGN_OR_RETURN(result.rewritten_sql, qgm::ToSql(*rewritten));
+      to_run = rewritten.get();
+    }
+  }
+  engine::ExecOptions exec_options;
+  exec_options.disable_hash_join = options.disable_hash_join;
+  engine::Executor executor(storage_, exec_options);
+  SUMTAB_ASSIGN_OR_RETURN(result.relation, executor.Execute(*to_run));
+  return result;
+}
+
+StatusOr<std::string> Database::Explain(const std::string& sql) {
+  SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                          sql::Parse(sql));
+  SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+  std::string out = "-- original QGM --\n" + qgm::ToString(graph);
+  std::string chosen;
+  int candidates = 0;
+  SUMTAB_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> rewritten,
+                          TryRewrite(graph, &chosen, &candidates));
+  out += "-- candidate rewrites: " + std::to_string(candidates) + "\n";
+  if (rewritten == nullptr) {
+    out += "-- no summary table matches; executing against base tables\n";
+    return out;
+  }
+  out += "-- rerouted through summary table: " + chosen + "\n";
+  out += "-- rewritten QGM --\n" + qgm::ToString(*rewritten);
+  SUMTAB_ASSIGN_OR_RETURN(std::string new_sql, qgm::ToSql(*rewritten));
+  out += "-- rewritten SQL --\n" + new_sql + "\n";
+  return out;
+}
+
+}  // namespace sumtab

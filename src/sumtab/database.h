@@ -1,0 +1,135 @@
+// Public facade: an embedded analytical database with Automatic Summary
+// Tables. Create tables, declare RI constraints, load data, define summary
+// tables (materialized aggregate views), and run SQL queries — which the
+// engine transparently reroutes through a matching summary table whenever
+// the paper's algorithm finds a rewrite.
+//
+// Quickstart:
+//   sumtab::Database db;
+//   db.CreateTable("trans", {{"faid", Type::kInt}, ...}, {"tid"});
+//   db.BulkLoad("trans", rows);
+//   db.DefineSummaryTable("ast1",
+//       "select faid, flid, year(date) as year, count(*) as cnt "
+//       "from trans group by faid, flid, year(date)");
+//   auto result = db.Query("select ... from trans ... group by ...");
+//   // result->used_summary_table == true when rerouted.
+#ifndef SUMTAB_SUMTAB_DATABASE_H_
+#define SUMTAB_SUMTAB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "engine/relation.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+
+struct QueryOptions {
+  /// Attempt rerouting through registered summary tables.
+  bool enable_rewrite = true;
+  /// Engine knob for the join-strategy ablation bench.
+  bool disable_hash_join = false;
+};
+
+struct QueryResult {
+  engine::Relation relation;
+  bool used_summary_table = false;
+  std::string summary_table;       // which AST answered the query
+  std::string rewritten_sql;       // the NewQ form (empty if not rewritten)
+  int candidate_rewrites = 0;      // how many ASTs offered a rewrite
+};
+
+class Database {
+ public:
+  Database();
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- schema ----
+  Status CreateTable(const std::string& name,
+                     const std::vector<catalog::Column>& columns,
+                     const std::vector<std::string>& primary_key = {});
+  Status AddForeignKey(const std::string& child_table,
+                       const std::string& child_column,
+                       const std::string& parent_table,
+                       const std::string& parent_column);
+
+  // ---- data ----
+  Status BulkLoad(const std::string& table, std::vector<Row> rows);
+
+  // ---- maintenance (paper related problem (c), cf. Mumick et al. [10]) ----
+
+  enum class RefreshMode { kUnaffected, kIncremental, kRecompute };
+
+  struct RefreshEntry {
+    std::string summary_table;
+    RefreshMode mode = RefreshMode::kUnaffected;
+    double millis = 0;
+  };
+
+  struct MaintenanceReport {
+    std::vector<RefreshEntry> entries;
+  };
+
+  /// Appends rows to a base table AND maintains every registered summary
+  /// table. Single-block aggregate ASTs over one occurrence of the appended
+  /// table (no HAVING, no DISTINCT aggregates, no scalar subqueries) refresh
+  /// incrementally by aggregating only the delta and merging it into the
+  /// materialized groups (count/sum add, min/max combine); everything else
+  /// falls back to full recomputation. In contrast, plain BulkLoad does NOT
+  /// maintain summary tables (bulk-load-then-define workflows).
+  StatusOr<MaintenanceReport> Append(const std::string& table,
+                                     std::vector<Row> rows);
+
+  /// Full recomputation of one summary table from the base tables.
+  Status RefreshSummaryTable(const std::string& name);
+
+  // ---- summary tables ----
+  /// Parses and materializes `sql` (executing it against the base tables),
+  /// registers the result as table `name`, and makes it available to the
+  /// rewriter. Returns the number of materialized rows.
+  StatusOr<int64_t> DefineSummaryTable(const std::string& name,
+                                       const std::string& sql);
+  Status DropSummaryTable(const std::string& name);
+  std::vector<std::string> SummaryTableNames() const;
+
+  // ---- queries ----
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              const QueryOptions& options = {});
+
+  /// The rewrite decision without executing: original QGM, chosen AST (if
+  /// any) and the rewritten SQL.
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  // ---- introspection ----
+  const catalog::Catalog& catalog() const { return catalog_; }
+  const engine::Storage& storage() const { return storage_; }
+  /// Row count of a loaded table (0 if absent).
+  int64_t TableRows(const std::string& name) const;
+
+ private:
+  struct SummaryTable {
+    std::string name;
+    std::string sql;
+    qgm::Graph graph;  // definition over base tables
+  };
+
+  /// Best rewrite across all registered ASTs (fewest estimated scanned
+  /// rows); null result when none matches.
+  StatusOr<std::unique_ptr<qgm::Graph>> TryRewrite(const qgm::Graph& query,
+                                                   std::string* chosen,
+                                                   int* candidates);
+
+  catalog::Catalog catalog_;
+  engine::Storage storage_;
+  std::vector<std::unique_ptr<SummaryTable>> summary_tables_;
+};
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_SUMTAB_DATABASE_H_

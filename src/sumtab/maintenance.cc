@@ -1,0 +1,288 @@
+// Summary-table maintenance (paper related problem (c)): insert-delta
+// propagation in the style of Mumick et al., "Maintenance of Data Cubes and
+// Summary Tables in a Warehouse" (the paper's reference [10]).
+//
+// For a mergeable AST — a single aggregate block whose root projects the
+// GROUP-BY outputs untouched — the delta rows are aggregated by executing
+// the AST's own QGM graph with the appended table overridden by the delta,
+// and the per-group results merge into the materialized table: COUNT/SUM
+// add, MIN/MAX combine, new groups append. Anything else (HAVING, DISTINCT
+// aggregates, scalar subqueries, self-references, nested blocks) recomputes.
+#include <chrono>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "engine/executor.h"
+#include "expr/expr_rewrite.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+
+namespace {
+
+struct MergePlan {
+  bool spj_append = false;            // no aggregation: append delta rows
+  std::vector<int> key_cols;          // output positions forming the group key
+  struct AggCol {
+    int col;
+    expr::AggFunc func;
+  };
+  std::vector<AggCol> agg_cols;
+};
+
+/// Decides whether `graph` (an AST definition) supports incremental insert
+/// maintenance, and how its output columns merge.
+StatusOr<MergePlan> AnalyzeMergePlan(const qgm::Graph& graph,
+                                     const std::string& delta_table) {
+  int references = 0;
+  for (qgm::BoxId id : graph.TopologicalOrder()) {
+    const qgm::Box* box = graph.box(id);
+    if (box->kind == qgm::Box::Kind::kBase &&
+        box->table_name == delta_table) {
+      ++references;
+    }
+    if (box->distinct) {
+      return Status::NotSupported("DISTINCT block");
+    }
+    for (const qgm::Quantifier& q : box->quantifiers) {
+      if (q.kind == qgm::Quantifier::Kind::kScalar) {
+        return Status::NotSupported("scalar subquery");
+      }
+    }
+  }
+  if (references != 1) {
+    return Status::NotSupported("appended table referenced != 1 time");
+  }
+
+  const qgm::Box* root = graph.box(graph.root());
+  MergePlan plan;
+  if (root->kind == qgm::Box::Kind::kSelect && root->quantifiers.size() >= 1 &&
+      graph.box(root->quantifiers[0].child)->kind != qgm::Box::Kind::kGroupBy) {
+    // Select-project-join AST: the delta's SPJ result appends directly —
+    // provided no GROUP-BY exists anywhere.
+    for (qgm::BoxId id : graph.TopologicalOrder()) {
+      if (graph.box(id)->IsGroupBy()) {
+        return Status::NotSupported("aggregation below a join");
+      }
+    }
+    plan.spj_append = true;
+    return plan;
+  }
+  if (root->kind != qgm::Box::Kind::kSelect ||
+      root->quantifiers.size() != 1) {
+    return Status::NotSupported("unexpected root shape");
+  }
+  if (!root->predicates.empty()) {
+    return Status::NotSupported("HAVING predicate");  // filters break merging
+  }
+  const qgm::Box* gb = graph.box(root->quantifiers[0].child);
+  if (!gb->IsGroupBy()) {
+    return Status::NotSupported("root child is not a GROUP-BY");
+  }
+  // Exactly one aggregate block: nothing below the GROUP-BY's select may
+  // group again.
+  const qgm::Box* lower = graph.box(gb->quantifiers[0].child);
+  if (lower->kind != qgm::Box::Kind::kSelect) {
+    return Status::NotSupported("GROUP-BY child is not a SELECT");
+  }
+  for (const qgm::Quantifier& q : lower->quantifiers) {
+    if (graph.box(q.child)->kind != qgm::Box::Kind::kBase) {
+      return Status::NotSupported("nested query block");
+    }
+  }
+  // Root outputs must be bare references to GROUP-BY outputs.
+  for (size_t i = 0; i < root->outputs.size(); ++i) {
+    int col = -1;
+    if (!expr::IsSimpleColumnRef(root->outputs[i].expr, 0, &col)) {
+      return Status::NotSupported("computed expression above the aggregate");
+    }
+    if (gb->IsGroupingOutput(col)) {
+      plan.key_cols.push_back(static_cast<int>(i));
+      continue;
+    }
+    const expr::ExprPtr& agg = gb->outputs[col].expr;
+    if (agg->agg_distinct) {
+      return Status::NotSupported("DISTINCT aggregate");
+    }
+    switch (agg->agg) {
+      case expr::AggFunc::kCount:
+      case expr::AggFunc::kSum:
+      case expr::AggFunc::kMin:
+      case expr::AggFunc::kMax:
+        break;
+      default:
+        return Status::NotSupported("non-mergeable aggregate");
+    }
+    plan.agg_cols.push_back(MergePlan::AggCol{static_cast<int>(i), agg->agg});
+  }
+  return plan;
+}
+
+Value MergeValues(expr::AggFunc func, const Value& current,
+                  const Value& delta) {
+  if (current.is_null()) return delta;
+  if (delta.is_null()) return current;
+  switch (func) {
+    case expr::AggFunc::kCount:
+      return Value::Int(current.AsInt() + delta.AsInt());
+    case expr::AggFunc::kSum:
+      if (current.kind() == Value::Kind::kInt &&
+          delta.kind() == Value::Kind::kInt) {
+        return Value::Int(current.AsInt() + delta.AsInt());
+      }
+      return Value::Double(current.ToDouble() + delta.ToDouble());
+    case expr::AggFunc::kMin:
+      return delta < current ? delta : current;
+    case expr::AggFunc::kMax:
+      return current < delta ? delta : current;
+    default:
+      return current;
+  }
+}
+
+}  // namespace
+
+Status Database::RefreshSummaryTable(const std::string& name) {
+  for (const auto& st : summary_tables_) {
+    if (st->name != ToLower(name)) continue;
+    engine::Executor executor(storage_);
+    SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(st->graph));
+    engine::Relation* stored = storage_.FindTableMutable(st->name);
+    if (stored == nullptr) {
+      return Status::Internal("summary table data missing");
+    }
+    stored->rows = std::move(data.rows);
+    return Status::OK();
+  }
+  return Status::NotFound("summary table '" + name + "'");
+}
+
+StatusOr<Database::MaintenanceReport> Database::Append(
+    const std::string& table, std::vector<Row> rows) {
+  const catalog::Table* meta = catalog_.FindTable(table);
+  if (meta == nullptr) {
+    return Status::NotFound("table '" + table + "'");
+  }
+  if (meta->is_summary_table) {
+    return Status::InvalidArgument("cannot append to a summary table");
+  }
+  for (const Row& row : rows) {
+    if (row.size() != meta->columns.size()) {
+      return Status::InvalidArgument("row arity mismatch for '" + table + "'");
+    }
+  }
+  engine::Relation delta;
+  const engine::Relation* stored_base = storage_.FindTable(table);
+  delta.column_names = stored_base->column_names;
+  delta.rows = std::move(rows);
+
+  MaintenanceReport report;
+
+  // Phase 1: aggregate the delta through every incrementally-maintainable
+  // AST (reads dimensions from storage, the appended table from the delta).
+  struct Pending {
+    SummaryTable* st;
+    MergePlan plan;
+    engine::Relation delta_result;
+  };
+  std::vector<Pending> incremental;
+  std::vector<SummaryTable*> recompute;
+  for (const auto& st : summary_tables_) {
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<MergePlan> plan = AnalyzeMergePlan(st->graph, meta->name);
+    if (!plan.ok()) {
+      bool unaffected = false;
+      if (plan.status().message() ==
+          "appended table referenced != 1 time") {
+        // Distinguish 0 references (unaffected) from self-joins.
+        int refs = 0;
+        for (qgm::BoxId id : st->graph.TopologicalOrder()) {
+          const qgm::Box* box = st->graph.box(id);
+          refs += box->kind == qgm::Box::Kind::kBase &&
+                          box->table_name == meta->name
+                      ? 1
+                      : 0;
+        }
+        unaffected = refs == 0;
+      }
+      if (unaffected) {
+        report.entries.push_back(
+            RefreshEntry{st->name, RefreshMode::kUnaffected, 0});
+      } else {
+        recompute.push_back(st.get());
+      }
+      continue;
+    }
+    std::map<std::string, const engine::Relation*> overrides;
+    overrides[meta->name] = &delta;
+    engine::ExecOptions options;
+    options.table_overrides = &overrides;
+    engine::Executor executor(storage_, options);
+    SUMTAB_ASSIGN_OR_RETURN(engine::Relation delta_result,
+                            executor.Execute(st->graph));
+    auto end = std::chrono::steady_clock::now();
+    Pending pending;
+    pending.st = st.get();
+    pending.plan = std::move(*plan);
+    pending.delta_result = std::move(delta_result);
+    incremental.push_back(std::move(pending));
+    report.entries.push_back(RefreshEntry{
+        st->name, RefreshMode::kIncremental,
+        std::chrono::duration<double, std::milli>(end - start).count()});
+  }
+
+  // Phase 2: append the delta to the base table.
+  engine::Relation* base = storage_.FindTableMutable(meta->name);
+  base->rows.insert(base->rows.end(), delta.rows.begin(), delta.rows.end());
+
+  // Phase 3: merge the delta aggregates into the materialized tables.
+  for (Pending& pending : incremental) {
+    engine::Relation* stored = storage_.FindTableMutable(pending.st->name);
+    if (stored == nullptr) {
+      return Status::Internal("summary table data missing");
+    }
+    if (pending.plan.spj_append) {
+      stored->rows.insert(stored->rows.end(),
+                          pending.delta_result.rows.begin(),
+                          pending.delta_result.rows.end());
+      continue;
+    }
+    std::unordered_map<Row, size_t, RowHash> index;
+    index.reserve(stored->rows.size());
+    auto key_of = [&pending](const Row& row) {
+      Row key;
+      key.reserve(pending.plan.key_cols.size());
+      for (int c : pending.plan.key_cols) key.push_back(row[c]);
+      return key;
+    };
+    for (size_t i = 0; i < stored->rows.size(); ++i) {
+      index.emplace(key_of(stored->rows[i]), i);
+    }
+    for (Row& drow : pending.delta_result.rows) {
+      auto it = index.find(key_of(drow));
+      if (it == index.end()) {
+        index.emplace(key_of(drow), stored->rows.size());
+        stored->rows.push_back(std::move(drow));
+        continue;
+      }
+      Row& existing = stored->rows[it->second];
+      for (const MergePlan::AggCol& agg : pending.plan.agg_cols) {
+        existing[agg.col] =
+            MergeValues(agg.func, existing[agg.col], drow[agg.col]);
+      }
+    }
+  }
+
+  // Phase 4: full recomputation for the rest.
+  for (SummaryTable* st : recompute) {
+    auto start = std::chrono::steady_clock::now();
+    SUMTAB_RETURN_NOT_OK(RefreshSummaryTable(st->name));
+    auto end = std::chrono::steady_clock::now();
+    report.entries.push_back(RefreshEntry{
+        st->name, RefreshMode::kRecompute,
+        std::chrono::duration<double, std::milli>(end - start).count()});
+  }
+  return report;
+}
+
+}  // namespace sumtab

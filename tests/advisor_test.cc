@@ -1,0 +1,130 @@
+// Tests for the workload advisor: candidate generation from query blocks,
+// matcher-verified coverage, budgeted greedy selection, and end-to-end
+// benefit (applying the recommendation actually speeds the workload up and
+// keeps answers identical).
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+using advisor::ApplyRecommendation;
+using advisor::Recommendation;
+using advisor::RecommendSummaryTables;
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = testing::MakeCardDb(5000); }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AdvisorTest, GeneratesAndChoosesCandidates) {
+  std::vector<std::string> workload = {
+      "select faid, count(*) as c from trans group by faid",
+      "select faid, year(date) as y, count(*) as c from trans "
+      "group by faid, year(date)",
+      "select year(date) as y, sum(qty) as q from trans group by year(date)",
+  };
+  auto rec = RecommendSummaryTables(db_.get(), workload, /*budget=*/100000);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GE(rec->candidates.size(), 3u);
+  int chosen = 0;
+  for (const auto& candidate : rec->candidates) chosen += candidate.chosen;
+  EXPECT_GE(chosen, 1);
+  EXPECT_LT(rec->workload_cost_after, rec->workload_cost_before);
+  EXPECT_LE(rec->total_rows_used, 100000);
+}
+
+TEST_F(AdvisorTest, FinerCandidateCoversCoarserQueries) {
+  // The per-(faid, year) candidate answers both queries; with a generous
+  // budget the advisor should not need two separate ASTs if one dominates
+  // on benefit-per-row.
+  std::vector<std::string> workload = {
+      "select faid, year(date) as y, count(*) as c from trans "
+      "group by faid, year(date)",
+      "select faid, count(*) as c from trans group by faid",
+  };
+  auto rec = RecommendSummaryTables(db_.get(), workload, 100000);
+  ASSERT_TRUE(rec.ok());
+  // The finest candidate covers both workload queries.
+  bool some_covers_both = false;
+  for (const auto& candidate : rec->candidates) {
+    some_covers_both =
+        some_covers_both || candidate.covered_queries.size() == 2;
+  }
+  EXPECT_TRUE(some_covers_both);
+}
+
+TEST_F(AdvisorTest, BudgetIsRespected) {
+  std::vector<std::string> workload = {
+      "select faid, flid, year(date) as y, month(date) as m, count(*) as c "
+      "from trans group by faid, flid, year(date), month(date)",
+      "select year(date) as y, count(*) as c from trans group by year(date)",
+  };
+  // A tiny budget excludes the big fine-grained candidate but admits the
+  // yearly one.
+  auto rec = RecommendSummaryTables(db_.get(), workload, /*budget=*/100);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_LE(rec->total_rows_used, 100);
+  for (const auto& candidate : rec->candidates) {
+    if (candidate.chosen) EXPECT_LE(candidate.estimated_rows, 100);
+  }
+}
+
+TEST_F(AdvisorTest, ZeroBudgetChoosesNothing) {
+  std::vector<std::string> workload = {
+      "select faid, count(*) as c from trans group by faid"};
+  auto rec = RecommendSummaryTables(db_.get(), workload, 0);
+  ASSERT_TRUE(rec.ok());
+  for (const auto& candidate : rec->candidates) {
+    EXPECT_FALSE(candidate.chosen);
+  }
+  EXPECT_EQ(rec->workload_cost_after, rec->workload_cost_before);
+}
+
+TEST_F(AdvisorTest, NonAggregateQueriesYieldNoCandidates) {
+  std::vector<std::string> workload = {
+      "select faid, qty from trans where qty > 3"};
+  auto rec = RecommendSummaryTables(db_.get(), workload, 100000);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->candidates.empty());
+}
+
+TEST_F(AdvisorTest, ApplyRecommendationEndToEnd) {
+  std::vector<std::string> workload = {
+      "select faid, year(date) as y, count(*) as c from trans "
+      "group by faid, year(date)",
+      "select year(date) as y, count(*) as c from trans group by year(date)",
+      "select state, count(*) as c from trans, loc where flid = lid "
+      "group by state",
+  };
+  // Direct answers, before any AST exists.
+  QueryOptions direct;
+  direct.enable_rewrite = false;
+  std::vector<engine::Relation> before;
+  for (const std::string& sql : workload) {
+    auto r = db_->Query(sql, direct);
+    ASSERT_TRUE(r.ok());
+    before.push_back(std::move(r->relation));
+  }
+  auto rec = RecommendSummaryTables(db_.get(), workload, 100000);
+  ASSERT_TRUE(rec.ok());
+  auto names = ApplyRecommendation(db_.get(), *rec);
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+  ASSERT_FALSE(names->empty());
+  // Workload answers are unchanged, and at least one query now rewrites.
+  int rewrites = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto r = db_->Query(workload[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(engine::SameRowMultiset(before[i], r->relation))
+        << workload[i];
+    rewrites += r->used_summary_table;
+  }
+  EXPECT_GE(rewrites, 2);
+}
+
+}  // namespace
+}  // namespace sumtab

@@ -1,0 +1,99 @@
+// Direct unit tests for the catalog: registration, lookup, primary keys,
+// foreign keys, and drop semantics.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace sumtab {
+namespace {
+
+using catalog::Catalog;
+using catalog::Column;
+using catalog::Table;
+
+Table MakeTable(const std::string& name, std::vector<Column> cols,
+                std::vector<std::string> pk) {
+  Table t;
+  t.name = name;
+  t.columns = std::move(cols);
+  t.primary_key = std::move(pk);
+  return t;
+}
+
+TEST(CatalogTest, AddAndFindCaseInsensitive) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTable("Trans", {{"Tid", Type::kInt, false}},
+                                     {"tid"}))
+                  .ok());
+  const Table* t = cat.FindTable("TRANS");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->name, "trans");           // stored lower-case
+  EXPECT_EQ(t->columns[0].name, "tid");  // columns too
+  EXPECT_EQ(t->ColumnIndex("TID"), 0);
+  EXPECT_EQ(t->ColumnIndex("ghost"), -1);
+  EXPECT_EQ(cat.FindTable("nosuch"), nullptr);
+}
+
+TEST(CatalogTest, DuplicateAndBadPkRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTable("t", {{"a", Type::kInt, false}}, {}))
+                  .ok());
+  EXPECT_EQ(cat.AddTable(MakeTable("T", {{"a", Type::kInt, false}}, {}))
+                .code(),
+            Status::Code::kAlreadyExists);
+  EXPECT_EQ(cat.AddTable(MakeTable("u", {{"a", Type::kInt, false}}, {"zzz"}))
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, PrimaryKeyPredicate) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTable("p", {{"id", Type::kInt, false},
+                                           {"x", Type::kInt, false}},
+                                     {"id"}))
+                  .ok());
+  EXPECT_TRUE(cat.IsPrimaryKey("p", "id"));
+  EXPECT_FALSE(cat.IsPrimaryKey("p", "x"));
+  EXPECT_FALSE(cat.IsPrimaryKey("ghost", "id"));
+  // Composite keys never satisfy the single-column predicate.
+  ASSERT_TRUE(cat.AddTable(MakeTable("c", {{"a", Type::kInt, false},
+                                           {"b", Type::kInt, false}},
+                                     {"a", "b"}))
+                  .ok());
+  EXPECT_FALSE(cat.IsPrimaryKey("c", "a"));
+}
+
+TEST(CatalogTest, ForeignKeys) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTable("p", {{"id", Type::kInt, false}}, {"id"}))
+                  .ok());
+  ASSERT_TRUE(cat.AddTable(MakeTable("c", {{"pid", Type::kInt, false},
+                                           {"v", Type::kInt, false}},
+                                     {}))
+                  .ok());
+  ASSERT_TRUE(cat.AddForeignKey("c", "pid", "p", "id").ok());
+  EXPECT_NE(cat.FindForeignKey("c", "pid", "p"), nullptr);
+  EXPECT_EQ(cat.FindForeignKey("c", "v", "p"), nullptr);
+  EXPECT_EQ(cat.FindForeignKey("p", "id", "c"), nullptr);  // direction matters
+  // FK must point at the parent's single-column PK.
+  EXPECT_FALSE(cat.AddForeignKey("c", "v", "c", "pid").ok());
+  EXPECT_FALSE(cat.AddForeignKey("ghost", "x", "p", "id").ok());
+  EXPECT_FALSE(cat.AddForeignKey("c", "ghost", "p", "id").ok());
+}
+
+TEST(CatalogTest, DropTableRemovesForeignKeys) {
+  Catalog cat;
+  ASSERT_TRUE(cat.AddTable(MakeTable("p", {{"id", Type::kInt, false}}, {"id"}))
+                  .ok());
+  ASSERT_TRUE(cat.AddTable(MakeTable("c", {{"pid", Type::kInt, false}}, {}))
+                  .ok());
+  ASSERT_TRUE(cat.AddForeignKey("c", "pid", "p", "id").ok());
+  ASSERT_TRUE(cat.DropTable("p").ok());
+  EXPECT_EQ(cat.FindTable("p"), nullptr);
+  EXPECT_EQ(cat.FindForeignKey("c", "pid", "p"), nullptr);
+  EXPECT_FALSE(cat.DropTable("p").ok());
+  EXPECT_EQ(cat.TableNames(), std::vector<std::string>{"c"});
+}
+
+}  // namespace
+}  // namespace sumtab

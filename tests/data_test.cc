@@ -1,0 +1,143 @@
+// Tests for the synthetic data generators: determinism, referential
+// integrity (the matcher's losslessness proofs rely on it!), and the
+// cardinality shapes the benchmarks assume.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "data/card_schema.h"
+#include "data/tpcd_schema.h"
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+engine::Relation Rows(Database* db, const std::string& sql) {
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  auto r = db->Query(sql, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r->relation) : engine::Relation{};
+}
+
+TEST(CardSchemaTest, Cardinalities) {
+  auto db = testing::MakeCardDb(3000, 5);
+  EXPECT_EQ(db->TableRows("trans"), 3000);
+  EXPECT_EQ(db->TableRows("loc"), 40);
+  EXPECT_EQ(db->TableRows("acct"), 50);
+  EXPECT_EQ(db->TableRows("cust"), 20);
+  EXPECT_EQ(db->TableRows("pgroup"), 12);
+}
+
+TEST(CardSchemaTest, Determinism) {
+  auto db1 = testing::MakeCardDb(500, 123);
+  auto db2 = testing::MakeCardDb(500, 123);
+  auto r1 = Rows(db1.get(), "select tid, faid, flid, qty from trans");
+  auto r2 = Rows(db2.get(), "select tid, faid, flid, qty from trans");
+  EXPECT_TRUE(engine::SameRowMultiset(r1, r2));
+  auto db3 = testing::MakeCardDb(500, 124);
+  auto r3 = Rows(db3.get(), "select tid, faid, flid, qty from trans");
+  EXPECT_FALSE(engine::SameRowMultiset(r1, r3));
+}
+
+TEST(CardSchemaTest, ReferentialIntegrityHolds) {
+  auto db = testing::MakeCardDb(2000, 9);
+  // Every FK join is lossless in the data itself: joining must preserve the
+  // fact-table row count exactly. This is what the matcher's RI-based
+  // extra-join proofs assume.
+  EXPECT_EQ(Rows(db.get(),
+                 "select count(*) as c from trans, loc where flid = lid")
+                .rows[0][0]
+                .AsInt(),
+            2000);
+  EXPECT_EQ(Rows(db.get(),
+                 "select count(*) as c from trans, acct where faid = aid")
+                .rows[0][0]
+                .AsInt(),
+            2000);
+  EXPECT_EQ(Rows(db.get(),
+                 "select count(*) as c from trans, pgroup where fpgid = pgid")
+                .rows[0][0]
+                .AsInt(),
+            2000);
+  EXPECT_EQ(Rows(db.get(),
+                 "select count(*) as c from acct, cust "
+                 "where acct.cid = cust.cid")
+                .rows[0][0]
+                .AsInt(),
+            50);
+}
+
+TEST(CardSchemaTest, HomeLocationSkewShrinksSummaries) {
+  // The whole point of AST1: per-(account, location, year) groups must be
+  // far fewer than transactions.
+  auto db = testing::MakeCardDb(20000, 42);
+  auto groups = Rows(db.get(),
+                     "select count(*) as c from (select faid, flid, "
+                     "year(date) as y, count(*) as n from trans "
+                     "group by faid, flid, year(date)) g");
+  EXPECT_LT(groups.rows[0][0].AsInt(), 20000 / 3);
+}
+
+TEST(CardSchemaTest, DatesWithinConfiguredRange) {
+  auto db = testing::MakeCardDb(1000, 3);
+  auto years = Rows(db.get(),
+                    "select min(year(date)) as a, max(year(date)) as b "
+                    "from trans");
+  EXPECT_GE(years.rows[0][0].AsInt(), 1990);
+  EXPECT_LE(years.rows[0][1].AsInt(), 1994);
+}
+
+TEST(TpcdSchemaTest, SetupAndIntegrity) {
+  Database db;
+  data::TpcdParams params;
+  params.num_lineitems = 3000;
+  params.num_orders = 300;
+  ASSERT_TRUE(data::SetupTpcdSchema(&db, params).ok());
+  EXPECT_EQ(db.TableRows("lineitem"), 3000);
+  EXPECT_EQ(db.TableRows("nation"), 8);
+  EXPECT_EQ(Rows(&db,
+                 "select count(*) as c from lineitem, orders "
+                 "where lineitem.okey = orders.okey")
+                .rows[0][0]
+                .AsInt(),
+            3000);
+  EXPECT_EQ(Rows(&db,
+                 "select count(*) as c from customer, nation "
+                 "where customer.nkey = nation.nkey")
+                .rows[0][0]
+                .AsInt(),
+            300);
+}
+
+TEST(TpcdSchemaTest, WorkloadRewriteEquivalence) {
+  Database db;
+  data::TpcdParams params;
+  params.num_lineitems = 5000;
+  params.num_orders = 500;
+  ASSERT_TRUE(data::SetupTpcdSchema(&db, params).ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_py",
+                    "select lineitem.pkey as pkey, pbrand, year(shipdate) as "
+                    "y, count(*) as cnt, sum(lqty) as qty, "
+                    "sum(lprice * (1 - ldisc)) as rev "
+                    "from lineitem, part where lineitem.pkey = part.pkey "
+                    "group by lineitem.pkey, pbrand, year(shipdate)")
+                  .ok());
+  testing::ExpectRewriteEquivalent(
+      &db,
+      "select year(shipdate) as y, sum(lprice * (1 - ldisc)) as rev "
+      "from lineitem group by year(shipdate)");
+  testing::ExpectRewriteEquivalent(
+      &db,
+      "select pbrand, sum(lqty) as vol from lineitem, part "
+      "where lineitem.pkey = part.pkey group by pbrand");
+  testing::ExpectRewriteEquivalent(
+      &db,
+      "select pkey, count(*) as cnt from lineitem group by pkey "
+      "having count(*) > 5");
+}
+
+}  // namespace
+}  // namespace sumtab

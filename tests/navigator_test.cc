@@ -1,0 +1,187 @@
+// Tests for the navigator and the matching session internals: bottom-up
+// pair processing, exact colmaps, compensation-chain structure, and the
+// Fig. 15 expression-translation walk.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "expr/expr_print.h"
+#include "matching/match_fn.h"
+#include "matching/navigator.h"
+#include "qgm/qgm_builder.h"
+#include "sql/parser.h"
+
+namespace sumtab {
+namespace {
+
+using matching::MatchResult;
+using matching::MatchSession;
+using qgm::Box;
+using qgm::Graph;
+
+catalog::Catalog MakeCatalog() {
+  catalog::Catalog cat;
+  catalog::Table trans;
+  trans.name = "trans";
+  trans.columns = {{"tid", Type::kInt, false}, {"flid", Type::kInt, false},
+                   {"date", Type::kDate, false}, {"qty", Type::kInt, false}};
+  trans.primary_key = {"tid"};
+  EXPECT_TRUE(cat.AddTable(trans).ok());
+  catalog::Table loc;
+  loc.name = "loc";
+  loc.columns = {{"lid", Type::kInt, false},
+                 {"country", Type::kString, false}};
+  loc.primary_key = {"lid"};
+  EXPECT_TRUE(cat.AddTable(loc).ok());
+  EXPECT_TRUE(cat.AddForeignKey("trans", "flid", "loc", "lid").ok());
+  return cat;
+}
+
+Graph Build(const std::string& sql, const catalog::Catalog& cat) {
+  auto stmt = sql::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto graph = qgm::BuildGraph(**stmt, cat);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(*graph);
+}
+
+TEST(NavigatorTest, IdenticalQueriesMatchExactlyAtEveryLevel) {
+  catalog::Catalog cat = MakeCatalog();
+  const char* sql =
+      "select flid, count(*) as c from trans group by flid";
+  Graph q = Build(sql, cat);
+  Graph a = Build(sql, cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  const MatchResult* root = session.Find(q.root(), a.root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->exact);
+  ASSERT_EQ(root->colmap.size(), 2u);
+  EXPECT_EQ(root->colmap[0], 0);
+  EXPECT_EQ(root->colmap[1], 1);
+  // Every level matched: base, lower select, group-by, top select.
+  EXPECT_GE(session.matches().size(), 4u);
+}
+
+TEST(NavigatorTest, ColumnPermutationYieldsPermutedColmap) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build("select qty, flid from trans", cat);
+  Graph a = Build("select flid, tid, qty from trans", cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  const MatchResult* root = session.Find(q.root(), a.root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->exact);
+  EXPECT_EQ(root->colmap, (std::vector<int>{2, 0}));
+}
+
+TEST(NavigatorTest, NoSharedBaseTableMeansNoMatches) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build("select flid from trans", cat);
+  Graph a = Build("select lid from loc", cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  EXPECT_TRUE(session.matches().empty());
+}
+
+TEST(NavigatorTest, CompensationChainShapeForResidualPredicate) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build("select tid from trans where qty > 3", cat);
+  Graph a = Build("select tid, qty from trans", cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  const MatchResult* root = session.Find(q.root(), a.root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_FALSE(root->exact);
+  auto chain = matching::AnalyzeComp(session, root->comp_root);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_TRUE(chain->select_only());
+  ASSERT_EQ(chain->spine.size(), 1u);
+  const Box* comp = session.comp().box(chain->spine[0]);
+  ASSERT_EQ(comp->predicates.size(), 1u);
+  EXPECT_EQ(expr::ToString(comp->predicates[0]), "q0.1 > 3");
+  EXPECT_EQ(session.SubsumerRefTarget(comp->quantifiers[0].child), a.root());
+}
+
+TEST(NavigatorTest, RegroupCompensationHasSelectThenGroupBy) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build(
+      "select year(date) as y, count(*) as c from trans group by year(date)",
+      cat);
+  Graph a = Build(
+      "select year(date) as y, month(date) as m, count(*) as c from trans "
+      "group by year(date), month(date)",
+      cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  // The query's GROUP-BY box matched the AST's GROUP-BY box with regroup.
+  const Box* q_top = q.box(q.root());
+  const Box* a_top = a.box(a.root());
+  const MatchResult* gb_match = session.Find(q_top->quantifiers[0].child,
+                                             a_top->quantifiers[0].child);
+  ASSERT_NE(gb_match, nullptr);
+  EXPECT_FALSE(gb_match->exact);
+  auto chain = matching::AnalyzeComp(session, gb_match->comp_root);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_EQ(chain->spine.size(), 2u);
+  EXPECT_EQ(session.comp().box(chain->spine[0])->kind, Box::Kind::kGroupBy);
+  EXPECT_EQ(session.comp().box(chain->spine[1])->kind, Box::Kind::kSelect);
+  // The comp GROUP-BY re-derives count(*) as sum(...) — rule (a).
+  const Box* comp_gb = session.comp().box(chain->spine[0]);
+  bool has_sum = false;
+  for (const auto& out : comp_gb->outputs) {
+    has_sum = has_sum || (out.expr->kind == expr::Expr::Kind::kAggregate &&
+                          out.expr->agg == expr::AggFunc::kSum);
+  }
+  EXPECT_TRUE(has_sum);
+}
+
+// The Fig. 15 walk: translating the query's HAVING through a regrouping
+// child compensation must produce sum(cnt) over the subsumer's QCL — which
+// is why `cnt > 2` in the AST can never match.
+TEST(NavigatorTest, Fig15TranslationThroughChain) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build(
+      "select flid, count(*) as cnt from trans group by flid "
+      "having count(*) > 2",
+      cat);
+  Graph a = Build(
+      "select flid, year(date) as y, count(*) as cnt from trans "
+      "group by flid, year(date)",
+      cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  const Box* q_top = q.box(q.root());
+  const Box* a_top = a.box(a.root());
+  const MatchResult* gb_match = session.Find(q_top->quantifiers[0].child,
+                                             a_top->quantifiers[0].child);
+  ASSERT_NE(gb_match, nullptr);
+  ASSERT_FALSE(gb_match->exact);
+
+  // Build the translator exactly as MatchSelectSelect would for the top
+  // pair, and translate the HAVING predicate.
+  matching::ChildSlot slot;
+  slot.kind = matching::ChildSlot::Kind::kMatched;
+  slot.r_quantifier = 0;
+  slot.result = gb_match;
+  matching::Translator translator(&session, q_top, a_top, {slot});
+  ASSERT_EQ(q_top->predicates.size(), 1u);
+  auto translated = translator.Translate(q_top->predicates[0]);
+  ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+  // cnt-3Q > 2  ~~>  sum(cnt-3A) > 2   (paper Fig. 15, step 5)
+  EXPECT_EQ(expr::ToString(*translated), "sum(q0.2) > 2");
+}
+
+TEST(NavigatorTest, MatchRecordsAreStable) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph q = Build("select flid from trans", cat);
+  Graph a = Build("select flid from trans", cat);
+  MatchSession session(q, a, cat);
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  size_t n = session.matches().size();
+  // Re-running is idempotent (pairs already matched are skipped).
+  ASSERT_TRUE(matching::RunNavigator(&session).ok());
+  EXPECT_EQ(session.matches().size(), n);
+}
+
+}  // namespace
+}  // namespace sumtab

@@ -1,0 +1,252 @@
+// Must-NOT-match cases: each test constructs an AST that is *almost* usable
+// and asserts the matcher rejects it — while direct execution still returns
+// the right answer (the ExpectRewriteEquivalent helper checks both).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+using testing::ExpectRewriteEquivalent;
+using testing::MakeCardDb;
+
+class NegativeMatchingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeCardDb(2000); }
+
+  void DefineAst(const std::string& name, const std::string& sql) {
+    auto rows = db_->DefineSummaryTable(name, sql);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// The AST filters rows the query needs (condition 4.1.1-2).
+TEST_F(NegativeMatchingTest, AstPredicateNotInQuery) {
+  DefineAst("a", "select faid, flid, qty from trans where qty > 3");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans",
+                          /*expect_rewrite=*/false);
+}
+
+// The AST's predicate is *stronger* than the query's: rejected (the reverse
+// — query stronger than AST — must succeed; see PositiveSubsumption below).
+TEST_F(NegativeMatchingTest, AstPredicateStrongerThanQuery) {
+  DefineAst("a", "select faid, qty from trans where qty > 3");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, qty from trans where qty > 1",
+                          /*expect_rewrite=*/false);
+}
+
+TEST_F(NegativeMatchingTest, PositiveSubsumptionStillRewrites) {
+  DefineAst("a", "select faid, qty from trans where qty > 1");
+  std::string rewritten = ExpectRewriteEquivalent(
+      db_.get(), "select faid, qty from trans where qty > 3");
+  // The stronger query predicate is re-applied in the compensation.
+  EXPECT_NE(rewritten.find("> 3"), std::string::npos) << rewritten;
+}
+
+// The AST does not preserve a column the query projects (condition 4.1.1-4).
+TEST_F(NegativeMatchingTest, MissingColumn) {
+  DefineAst("a", "select faid, flid from trans");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans",
+                          /*expect_rewrite=*/false);
+}
+
+// The AST does not preserve the column a query predicate needs.
+TEST_F(NegativeMatchingTest, MissingPredicateColumn) {
+  DefineAst("a", "select faid, flid from trans");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid from trans where qty > 2",
+                          /*expect_rewrite=*/false);
+}
+
+// Extra AST join without an RI constraint: not provably lossless.
+TEST_F(NegativeMatchingTest, ExtraJoinWithoutForeignKey) {
+  // cust-cust self pairing via age has no FK: joining cust into the AST may
+  // duplicate/eliminate rows.
+  DefineAst("a",
+            "select faid, qty, age from trans, acct, cust "
+            "where faid = aid and acct.cid = cust.cid");
+  // This one IS lossless (both FKs hold), so the same query must match:
+  std::string ok = ExpectRewriteEquivalent(
+      db_.get(), "select faid, qty from trans");
+  EXPECT_NE(ok.find(" a "), std::string::npos) << ok;
+}
+
+TEST_F(NegativeMatchingTest, ExtraJoinViaForeignKeyIsAccepted) {
+  // Joining loc through the flid -> lid RI constraint is lossless: the AST
+  // still answers trans-only queries.
+  DefineAst("a", "select faid, qty, state from trans, loc where flid = lid");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans");
+}
+
+TEST_F(NegativeMatchingTest, ExtraJoinOnNonFkPairIsRejected) {
+  // fpgid = lid is an equality between unrelated columns: no RI constraint,
+  // so the join may drop fact rows — the AST must not be used.
+  DefineAst("b", "select faid, qty from trans, loc where fpgid = lid");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans",
+                          /*expect_rewrite=*/false);
+}
+
+TEST_F(NegativeMatchingTest, ExtraJoinWithFilterOnExtraChildIsRejected) {
+  // The country filter eliminates non-USA fact rows: not lossless.
+  DefineAst("c",
+            "select faid, qty from trans, loc "
+            "where flid = lid and country = 'USA'");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans",
+                          /*expect_rewrite=*/false);
+}
+
+// Aggregates that cannot be re-derived after regrouping.
+TEST_F(NegativeMatchingTest, CountDistinctNotDerivableAfterRegroup) {
+  DefineAst("a",
+            "select flid, year(date) as y, count(distinct faid) as cd "
+            "from trans group by flid, year(date)");
+  // Coarser distinct-count cannot be built from per-(flid, year) distinct
+  // counts (the same account appears under several years).
+  ExpectRewriteEquivalent(db_.get(),
+                          "select flid, count(distinct faid) as cd "
+                          "from trans group by flid",
+                          /*expect_rewrite=*/false);
+}
+
+TEST_F(NegativeMatchingTest, MinNotDerivableFromCount) {
+  DefineAst("a",
+            "select flid, year(date) as y, count(*) as c "
+            "from trans group by flid, year(date)");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select flid, min(qty) as m from trans "
+                          "group by flid",
+                          /*expect_rewrite=*/false);
+}
+
+// Grouping column not derivable from the AST's grouping columns.
+TEST_F(NegativeMatchingTest, FinerGroupingThanAst) {
+  DefineAst("a",
+            "select year(date) as y, count(*) as c from trans "
+            "group by year(date)");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select year(date) as y, month(date) as m, "
+                          "count(*) as c from trans "
+                          "group by year(date), month(date)",
+                          /*expect_rewrite=*/false);
+}
+
+// month(date) is finer than year(date) even though both come from `date`.
+TEST_F(NegativeMatchingTest, GroupingExpressionNotDerivable) {
+  DefineAst("a",
+            "select year(date) as y, sum(qty) as q from trans "
+            "group by year(date)");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select month(date) as m, sum(qty) as q from trans "
+                          "group by month(date)",
+                          /*expect_rewrite=*/false);
+}
+
+// DISTINCT blocks only match trivially; a non-exact DISTINCT rewrite must
+// be refused.
+TEST_F(NegativeMatchingTest, DistinctMismatch) {
+  DefineAst("a", "select faid, flid from trans");
+  ExpectRewriteEquivalent(db_.get(), "select distinct faid, flid from trans",
+                          /*expect_rewrite=*/false);
+  DefineAst("b", "select distinct faid, flid from trans");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select distinct faid from trans where flid > 3",
+                          /*expect_rewrite=*/false);
+}
+
+// Different base tables never match.
+TEST_F(NegativeMatchingTest, DifferentBaseTable) {
+  DefineAst("a", "select aid, count(*) as c from acct group by aid");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, count(*) as c from trans "
+                          "group by faid",
+                          /*expect_rewrite=*/false);
+}
+
+// The query has a self-join; the AST covers only one occurrence. The rewrite
+// (via rejoin of the second occurrence) must still be CORRECT if taken; if
+// the matcher declines, direct execution answers. Either way results match.
+TEST_F(NegativeMatchingTest, SelfJoinHandledSafely) {
+  DefineAst("a", "select tid, faid, qty from trans where qty > 2");
+  QueryOptions off;
+  off.enable_rewrite = false;
+  const char* sql =
+      "select t1.faid, t2.faid as f2 from trans t1, trans t2 "
+      "where t1.tid = t2.tid and t1.qty > 2 and t2.qty > 2";
+  auto direct = db_->Query(sql, off);
+  auto routed = db_->Query(sql);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(routed.ok());
+  EXPECT_TRUE(engine::SameRowMultiset(direct->relation, routed->relation));
+}
+
+// Cube AST with every cuboid lacking a needed column (Fig. 13 Q11.3 family).
+TEST_F(NegativeMatchingTest, NoCuboidCoversQuery) {
+  DefineAst("a",
+            "select flid, faid, year(date) as y, count(*) as c from trans "
+            "group by grouping sets ((flid, year(date)), (faid, year(date)))");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select flid, faid, count(*) as c from trans "
+                          "group by flid, faid",
+                          /*expect_rewrite=*/false);
+}
+
+// A cube query against a simple AST that covers its union grouping set IS
+// answerable (the 5.2 fallback with one implicit cuboid)...
+TEST_F(NegativeMatchingTest, CubeQueryVsCoveringSimpleAst) {
+  DefineAst("a",
+            "select flid, year(date) as y, count(*) as c from trans "
+            "group by flid, year(date)");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select flid, year(date) as y, count(*) as c "
+                          "from trans group by rollup(flid, year(date))");
+}
+
+// ...but a simple AST NOT covering the union grouping set is not.
+TEST_F(NegativeMatchingTest, CubeQueryVsNonCoveringSimpleAst) {
+  DefineAst("a",
+            "select flid, count(*) as c from trans group by flid");
+  ExpectRewriteEquivalent(db_.get(),
+                          "select flid, year(date) as y, count(*) as c "
+                          "from trans group by rollup(flid, year(date))",
+                          /*expect_rewrite=*/false);
+}
+
+// HAVING inside the AST (Table 1) — also in paper_examples_test, kept here
+// as part of the negative family with a different aggregate.
+TEST_F(NegativeMatchingTest, AstHavingRejected) {
+  DefineAst("a",
+            "select faid, flid, sum(qty) as q from trans "
+            "group by faid, flid having sum(qty) > 10");
+  // The coarser query needs the groups the AST's HAVING dropped; translation
+  // turns the query's predicate into sum(q) > 10, which does not match.
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, sum(qty) as q from trans "
+                          "group by faid having sum(qty) > 10",
+                          /*expect_rewrite=*/false);
+  // The *identical* query, by contrast, matches the AST exactly.
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, flid, sum(qty) as q from trans "
+                          "group by faid, flid having sum(qty) > 10");
+}
+
+// A filtering predicate involving an extra scalar subquery in the AST is NOT
+// a lossless join predicate: the AST lost rows the query needs.
+TEST_F(NegativeMatchingTest, ExtraScalarSubqueryFilterIsRejected) {
+  DefineAst("a",
+            "select tid, faid, qty from trans "
+            "where qty > (select min(qty) from trans)");
+  ExpectRewriteEquivalent(db_.get(), "select faid, qty from trans",
+                          /*expect_rewrite=*/false);
+  // But a query carrying the SAME subquery predicate matches: the scalar
+  // children pair up and the predicates are equivalent.
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, qty from trans "
+                          "where qty > (select min(qty) from trans)");
+}
+
+}  // namespace
+}  // namespace sumtab

@@ -1,0 +1,146 @@
+// Tests for QGM normalization: select-merge (paper footnote 6) and graph
+// compaction.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "qgm/qgm.h"
+#include "qgm/qgm_builder.h"
+#include "sql/parser.h"
+
+namespace sumtab {
+namespace {
+
+using qgm::Box;
+using qgm::Graph;
+
+catalog::Catalog MakeCatalog() {
+  catalog::Catalog cat;
+  catalog::Table t;
+  t.name = "t";
+  t.columns = {{"a", Type::kInt, false},
+               {"b", Type::kInt, false},
+               {"c", Type::kDouble, false}};
+  t.primary_key = {"a"};
+  EXPECT_TRUE(cat.AddTable(t).ok());
+  catalog::Table u;
+  u.name = "u";
+  u.columns = {{"k", Type::kInt, false}, {"v", Type::kString, false}};
+  u.primary_key = {"k"};
+  EXPECT_TRUE(cat.AddTable(u).ok());
+  return cat;
+}
+
+Graph Build(const std::string& sql, const catalog::Catalog& cat) {
+  auto stmt = sql::Parse(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto graph = qgm::BuildGraph(**stmt, cat);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  return std::move(*graph);
+}
+
+int CountBoxes(const Graph& g, Box::Kind kind) {
+  int n = 0;
+  for (qgm::BoxId id : g.TopologicalOrder()) {
+    n += g.box(id)->kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+TEST(NormalizeTest, DerivedTableMergesIntoOneSelect) {
+  catalog::Catalog cat = MakeCatalog();
+  // Without normalization this is two stacked SELECT boxes.
+  Graph g = Build(
+      "select x + 1 as y from (select a + b as x from t where b > 0) d "
+      "where x < 100",
+      cat);
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kSelect), 1);
+  const Box* root = g.box(g.root());
+  // Both predicates live in the merged box; the output inlines x.
+  EXPECT_EQ(root->predicates.size(), 2u);
+  ASSERT_EQ(root->outputs.size(), 1u);
+}
+
+TEST(NormalizeTest, ChainOfThreeMerges) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select z from (select y as z from (select a as y from t) d1) d2",
+      cat);
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kSelect), 1);
+  // No orphans remain after compaction.
+  EXPECT_EQ(g.size(), 2);  // base + select
+}
+
+TEST(NormalizeTest, JoinOfDerivedTablesMerges) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select x, v from (select a as x, b from t) d, u "
+      "where d.b = u.k",
+      cat);
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kSelect), 1);
+  const Box* root = g.box(g.root());
+  EXPECT_EQ(root->quantifiers.size(), 2u);  // t and u spliced side by side
+}
+
+TEST(NormalizeTest, DistinctChildIsNotMerged) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select x from (select distinct a as x from t) d where x > 0", cat);
+  // DISTINCT changes multiplicity: the child select must survive.
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kSelect), 2);
+}
+
+TEST(NormalizeTest, GroupByBlocksAreNotMerged) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select x, n from (select a as x, count(*) as n from t group by a) d "
+      "where n > 1",
+      cat);
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kGroupBy), 1);
+  // The outer select merged with the block's top select; the GROUP-BY's own
+  // lower select remains.
+  EXPECT_EQ(CountBoxes(g, Box::Kind::kSelect), 2);
+}
+
+TEST(NormalizeTest, ScalarSubqueryQuantifierSurvivesSplicing) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select x from (select a as x, (select max(k) from u) as mk from t) d "
+      "where mk > 0",
+      cat);
+  const Box* root = g.box(g.root());
+  bool has_scalar = false;
+  for (const auto& q : root->quantifiers) {
+    has_scalar = has_scalar || q.kind == qgm::Quantifier::Kind::kScalar;
+  }
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(NormalizeTest, MergedGraphStillExecutesViaInfo) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build(
+      "select x * c as w from (select a + b as x, c from t) d where x > 1",
+      cat);
+  // column_info was inferred post-merge.
+  const Box* root = g.box(g.root());
+  ASSERT_EQ(root->column_info.size(), 1u);
+  EXPECT_EQ(root->column_info[0].type, Type::kDouble);
+}
+
+TEST(NormalizeTest, CompactRemovesOrphansAndRemapsIds) {
+  catalog::Catalog cat = MakeCatalog();
+  Graph g = Build("select z from (select a as z from t) d", cat);
+  // After normalization + compaction, every box id is < size and every
+  // quantifier points to a valid box.
+  for (int id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(g.box(id)->id, id);
+    for (const auto& q : g.box(id)->quantifiers) {
+      EXPECT_GE(q.child, 0);
+      EXPECT_LT(q.child, g.size());
+    }
+  }
+  EXPECT_GE(g.root(), 0);
+  EXPECT_LT(g.root(), g.size());
+}
+
+}  // namespace
+}  // namespace sumtab

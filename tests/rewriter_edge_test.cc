@@ -1,0 +1,175 @@
+// Rewriter edge cases: exact whole-query matches, partial-subtree
+// replacement, extra subsumer columns, IS NULL predicates, and the
+// highest-box selection rule.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+using testing::ExpectRewriteEquivalent;
+using testing::MakeCardDb;
+
+class RewriterEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { db_ = MakeCardDb(2000); }
+  std::unique_ptr<Database> db_;
+};
+
+// The query IS the AST definition: an exact match; the rewrite degenerates
+// to a scan + projection of the materialized table.
+TEST_F(RewriterEdgeTest, IdenticalQueryScansTheSummaryTable) {
+  const char* sql =
+      "select faid, year(date) as y, count(*) as c from trans "
+      "group by faid, year(date)";
+  ASSERT_TRUE(db_->DefineSummaryTable("s", sql).ok());
+  std::string rewritten = ExpectRewriteEquivalent(db_.get(), sql);
+  // The rewritten form must not scan trans at all.
+  EXPECT_EQ(rewritten.find("from trans"), std::string::npos) << rewritten;
+  EXPECT_NE(rewritten.find("from s"), std::string::npos) << rewritten;
+}
+
+// The AST has MORE columns than the query needs (paper footnote 5: still an
+// exact match; compensation just projects).
+TEST_F(RewriterEdgeTest, ExtraSubsumerColumnsAreProjectedAway) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select faid, flid, year(date) as y, count(*) as c, "
+                    "sum(qty) as q, min(price) as mn from trans "
+                    "group by faid, flid, year(date)")
+                  .ok());
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid, flid, year(date) as y, sum(qty) as q "
+                          "from trans group by faid, flid, year(date)");
+}
+
+// Column order in the query differs from the AST.
+TEST_F(RewriterEdgeTest, PermutedColumns) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select faid, year(date) as y, count(*) as c from trans "
+                    "group by faid, year(date)")
+                  .ok());
+  ExpectRewriteEquivalent(db_.get(),
+                          "select count(*) as c, year(date) as y, faid "
+                          "from trans group by year(date), faid");
+}
+
+// Only a subtree of the query matches: the outer join to pgroup remains.
+TEST_F(RewriterEdgeTest, PartialSubtreeReplacement) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select fpgid, year(date) as y, count(*) as c from trans "
+                    "group by fpgid, year(date)")
+                  .ok());
+  std::string rewritten = ExpectRewriteEquivalent(
+      db_.get(),
+      "select pgname, y, c from pgroup, "
+      "(select fpgid, year(date) as y, count(*) as c from trans "
+      "group by fpgid, year(date)) agg where pgid = fpgid");
+  EXPECT_NE(rewritten.find("pgroup"), std::string::npos);
+  EXPECT_NE(rewritten.find("from s"), std::string::npos) << rewritten;
+}
+
+// IS NULL / IS NOT NULL predicates translate and derive like any other.
+TEST_F(RewriterEdgeTest, IsNullPredicates) {
+  ASSERT_TRUE(db_->CreateTable("notes",
+                               {catalog::Column{"id", Type::kInt, false},
+                                catalog::Column{"txt", Type::kString, true}},
+                               {"id"})
+                  .ok());
+  ASSERT_TRUE(db_->BulkLoad("notes", {{Value::Int(1), Value::String("a")},
+                                      {Value::Int(2), Value::Null()},
+                                      {Value::Int(3), Value::Null()}})
+                  .ok());
+  ASSERT_TRUE(db_->DefineSummaryTable("s", "select id, txt from notes").ok());
+  std::string rewritten = ExpectRewriteEquivalent(
+      db_.get(), "select id from notes where txt is null");
+  EXPECT_NE(rewritten.find("is null"), std::string::npos) << rewritten;
+  ExpectRewriteEquivalent(db_.get(),
+                          "select id from notes where txt is not null");
+}
+
+// When both an inner block and the whole query match, the rewriter must
+// replace the HIGHEST box (whole query), not just the inner block.
+TEST_F(RewriterEdgeTest, HighestMatchedBoxWins) {
+  const char* sql =
+      "select tcnt, count(*) as n from (select faid, count(*) as tcnt "
+      "from trans group by faid) group by tcnt";
+  ASSERT_TRUE(db_->DefineSummaryTable("whole", sql).ok());
+  std::string rewritten = ExpectRewriteEquivalent(db_.get(), sql);
+  // Full replacement: no aggregation remains in the rewritten SQL.
+  EXPECT_EQ(rewritten.find("count("), std::string::npos) << rewritten;
+}
+
+// Expression-level predicates: the AST column is an expression, the query
+// filters on it.
+TEST_F(RewriterEdgeTest, PredicateOnDerivedExpression) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select tid, qty * price as v, disc from trans")
+                  .ok());
+  ExpectRewriteEquivalent(
+      db_.get(), "select tid from trans where qty * price > 500");
+}
+
+// Arithmetic-identity boundary: qty*price in the query vs price*qty in the
+// AST (commutativity is handled by the semantic comparison).
+TEST_F(RewriterEdgeTest, CommutedExpressionStillDerives) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s", "select tid, price * qty as v from trans")
+                  .ok());
+  ExpectRewriteEquivalent(db_.get(),
+                          "select qty * price as w from trans");
+}
+
+// BETWEEN desugars into range conjuncts, so the paper's footnote-4
+// subsumption applies: an AST filtered on a wider range answers a query
+// filtered on a narrower one, re-applying the narrower bounds.
+TEST_F(RewriterEdgeTest, BetweenSubsumption) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select tid, faid, qty from trans "
+                    "where qty between 1 and 5")
+                  .ok());
+  ExpectRewriteEquivalent(
+      db_.get(), "select faid from trans where qty between 2 and 4");
+  // The reverse — query range wider than the AST's — must be rejected.
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid from trans where qty between 0 and 9",
+                          /*expect_rewrite=*/false);
+}
+
+// IN desugars into an OR of equalities; an identical IN predicate matches.
+TEST_F(RewriterEdgeTest, InPredicateMatches) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select tid, faid, qty from trans where qty in (2, 3)")
+                  .ok());
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid from trans where qty in (2, 3)");
+  // A different IN list must not match.
+  ExpectRewriteEquivalent(db_.get(),
+                          "select faid from trans where qty in (2, 4)",
+                          /*expect_rewrite=*/false);
+}
+
+// Self-referencing sanity: after a rewrite, running the NewQ SQL through the
+// rewriter again must not change the answer (idempotence under re-entry).
+TEST_F(RewriterEdgeTest, RewrittenQueryIsStable) {
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s",
+                    "select faid, count(*) as c from trans group by faid")
+                  .ok());
+  auto first = db_->Query("select faid, count(*) as c from trans "
+                          "group by faid");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->used_summary_table);
+  auto second = db_->Query(first->rewritten_sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(engine::SameRowMultiset(first->relation, second->relation));
+}
+
+}  // namespace
+}  // namespace sumtab

@@ -1,0 +1,55 @@
+// Shared helpers for the test suite.
+#ifndef SUMTAB_TESTS_TEST_UTIL_H_
+#define SUMTAB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/card_schema.h"
+#include "engine/relation.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace testing {
+
+/// A small credit-card database (fast to build, still exercises skew).
+inline std::unique_ptr<Database> MakeCardDb(int64_t num_trans = 5000,
+                                            uint64_t seed = 42) {
+  auto db = std::make_unique<Database>();
+  data::CardSchemaParams params;
+  params.num_trans = num_trans;
+  params.seed = seed;
+  Status st = data::SetupCardSchema(db.get(), params);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return db;
+}
+
+/// Runs `sql` twice — rewriting disabled and enabled — and asserts both that
+/// the rewrite HAPPENED (when expect_rewrite) and that the results agree as
+/// row multisets. Returns the rewritten SQL for inspection.
+inline std::string ExpectRewriteEquivalent(Database* db,
+                                           const std::string& sql,
+                                           bool expect_rewrite = true) {
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  StatusOr<QueryResult> direct = db->Query(sql, no_rewrite);
+  EXPECT_TRUE(direct.ok()) << direct.status().ToString() << "\n" << sql;
+  if (!direct.ok()) return "";
+  StatusOr<QueryResult> routed = db->Query(sql);
+  EXPECT_TRUE(routed.ok()) << routed.status().ToString() << "\n" << sql;
+  if (!routed.ok()) return "";
+  EXPECT_EQ(routed->used_summary_table, expect_rewrite)
+      << sql << "\nrewritten: " << routed->rewritten_sql;
+  EXPECT_TRUE(engine::SameRowMultiset(direct->relation, routed->relation))
+      << sql << "\nrewritten: " << routed->rewritten_sql << "\ndirect:\n"
+      << direct->relation.ToString(20) << "\nrouted:\n"
+      << routed->relation.ToString(20);
+  return routed->rewritten_sql;
+}
+
+}  // namespace testing
+}  // namespace sumtab
+
+#endif  // SUMTAB_TESTS_TEST_UTIL_H_
