@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_advisor_budget.dir/bench_advisor_budget.cc.o"
+  "CMakeFiles/bench_advisor_budget.dir/bench_advisor_budget.cc.o.d"
+  "bench_advisor_budget"
+  "bench_advisor_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_advisor_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nested_gb.dir/bench_fig10_nested_gb.cc.o"
+  "CMakeFiles/bench_fig10_nested_gb.dir/bench_fig10_nested_gb.cc.o.d"
+  "bench_fig10_nested_gb"
+  "bench_fig10_nested_gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nested_gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_subquery.dir/bench_fig11_subquery.cc.o"
+  "CMakeFiles/bench_fig11_subquery.dir/bench_fig11_subquery.cc.o.d"
+  "bench_fig11_subquery"
+  "bench_fig11_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

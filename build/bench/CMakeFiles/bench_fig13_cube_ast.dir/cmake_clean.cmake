@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cube_ast.dir/bench_fig13_cube_ast.cc.o"
+  "CMakeFiles/bench_fig13_cube_ast.dir/bench_fig13_cube_ast.cc.o.d"
+  "bench_fig13_cube_ast"
+  "bench_fig13_cube_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cube_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

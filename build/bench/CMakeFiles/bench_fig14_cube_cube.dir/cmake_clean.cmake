@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cube_cube.dir/bench_fig14_cube_cube.cc.o"
+  "CMakeFiles/bench_fig14_cube_cube.dir/bench_fig14_cube_cube.cc.o.d"
+  "bench_fig14_cube_cube"
+  "bench_fig14_cube_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cube_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rejoin_extra.dir/bench_fig5_rejoin_extra.cc.o"
+  "CMakeFiles/bench_fig5_rejoin_extra.dir/bench_fig5_rejoin_extra.cc.o.d"
+  "bench_fig5_rejoin_extra"
+  "bench_fig5_rejoin_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rejoin_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

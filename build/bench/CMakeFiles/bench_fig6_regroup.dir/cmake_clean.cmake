@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_regroup.dir/bench_fig6_regroup.cc.o"
+  "CMakeFiles/bench_fig6_regroup.dir/bench_fig6_regroup.cc.o.d"
+  "bench_fig6_regroup"
+  "bench_fig6_regroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_regroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pullup.dir/bench_fig7_pullup.cc.o"
+  "CMakeFiles/bench_fig7_pullup.dir/bench_fig7_pullup.cc.o.d"
+  "bench_fig7_pullup"
+  "bench_fig7_pullup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pullup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gb_rejoin.dir/bench_fig8_gb_rejoin.cc.o"
+  "CMakeFiles/bench_fig8_gb_rejoin.dir/bench_fig8_gb_rejoin.cc.o.d"
+  "bench_fig8_gb_rejoin"
+  "bench_fig8_gb_rejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gb_rejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

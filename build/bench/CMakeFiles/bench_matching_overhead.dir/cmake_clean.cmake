@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_overhead.dir/bench_matching_overhead.cc.o"
+  "CMakeFiles/bench_matching_overhead.dir/bench_matching_overhead.cc.o.d"
+  "bench_matching_overhead"
+  "bench_matching_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

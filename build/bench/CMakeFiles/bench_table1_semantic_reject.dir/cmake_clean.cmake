@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_semantic_reject.dir/bench_table1_semantic_reject.cc.o"
+  "CMakeFiles/bench_table1_semantic_reject.dir/bench_table1_semantic_reject.cc.o.d"
+  "bench_table1_semantic_reject"
+  "bench_table1_semantic_reject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_semantic_reject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

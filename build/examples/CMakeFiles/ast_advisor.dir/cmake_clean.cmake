@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_advisor.dir/ast_advisor.cpp.o"
+  "CMakeFiles/ast_advisor.dir/ast_advisor.cpp.o.d"
+  "ast_advisor"
+  "ast_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_analysis.dir/histogram_analysis.cpp.o"
+  "CMakeFiles/histogram_analysis.dir/histogram_analysis.cpp.o.d"
+  "histogram_analysis"
+  "histogram_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

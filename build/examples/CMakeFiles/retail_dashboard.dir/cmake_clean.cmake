@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_dashboard.dir/retail_dashboard.cpp.o"
+  "CMakeFiles/retail_dashboard.dir/retail_dashboard.cpp.o.d"
+  "retail_dashboard"
+  "retail_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

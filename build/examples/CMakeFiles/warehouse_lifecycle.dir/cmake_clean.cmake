@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_lifecycle.dir/warehouse_lifecycle.cpp.o"
+  "CMakeFiles/warehouse_lifecycle.dir/warehouse_lifecycle.cpp.o.d"
+  "warehouse_lifecycle"
+  "warehouse_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

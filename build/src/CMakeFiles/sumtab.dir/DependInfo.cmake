@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/advisor.cc" "src/CMakeFiles/sumtab.dir/advisor/advisor.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/advisor/advisor.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/sumtab.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/sumtab.dir/common/date.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/common/date.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sumtab.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/sumtab.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/sumtab.dir/common/value.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/common/value.cc.o.d"
+  "/root/repo/src/data/card_schema.cc" "src/CMakeFiles/sumtab.dir/data/card_schema.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/data/card_schema.cc.o.d"
+  "/root/repo/src/data/tpcd_schema.cc" "src/CMakeFiles/sumtab.dir/data/tpcd_schema.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/data/tpcd_schema.cc.o.d"
+  "/root/repo/src/engine/aggregator.cc" "src/CMakeFiles/sumtab.dir/engine/aggregator.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/engine/aggregator.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/sumtab.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/engine/executor.cc.o.d"
+  "/root/repo/src/engine/relation.cc" "src/CMakeFiles/sumtab.dir/engine/relation.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/engine/relation.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/sumtab.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/expr_eval.cc" "src/CMakeFiles/sumtab.dir/expr/expr_eval.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/expr/expr_eval.cc.o.d"
+  "/root/repo/src/expr/expr_print.cc" "src/CMakeFiles/sumtab.dir/expr/expr_print.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/expr/expr_print.cc.o.d"
+  "/root/repo/src/expr/expr_rewrite.cc" "src/CMakeFiles/sumtab.dir/expr/expr_rewrite.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/expr/expr_rewrite.cc.o.d"
+  "/root/repo/src/matching/column_equivalence.cc" "src/CMakeFiles/sumtab.dir/matching/column_equivalence.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/column_equivalence.cc.o.d"
+  "/root/repo/src/matching/cube.cc" "src/CMakeFiles/sumtab.dir/matching/cube.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/cube.cc.o.d"
+  "/root/repo/src/matching/derive.cc" "src/CMakeFiles/sumtab.dir/matching/derive.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/derive.cc.o.d"
+  "/root/repo/src/matching/groupby_groupby.cc" "src/CMakeFiles/sumtab.dir/matching/groupby_groupby.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/groupby_groupby.cc.o.d"
+  "/root/repo/src/matching/match_result.cc" "src/CMakeFiles/sumtab.dir/matching/match_result.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/match_result.cc.o.d"
+  "/root/repo/src/matching/navigator.cc" "src/CMakeFiles/sumtab.dir/matching/navigator.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/navigator.cc.o.d"
+  "/root/repo/src/matching/predicate_match.cc" "src/CMakeFiles/sumtab.dir/matching/predicate_match.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/predicate_match.cc.o.d"
+  "/root/repo/src/matching/rewriter.cc" "src/CMakeFiles/sumtab.dir/matching/rewriter.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/rewriter.cc.o.d"
+  "/root/repo/src/matching/select_select.cc" "src/CMakeFiles/sumtab.dir/matching/select_select.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/select_select.cc.o.d"
+  "/root/repo/src/matching/translate.cc" "src/CMakeFiles/sumtab.dir/matching/translate.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/matching/translate.cc.o.d"
+  "/root/repo/src/qgm/qgm.cc" "src/CMakeFiles/sumtab.dir/qgm/qgm.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/qgm/qgm.cc.o.d"
+  "/root/repo/src/qgm/qgm_builder.cc" "src/CMakeFiles/sumtab.dir/qgm/qgm_builder.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/qgm/qgm_builder.cc.o.d"
+  "/root/repo/src/qgm/qgm_print.cc" "src/CMakeFiles/sumtab.dir/qgm/qgm_print.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/qgm/qgm_print.cc.o.d"
+  "/root/repo/src/qgm/qgm_to_sql.cc" "src/CMakeFiles/sumtab.dir/qgm/qgm_to_sql.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/qgm/qgm_to_sql.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sumtab.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sumtab.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/sql_ast.cc" "src/CMakeFiles/sumtab.dir/sql/sql_ast.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/sql/sql_ast.cc.o.d"
+  "/root/repo/src/sumtab/database.cc" "src/CMakeFiles/sumtab.dir/sumtab/database.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/sumtab/database.cc.o.d"
+  "/root/repo/src/sumtab/maintenance.cc" "src/CMakeFiles/sumtab.dir/sumtab/maintenance.cc.o" "gcc" "src/CMakeFiles/sumtab.dir/sumtab/maintenance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

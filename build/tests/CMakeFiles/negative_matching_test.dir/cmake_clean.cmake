@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_matching_test.dir/negative_matching_test.cc.o"
+  "CMakeFiles/negative_matching_test.dir/negative_matching_test.cc.o.d"
+  "negative_matching_test"
+  "negative_matching_test.pdb"
+  "negative_matching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgm_test.dir/qgm_test.cc.o"
+  "CMakeFiles/qgm_test.dir/qgm_test.cc.o.d"
+  "qgm_test"
+  "qgm_test.pdb"
+  "qgm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_edge_test.dir/rewriter_edge_test.cc.o"
+  "CMakeFiles/rewriter_edge_test.dir/rewriter_edge_test.cc.o.d"
+  "rewriter_edge_test"
+  "rewriter_edge_test.pdb"
+  "rewriter_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

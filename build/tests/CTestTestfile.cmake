@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/qgm_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/matching_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/negative_matching_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_property_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/navigator_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/cube_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rewriter_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
