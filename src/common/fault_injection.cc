@@ -1,0 +1,54 @@
+#include "common/fault_injection.h"
+
+namespace sumtab {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, Status failure, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_[point] = Armed{std::move(failure), times};
+  active_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.erase(point);
+  // Counters stay live (tests often assert hits after the scenario); the
+  // active flag stays set until Reset so they keep accumulating.
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.clear();
+  hits_.clear();
+  trips_.clear();
+  active_.store(false, std::memory_order_release);
+}
+
+int64_t FaultInjector::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(point);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+int64_t FaultInjector::Trips(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = trips_.find(point);
+  return it == trips_.end() ? 0 : it->second;
+}
+
+Status FaultInjector::Check(const char* point) {
+  if (!active_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hits_[point];
+  auto it = armed_.find(point);
+  if (it == armed_.end() || it->second.remaining == 0) return Status::OK();
+  if (it->second.remaining > 0) --it->second.remaining;
+  ++trips_[point];
+  return it->second.failure;
+}
+
+}  // namespace sumtab

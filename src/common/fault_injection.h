@@ -1,0 +1,100 @@
+// Deterministic fault injection for resilience tests.
+//
+// Production code marks failure points with SUMTAB_FAULT_POINT("area/site");
+// tests arm a point with a Status and a trip budget, run the scenario, and
+// assert on the fallback behavior plus the injector's counters. When nothing
+// has ever been armed, a fault point is a single relaxed atomic load.
+//
+//   FaultInjector::Instance().Arm("rewriter/translate",
+//                                 Status::Internal("boom"), /*times=*/2);
+//   ... run queries: the first two passes through the point fail ...
+//   EXPECT_EQ(FaultInjector::Instance().Trips("rewriter/translate"), 2);
+//   FaultInjector::Instance().Reset();
+//
+// ScopedFault arms in its constructor and resets the point on destruction,
+// so a test cannot leak an armed fault into the next test.
+#ifndef SUMTAB_COMMON_FAULT_INJECTION_H_
+#define SUMTAB_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sumtab {
+
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Arms `point`: the next `times` passes through it fail with `failure`
+  /// (times < 0 = fail forever). Re-arming replaces the previous setting.
+  void Arm(const std::string& point, Status failure, int times = 1);
+
+  /// Disarms one point (its counters survive until Reset).
+  void Disarm(const std::string& point);
+
+  /// Disarms every point and zeroes all counters.
+  void Reset();
+
+  /// Times the point was evaluated while the injector was active.
+  int64_t Hits(const std::string& point) const;
+
+  /// Times the point actually returned an injected failure.
+  int64_t Trips(const std::string& point) const;
+
+  /// Called by SUMTAB_FAULT_POINT. OK unless the point is armed with
+  /// remaining budget. Hit/trip counters only accumulate while at least one
+  /// Arm() has happened since the last Reset() — the production fast path is
+  /// one atomic load.
+  Status Check(const char* point);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+ private:
+  FaultInjector() = default;
+
+  struct Armed {
+    Status failure;
+    int remaining = 0;  // < 0 = unlimited
+  };
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Armed> armed_;
+  std::map<std::string, int64_t> hits_;
+  std::map<std::string, int64_t> trips_;
+};
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, Status failure, int times = 1)
+      : point_(std::move(point)) {
+    FaultInjector::Instance().Arm(point_, std::move(failure), times);
+  }
+  ~ScopedFault() { FaultInjector::Instance().Disarm(point_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string point_;
+};
+
+}  // namespace sumtab
+
+// Evaluates a named failure point; returns the injected Status from the
+// enclosing function when armed. Works in functions returning Status or
+// StatusOr<T> (StatusOr converts from a non-OK Status).
+#define SUMTAB_FAULT_POINT(name)                                       \
+  do {                                                                 \
+    ::sumtab::Status _sumtab_fault_st =                                \
+        ::sumtab::FaultInjector::Instance().Check(name);               \
+    if (!_sumtab_fault_st.ok()) return _sumtab_fault_st;               \
+  } while (false)
+
+#endif  // SUMTAB_COMMON_FAULT_INJECTION_H_

@@ -16,6 +16,8 @@ std::string Status::ToString() const {
       return "NotSupported: " + message_;
     case Code::kInternal:
       return "Internal: " + message_;
+    case Code::kResourceExhausted:
+      return "ResourceExhausted: " + message_;
   }
   return "Unknown";
 }

@@ -10,7 +10,9 @@
 namespace sumtab {
 
 /// Result of an operation that can fail. Cheap to copy on the OK path.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides errors — propagate it,
+/// test it, or cast to void with an explanation.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -19,6 +21,7 @@ class Status {
     kAlreadyExists,
     kNotSupported,
     kInternal,
+    kResourceExhausted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -39,6 +42,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -56,7 +62,7 @@ class Status {
 
 /// Either a value or an error Status. Dereference only when ok().
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() && "use the value constructor for OK results");
@@ -65,6 +71,8 @@ class StatusOr {
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
+  /// Shorthand for status().code() — kOk when a value is held.
+  Status::Code code() const { return status_.code(); }
 
   T& value() & {
     assert(ok());
@@ -77,6 +85,16 @@ class StatusOr {
   T&& value() && {
     assert(ok());
     return std::move(*value_);
+  }
+
+  /// The value, or `fallback` on error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+  template <typename U>
+  T value_or(U&& fallback) && {
+    return ok() ? std::move(*value_) : static_cast<T>(std::forward<U>(fallback));
   }
 
   T& operator*() & { return value(); }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "engine/aggregator.h"
 #include "expr/expr_eval.h"
 #include "expr/expr_rewrite.h"
@@ -47,11 +48,37 @@ bool IsEquiJoin(const ExprPtr& pred, int* qa, int* ca, int* qb, int* cb) {
 
 }  // namespace
 
+Status Executor::Charge(int64_t rows) {
+  rows_charged_ += rows;
+  if (options_.max_rows > 0 && rows_charged_ > options_.max_rows) {
+    return Status::ResourceExhausted(
+        "query exceeded its row budget (" +
+        std::to_string(options_.max_rows) + " rows materialized)");
+  }
+  deadline_poll_ += rows;
+  if (has_deadline_ && deadline_poll_ >= 1024) {
+    deadline_poll_ = 0;
+    return CheckDeadline();
+  }
+  return Status::OK();
+}
+
+Status Executor::CheckDeadline() {
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    return Status::ResourceExhausted(
+        "query exceeded its time budget (" +
+        std::to_string(options_.timeout_millis) + " ms)");
+  }
+  return Status::OK();
+}
+
 StatusOr<Executor::RelPtr> Executor::ExecBox(const qgm::Graph& graph,
                                              BoxId id) {
+  SUMTAB_RETURN_NOT_OK(CheckDeadline());
   const Box& box = *graph.box(id);
   switch (box.kind) {
     case Box::Kind::kBase: {
+      SUMTAB_FAULT_POINT("executor/scan");
       if (options_.table_overrides != nullptr) {
         auto it = options_.table_overrides->find(box.table_name);
         if (it != options_.table_overrides->end()) {
@@ -96,6 +123,7 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
       }
     } else {
       child_rows[q] = rel->rows;  // copy; filtered below
+      SUMTAB_RETURN_NOT_OK(Charge(static_cast<int64_t>(child_rows[q].size())));
     }
   }
 
@@ -240,6 +268,7 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
         auto it = table.find(key);
         if (it == table.end()) continue;
         for (const Row* right : it->second) {
+          SUMTAB_RETURN_NOT_OK(Charge(1));
           Row merged = left;
           merged.insert(merged.end(), right->begin(), right->end());
           next_combined.push_back(std::move(merged));
@@ -255,6 +284,7 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
       next_combined.reserve(combined.size() * child_rows[next].size());
       for (const Row& left : combined) {
         for (const Row& right : child_rows[next]) {
+          SUMTAB_RETURN_NOT_OK(Charge(1));
           Row merged = left;
           merged.insert(merged.end(), right.begin(), right.end());
           next_combined.push_back(std::move(merged));
@@ -360,6 +390,7 @@ StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
   SUMTAB_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
       Aggregate(child->rows, grouping_cols, sets, aggs));
+  SUMTAB_RETURN_NOT_OK(Charge(static_cast<int64_t>(rows.size())));
   auto result = std::make_shared<Relation>();
   for (const auto& out : box.outputs) result->column_names.push_back(out.name);
   result->rows.reserve(rows.size());
@@ -377,6 +408,16 @@ StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
 }
 
 StatusOr<Relation> Executor::Execute(const qgm::Graph& graph) {
+  SUMTAB_FAULT_POINT("executor/execute");
+  rows_charged_ = 0;
+  deadline_poll_ = 0;
+  has_deadline_ = options_.timeout_millis > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.timeout_millis));
+  }
   SUMTAB_ASSIGN_OR_RETURN(RelPtr root, ExecBox(graph, graph.root()));
   Relation result = *root;  // copy; root may alias storage
   if (!graph.order_by().empty()) {

@@ -9,6 +9,8 @@
 #ifndef SUMTAB_ENGINE_EXECUTOR_H_
 #define SUMTAB_ENGINE_EXECUTOR_H_
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +30,15 @@ struct ExecOptions {
   /// relation instead of storage. Used by incremental summary-table
   /// maintenance to evaluate an AST definition against a delta.
   const std::map<std::string, const Relation*>* table_overrides = nullptr;
+  /// Row budget: total rows the plan may materialize across all operators
+  /// (join intermediates included). 0 = unbounded. Exceeding it aborts the
+  /// query with kResourceExhausted — runaway cross products die early
+  /// instead of exhausting memory.
+  int64_t max_rows = 0;
+  /// Wall-clock budget for the whole plan; 0 = none. Checked at operator
+  /// boundaries and periodically inside join loops; exceeding it returns
+  /// kResourceExhausted.
+  double timeout_millis = 0;
 };
 
 class Executor {
@@ -45,8 +56,18 @@ class Executor {
   StatusOr<RelPtr> ExecSelect(const qgm::Graph& graph, const qgm::Box& box);
   StatusOr<RelPtr> ExecGroupBy(const qgm::Graph& graph, const qgm::Box& box);
 
+  /// Accounts `rows` materialized rows against the budget; every 1024
+  /// charged rows it also polls the deadline (a clock read is too expensive
+  /// per row).
+  Status Charge(int64_t rows);
+  Status CheckDeadline();
+
   const Storage& storage_;
   ExecOptions options_;
+  int64_t rows_charged_ = 0;
+  int64_t deadline_poll_ = 0;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
 };
 
 }  // namespace engine

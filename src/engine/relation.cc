@@ -117,5 +117,14 @@ Relation* Storage::FindTableMutable(const std::string& name) {
   return it == tables_.end() ? nullptr : &it->second;
 }
 
+int64_t Storage::Epoch(const std::string& name) const {
+  auto it = epochs_.find(ToLower(name));
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+int64_t Storage::BumpEpoch(const std::string& name) {
+  return ++epochs_[ToLower(name)];
+}
+
 }  // namespace engine
 }  // namespace sumtab

@@ -33,6 +33,13 @@ bool SameRowMultiset(const Relation& a, const Relation& b);
 void SortRows(Relation* relation);
 
 /// Named table storage.
+///
+/// Every table additionally carries a monotonic *version epoch*, bumped by
+/// the facade on each data change (BulkLoad / Append). Summary tables record
+/// the epochs of their base tables at materialization time; comparing those
+/// against the current epochs is how freshness is decided. Epochs survive
+/// DropTable + AddTable cycles on purpose: replacing a table's contents is a
+/// data change, not a reset.
 class Storage {
  public:
   Status AddTable(const std::string& name, Relation relation);
@@ -41,8 +48,14 @@ class Storage {
   /// Mutable access for appends and incremental maintenance.
   Relation* FindTableMutable(const std::string& name);
 
+  /// Current version epoch of `name` (0 for never-modified / unknown tables).
+  int64_t Epoch(const std::string& name) const;
+  /// Marks a data change; returns the new epoch.
+  int64_t BumpEpoch(const std::string& name);
+
  private:
   std::map<std::string, Relation> tables_;  // keyed by lower-cased name
+  std::map<std::string, int64_t> epochs_;   // keyed by lower-cased name
 };
 
 }  // namespace engine

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "matching/groupby_core.h"
 #include "matching/match_fn.h"
 
@@ -61,6 +62,7 @@ StatusOr<MatchResult> MatchBoxes(MatchSession* session, BoxId subsumee,
 }
 
 Status RunNavigator(MatchSession* session) {
+  SUMTAB_FAULT_POINT("matcher/navigate");
   const qgm::Graph& query = session->query();
   const qgm::Graph& ast = session->ast();
   std::vector<int> qrank = ComputeRanks(query);

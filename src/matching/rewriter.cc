@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 
+#include "common/fault_injection.h"
 #include "matching/navigator.h"
 
 namespace sumtab {
@@ -18,6 +19,7 @@ using qgm::BoxId;
 StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
                                      const SummaryTableDef& ast,
                                      const catalog::Catalog& catalog) {
+  SUMTAB_FAULT_POINT("rewriter/rewrite");
   if (ast.graph == nullptr) {
     return Status::InvalidArgument("summary table has no definition graph");
   }

@@ -1,5 +1,6 @@
 #include "matching/translate.h"
 
+#include "common/fault_injection.h"
 #include "expr/expr_rewrite.h"
 
 namespace sumtab {
@@ -75,6 +76,7 @@ StatusOr<expr::ExprPtr> ExpandCompExpr(const MatchSession& session,
 }
 
 StatusOr<expr::ExprPtr> Translator::Translate(const expr::ExprPtr& e) const {
+  SUMTAB_FAULT_POINT("rewriter/translate");
   Status failure = Status::OK();
   expr::ExprPtr out = expr::RewriteLeaves(e, [&](const expr::ExprPtr& leaf)
                                                  -> expr::ExprPtr {

@@ -15,7 +15,8 @@ using expr::ExprPtr;
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, const ParseOptions& options)
+      : tokens_(std::move(tokens)), options_(options) {}
 
   StatusOr<std::shared_ptr<SelectStmt>> ParseStatement() {
     SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<SelectStmt> stmt, ParseSelect());
@@ -66,8 +67,27 @@ class Parser {
                                    msg + " (got '" + Peek().text + "')");
   }
 
+  // ---- recursion guardrail ----
+  // Every self-recursive production (subqueries, parenthesized expressions,
+  // NOT / unary-minus chains) increments depth_ for the duration of its
+  // frame; exceeding the limit yields kResourceExhausted instead of a stack
+  // overflow on adversarial input.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+  bool TooDeep() const { return depth_ > options_.max_depth; }
+  Status DepthError() const {
+    return Status::ResourceExhausted(
+        "query nesting exceeds the depth limit (" +
+        std::to_string(options_.max_depth) + ")");
+  }
+
   // ---- grammar ----
   StatusOr<std::shared_ptr<SelectStmt>> ParseSelect() {
+    DepthGuard guard(&depth_);
+    if (TooDeep()) return DepthError();
     SUMTAB_RETURN_NOT_OK(ExpectKeyword("select"));
     auto stmt = std::make_shared<SelectStmt>();
     stmt->distinct = AcceptKeyword("distinct");
@@ -262,7 +282,11 @@ class Parser {
   }
 
   // ---- expressions ----
-  StatusOr<ExprPtr> ParseExpr() { return ParseOr(); }
+  StatusOr<ExprPtr> ParseExpr() {
+    DepthGuard guard(&depth_);
+    if (TooDeep()) return DepthError();
+    return ParseOr();
+  }
 
   StatusOr<ExprPtr> ParseOr() {
     SUMTAB_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
@@ -284,6 +308,8 @@ class Parser {
 
   StatusOr<ExprPtr> ParseNot() {
     if (AcceptKeyword("not")) {
+      DepthGuard guard(&depth_);
+      if (TooDeep()) return DepthError();
       SUMTAB_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
       return expr::Unary(expr::UnaryOp::kNot, std::move(inner));
     }
@@ -386,6 +412,8 @@ class Parser {
 
   StatusOr<ExprPtr> ParseUnary() {
     if (AcceptSymbol("-")) {
+      DepthGuard guard(&depth_);
+      if (TooDeep()) return DepthError();
       SUMTAB_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
       return expr::Unary(expr::UnaryOp::kNeg, std::move(inner));
     }
@@ -496,13 +524,16 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  ParseOptions options_;
+  int depth_ = 0;
 };
 
 }  // namespace
 
-StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql) {
+StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql,
+                                            const ParseOptions& options) {
   SUMTAB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(std::move(tokens), options);
   return parser.ParseStatement();
 }
 

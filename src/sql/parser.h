@@ -14,8 +14,18 @@
 namespace sumtab {
 namespace sql {
 
+/// Guardrails against adversarial input. The parser is recursive-descent, so
+/// nesting depth maps directly onto C++ stack depth; the limits turn a
+/// potential stack overflow into a clean kResourceExhausted.
+struct ParseOptions {
+  /// Max combined nesting depth of expressions (parens, unary chains) and
+  /// subqueries. Generous for real queries, tiny versus the stack.
+  int max_depth = 64;
+};
+
 /// Parses a single SELECT statement; trailing input is an error.
-StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql);
+StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql,
+                                            const ParseOptions& options = {});
 
 }  // namespace sql
 }  // namespace sumtab

@@ -1,5 +1,6 @@
 #include "sumtab/database.h"
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "matching/rewriter.h"
 #include "qgm/qgm_builder.h"
@@ -8,6 +9,23 @@
 #include "sql/parser.h"
 
 namespace sumtab {
+
+namespace {
+
+/// Names of the tables scanned at the leaves of an AST definition.
+std::vector<std::string> LeafTables(const qgm::Graph& graph) {
+  std::vector<std::string> tables;
+  for (int id = 0; id < graph.size(); ++id) {
+    const qgm::Box* box = graph.box(id);
+    if (box->kind != qgm::Box::Kind::kBase) continue;
+    bool seen = false;
+    for (const std::string& t : tables) seen = seen || t == box->table_name;
+    if (!seen) tables.push_back(box->table_name);
+  }
+  return tables;
+}
+
+}  // namespace
 
 Database::Database() = default;
 Database::~Database() = default;
@@ -49,7 +67,12 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
   engine::Relation updated = *existing;
   for (Row& row : rows) updated.rows.push_back(std::move(row));
   SUMTAB_RETURN_NOT_OK(storage_.DropTable(table));
-  return storage_.AddTable(table, std::move(updated));
+  SUMTAB_RETURN_NOT_OK(storage_.AddTable(table, std::move(updated)));
+  // BulkLoad deliberately does not maintain summary tables; bumping the
+  // epoch is what flips dependent ASTs to kStale so the rewriter stops
+  // serving pre-load answers through them.
+  storage_.BumpEpoch(table);
+  return Status::OK();
 }
 
 StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
@@ -85,6 +108,7 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
   st->name = ToLower(name);
   st->sql = sql;
   st->graph = std::move(graph);
+  MarkRefreshed(st.get());
   summary_tables_.push_back(std::move(st));
   return rows;
 }
@@ -113,8 +137,89 @@ int64_t Database::TableRows(const std::string& name) const {
   return rel == nullptr ? 0 : static_cast<int64_t>(rel->NumRows());
 }
 
-StatusOr<std::unique_ptr<qgm::Graph>> Database::TryRewrite(
-    const qgm::Graph& query, std::string* chosen, int* candidates) {
+// ---- freshness bookkeeping ----
+
+Database::SummaryTable* Database::FindSummaryTable(const std::string& name) {
+  std::string key = ToLower(name);
+  for (const auto& st : summary_tables_) {
+    if (st->name == key) return st.get();
+  }
+  return nullptr;
+}
+
+const Database::SummaryTable* Database::FindSummaryTable(
+    const std::string& name) const {
+  return const_cast<Database*>(this)->FindSummaryTable(name);
+}
+
+int64_t Database::StalenessOf(const SummaryTable& st) const {
+  int64_t lag = 0;
+  for (const auto& [table, epoch] : st.materialized_epochs) {
+    int64_t current = storage_.Epoch(table);
+    if (current > epoch) lag += current - epoch;
+  }
+  return lag;
+}
+
+AstState Database::StateOf(const SummaryTable& st) const {
+  if (st.disabled) return AstState::kDisabled;
+  return StalenessOf(st) > 0 ? AstState::kStale : AstState::kFresh;
+}
+
+bool Database::UsableForRewrite(const SummaryTable& st,
+                                bool allow_stale) const {
+  if (st.disabled) return false;  // quarantine overrides everything
+  int64_t lag = StalenessOf(st);
+  return lag == 0 || lag <= st.max_staleness || allow_stale;
+}
+
+void Database::RecordAstFailure(SummaryTable* st) {
+  if (++st->consecutive_failures >= kQuarantineThreshold) {
+    st->disabled = true;
+  }
+}
+
+void Database::MarkRefreshed(SummaryTable* st) {
+  st->materialized_epochs.clear();
+  for (const std::string& table : LeafTables(st->graph)) {
+    st->materialized_epochs[ToLower(table)] = storage_.Epoch(table);
+  }
+  st->consecutive_failures = 0;
+  st->disabled = false;
+}
+
+StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
+    const std::string& name) const {
+  const SummaryTable* st = FindSummaryTable(name);
+  if (st == nullptr) {
+    return Status::NotFound("summary table '" + name + "'");
+  }
+  SummaryTableInfo info;
+  info.name = st->name;
+  info.state = StateOf(*st);
+  info.staleness = StalenessOf(*st);
+  info.max_staleness = st->max_staleness;
+  info.consecutive_failures = st->consecutive_failures;
+  return info;
+}
+
+Status Database::SetMaxStaleness(const std::string& name,
+                                 int64_t max_epoch_lag) {
+  if (max_epoch_lag < 0) {
+    return Status::InvalidArgument("max staleness must be >= 0");
+  }
+  SummaryTable* st = FindSummaryTable(name);
+  if (st == nullptr) {
+    return Status::NotFound("summary table '" + name + "'");
+  }
+  st->max_staleness = max_epoch_lag;
+  return Status::OK();
+}
+
+std::unique_ptr<qgm::Graph> Database::TryRewrite(
+    const qgm::Graph& query, const QueryOptions& options, std::string* chosen,
+    int* candidates, std::vector<std::string>* used_asts,
+    QueryDegradation* degradation) {
   *candidates = 0;
   // Cost heuristic: total rows scanned at the leaves.
   auto leaf_cost = [this](const qgm::Graph& graph) {
@@ -141,10 +246,24 @@ StatusOr<std::unique_ptr<qgm::Graph>> Database::TryRewrite(
     int64_t best_cost = current_cost;
     std::string best_name;
     for (const auto& st : summary_tables_) {
+      if (!UsableForRewrite(*st, options.allow_stale_reads)) continue;
       matching::SummaryTableDef def{st->name, &st->graph};
       StatusOr<matching::RewriteResult> rewrite = matching::RewriteQuery(
           current != nullptr ? *current : query, def, catalog_);
-      if (!rewrite.ok()) return rewrite.status();
+      if (!rewrite.ok()) {
+        // A broken AST must not take down the search: skip it, count the
+        // failure toward quarantine, and surface the event as degradation.
+        RecordAstFailure(st.get());
+        degradation->degraded = true;
+        degradation->stage = "rewrite";
+        if (!degradation->summary_table.empty()) {
+          degradation->summary_table += "+";
+        }
+        degradation->summary_table += st->name;
+        if (!degradation->message.empty()) degradation->message += "; ";
+        degradation->message += rewrite.status().ToString();
+        continue;
+      }
       if (!rewrite->rewritten) continue;
       if (round == 0) ++*candidates;
       int64_t cost = leaf_cost(rewrite->graph);
@@ -167,6 +286,7 @@ StatusOr<std::unique_ptr<qgm::Graph>> Database::TryRewrite(
     if (used.empty() || used.back() != best_name) used.push_back(best_name);
   }
   *chosen = Join(used, "+");
+  *used_asts = std::move(used);
   return current;
 }
 
@@ -179,21 +299,67 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
   QueryResult result;
   const qgm::Graph* to_run = &graph;
   std::unique_ptr<qgm::Graph> rewritten;
+  std::vector<std::string> used;
   if (options.enable_rewrite) {
     std::string chosen;
-    SUMTAB_ASSIGN_OR_RETURN(
-        rewritten, TryRewrite(graph, &chosen, &result.candidate_rewrites));
+    rewritten = TryRewrite(graph, options, &chosen, &result.candidate_rewrites,
+                           &used, &result.degradation);
     if (rewritten != nullptr) {
-      result.used_summary_table = true;
-      result.summary_table = chosen;
-      SUMTAB_ASSIGN_OR_RETURN(result.rewritten_sql, qgm::ToSql(*rewritten));
-      to_run = rewritten.get();
+      StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
+      if (new_sql.ok()) {
+        result.used_summary_table = true;
+        result.summary_table = chosen;
+        result.rewritten_sql = std::move(*new_sql);
+        to_run = rewritten.get();
+      } else {
+        // The rewrite can't be rendered/executed: degrade to base tables.
+        for (const std::string& name : used) {
+          if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
+        }
+        result.degradation.degraded = true;
+        result.degradation.stage = "rewrite";
+        result.degradation.summary_table = chosen;
+        if (!result.degradation.message.empty()) {
+          result.degradation.message += "; ";
+        }
+        result.degradation.message += new_sql.status().ToString();
+        rewritten.reset();
+      }
     }
   }
   engine::ExecOptions exec_options;
   exec_options.disable_hash_join = options.disable_hash_join;
+  exec_options.max_rows = options.max_rows;
+  exec_options.timeout_millis = options.timeout_millis;
   engine::Executor executor(storage_, exec_options);
-  SUMTAB_ASSIGN_OR_RETURN(result.relation, executor.Execute(*to_run));
+  StatusOr<engine::Relation> data = executor.Execute(*to_run);
+  if (!data.ok() && to_run != &graph) {
+    // Graceful degradation: the rewritten plan failed, so fall back to the
+    // base tables — a summary table is an optimization, never a requirement.
+    for (const std::string& name : used) {
+      if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
+    }
+    result.degradation.degraded = true;
+    result.degradation.stage = "execute";
+    result.degradation.summary_table = result.summary_table;
+    if (!result.degradation.message.empty()) result.degradation.message += "; ";
+    result.degradation.message += data.status().ToString();
+    result.used_summary_table = false;
+    result.summary_table.clear();
+    result.rewritten_sql.clear();
+    engine::Executor retry(storage_, exec_options);
+    data = retry.Execute(graph);
+  }
+  if (!data.ok()) return data.status();
+  if (result.used_summary_table) {
+    // Serving through the AST(s) worked: clear their failure streaks.
+    for (const std::string& name : used) {
+      if (SummaryTable* st = FindSummaryTable(name)) {
+        st->consecutive_failures = 0;
+      }
+    }
+  }
+  result.relation = std::move(*data);
   return result;
 }
 
@@ -204,9 +370,23 @@ StatusOr<std::string> Database::Explain(const std::string& sql) {
   std::string out = "-- original QGM --\n" + qgm::ToString(graph);
   std::string chosen;
   int candidates = 0;
-  SUMTAB_ASSIGN_OR_RETURN(std::unique_ptr<qgm::Graph> rewritten,
-                          TryRewrite(graph, &chosen, &candidates));
+  std::vector<std::string> used;
+  QueryDegradation degradation;
+  int skipped = 0;
+  for (const auto& st : summary_tables_) {
+    if (!UsableForRewrite(*st, /*allow_stale=*/false)) ++skipped;
+  }
+  std::unique_ptr<qgm::Graph> rewritten = TryRewrite(
+      graph, QueryOptions{}, &chosen, &candidates, &used, &degradation);
   out += "-- candidate rewrites: " + std::to_string(candidates) + "\n";
+  if (skipped > 0) {
+    out += "-- skipped " + std::to_string(skipped) +
+           " stale/quarantined summary table(s)\n";
+  }
+  if (degradation.degraded) {
+    out += "-- degraded (" + degradation.stage + "): " + degradation.message +
+           "\n";
+  }
   if (rewritten == nullptr) {
     out += "-- no summary table matches; executing against base tables\n";
     return out;

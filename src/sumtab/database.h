@@ -16,6 +16,8 @@
 #ifndef SUMTAB_SUMTAB_DATABASE_H_
 #define SUMTAB_SUMTAB_DATABASE_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,11 +30,39 @@
 
 namespace sumtab {
 
+/// Lifecycle state of a registered summary table (see DESIGN.md,
+/// "Freshness and degradation semantics").
+///   kFresh    — consistent with its base tables; eligible for rewriting.
+///   kStale    — a base table changed under it (BulkLoad without refresh);
+///               skipped by the rewriter unless the query opts into
+///               staleness or the AST's max-staleness covers the lag.
+///   kDisabled — quarantined after repeated failures; never used until a
+///               successful refresh revives it.
+enum class AstState { kFresh, kStale, kDisabled };
+
 struct QueryOptions {
   /// Attempt rerouting through registered summary tables.
   bool enable_rewrite = true;
   /// Engine knob for the join-strategy ablation bench.
   bool disable_hash_join = false;
+  /// Permit rerouting through kStale summary tables (answers may predate
+  /// the latest loads). kDisabled tables are never used.
+  bool allow_stale_reads = false;
+  /// Executor row budget (total materialized rows, join intermediates
+  /// included); 0 = unbounded. Exceeded => kResourceExhausted.
+  int64_t max_rows = 0;
+  /// Executor wall-clock budget in milliseconds; 0 = none.
+  double timeout_millis = 0;
+};
+
+/// Diagnostic attached to a QueryResult when something on the rewrite path
+/// failed and the engine recovered by answering from base tables (or by
+/// skipping the broken AST). The query itself still succeeded.
+struct QueryDegradation {
+  bool degraded = false;
+  std::string stage;          // "rewrite" or "execute"
+  std::string summary_table;  // implicated AST(s), '+'-joined
+  std::string message;        // underlying failure, for logs
 };
 
 struct QueryResult {
@@ -41,6 +71,19 @@ struct QueryResult {
   std::string summary_table;       // which AST answered the query
   std::string rewritten_sql;       // the NewQ form (empty if not rewritten)
   int candidate_rewrites = 0;      // how many ASTs offered a rewrite
+  QueryDegradation degradation;    // set when a failure was recovered
+};
+
+/// Introspection snapshot of one summary table's freshness bookkeeping.
+struct SummaryTableInfo {
+  std::string name;
+  AstState state = AstState::kFresh;
+  /// Total epoch lag across base tables (0 when fully fresh).
+  int64_t staleness = 0;
+  /// Lag this AST tolerates while still serving rewrites (default 0).
+  int64_t max_staleness = 0;
+  /// Consecutive rewrite-path failures since the last success/refresh.
+  int consecutive_failures = 0;
 };
 
 class Database {
@@ -64,12 +107,15 @@ class Database {
 
   // ---- maintenance (paper related problem (c), cf. Mumick et al. [10]) ----
 
-  enum class RefreshMode { kUnaffected, kIncremental, kRecompute };
+  /// kFailed: the refresh attempt errored; the AST is left stale (and may
+  /// be quarantined) but Append itself still succeeds — the base data is in.
+  enum class RefreshMode { kUnaffected, kIncremental, kRecompute, kFailed };
 
   struct RefreshEntry {
     std::string summary_table;
     RefreshMode mode = RefreshMode::kUnaffected;
     double millis = 0;
+    std::string error;  // set when mode == kFailed
   };
 
   struct MaintenanceReport {
@@ -98,6 +144,14 @@ class Database {
   Status DropSummaryTable(const std::string& name);
   std::vector<std::string> SummaryTableNames() const;
 
+  // ---- freshness ----
+  /// Freshness/quarantine snapshot for one summary table.
+  StatusOr<SummaryTableInfo> GetSummaryTableInfo(const std::string& name) const;
+  /// Allows `name` to keep serving rewrites while its base tables are at
+  /// most `max_epoch_lag` data changes ahead of its materialization
+  /// (bounded staleness; 0 restores exact freshness).
+  Status SetMaxStaleness(const std::string& name, int64_t max_epoch_lag);
+
   // ---- queries ----
   StatusOr<QueryResult> Query(const std::string& sql,
                               const QueryOptions& options = {});
@@ -117,13 +171,38 @@ class Database {
     std::string name;
     std::string sql;
     qgm::Graph graph;  // definition over base tables
+    /// Base-table epochs captured when the materialization last matched the
+    /// base data (define / refresh / successful incremental maintenance).
+    std::map<std::string, int64_t> materialized_epochs;
+    int64_t max_staleness = 0;
+    int consecutive_failures = 0;
+    bool disabled = false;  // quarantined until the next successful refresh
   };
 
-  /// Best rewrite across all registered ASTs (fewest estimated scanned
-  /// rows); null result when none matches.
-  StatusOr<std::unique_ptr<qgm::Graph>> TryRewrite(const qgm::Graph& query,
-                                                   std::string* chosen,
-                                                   int* candidates);
+  /// Consecutive rewrite-path failures before an AST is quarantined.
+  static constexpr int kQuarantineThreshold = 3;
+
+  /// Best rewrite across the usable (fresh-enough, non-quarantined) ASTs —
+  /// fewest estimated scanned rows; null result when none matches. An AST
+  /// whose match/rewrite errors is skipped (failure recorded for quarantine
+  /// accounting and appended to `degradation`) instead of failing the
+  /// search. `used_asts` receives the ASTs spliced into the rewrite.
+  std::unique_ptr<qgm::Graph> TryRewrite(const qgm::Graph& query,
+                                         const QueryOptions& options,
+                                         std::string* chosen, int* candidates,
+                                         std::vector<std::string>* used_asts,
+                                         QueryDegradation* degradation);
+
+  /// Epoch lag of `st` summed over its base tables.
+  int64_t StalenessOf(const SummaryTable& st) const;
+  AstState StateOf(const SummaryTable& st) const;
+  bool UsableForRewrite(const SummaryTable& st, bool allow_stale) const;
+  /// Counts a rewrite-path failure; quarantines at kQuarantineThreshold.
+  void RecordAstFailure(SummaryTable* st);
+  /// Marks `st` consistent with the current base epochs and revives it.
+  void MarkRefreshed(SummaryTable* st);
+  SummaryTable* FindSummaryTable(const std::string& name);
+  const SummaryTable* FindSummaryTable(const std::string& name) const;
 
   catalog::Catalog catalog_;
   engine::Storage storage_;

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "engine/executor.h"
 #include "expr/expr_rewrite.h"
@@ -143,18 +144,22 @@ Value MergeValues(expr::AggFunc func, const Value& current,
 }  // namespace
 
 Status Database::RefreshSummaryTable(const std::string& name) {
-  for (const auto& st : summary_tables_) {
-    if (st->name != ToLower(name)) continue;
-    engine::Executor executor(storage_);
-    SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(st->graph));
-    engine::Relation* stored = storage_.FindTableMutable(st->name);
-    if (stored == nullptr) {
-      return Status::Internal("summary table data missing");
-    }
-    stored->rows = std::move(data.rows);
-    return Status::OK();
+  SummaryTable* st = FindSummaryTable(name);
+  if (st == nullptr) {
+    return Status::NotFound("summary table '" + name + "'");
   }
-  return Status::NotFound("summary table '" + name + "'");
+  SUMTAB_FAULT_POINT("maintenance/refresh");
+  engine::Executor executor(storage_);
+  SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(st->graph));
+  engine::Relation* stored = storage_.FindTableMutable(st->name);
+  if (stored == nullptr) {
+    return Status::Internal("summary table data missing");
+  }
+  stored->rows = std::move(data.rows);
+  // A successful recompute is the one event that both re-captures the base
+  // epochs and lifts a quarantine.
+  MarkRefreshed(st);
+  return Status::OK();
 }
 
 StatusOr<Database::MaintenanceReport> Database::Append(
@@ -207,7 +212,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
       }
       if (unaffected) {
         report.entries.push_back(
-            RefreshEntry{st->name, RefreshMode::kUnaffected, 0});
+            RefreshEntry{st->name, RefreshMode::kUnaffected, 0, ""});
       } else {
         recompute.push_back(st.get());
       }
@@ -218,8 +223,17 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     engine::ExecOptions options;
     options.table_overrides = &overrides;
     engine::Executor executor(storage_, options);
-    SUMTAB_ASSIGN_OR_RETURN(engine::Relation delta_result,
-                            executor.Execute(st->graph));
+    Status injected = FaultInjector::Instance().Check("maintenance/incremental");
+    StatusOr<engine::Relation> delta_eval =
+        injected.ok() ? executor.Execute(st->graph)
+                      : StatusOr<engine::Relation>(std::move(injected));
+    if (!delta_eval.ok()) {
+      // Incremental path broke; fall back to full recomputation rather than
+      // failing the append.
+      recompute.push_back(st.get());
+      continue;
+    }
+    engine::Relation delta_result = std::move(*delta_eval);
     auto end = std::chrono::steady_clock::now();
     Pending pending;
     pending.st = st.get();
@@ -228,12 +242,13 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     incremental.push_back(std::move(pending));
     report.entries.push_back(RefreshEntry{
         st->name, RefreshMode::kIncremental,
-        std::chrono::duration<double, std::milli>(end - start).count()});
+        std::chrono::duration<double, std::milli>(end - start).count(), ""});
   }
 
-  // Phase 2: append the delta to the base table.
+  // Phase 2: append the delta to the base table and version the change.
   engine::Relation* base = storage_.FindTableMutable(meta->name);
   base->rows.insert(base->rows.end(), delta.rows.begin(), delta.rows.end());
+  int64_t new_epoch = storage_.BumpEpoch(meta->name);
 
   // Phase 3: merge the delta aggregates into the materialized tables.
   for (Pending& pending : incremental) {
@@ -273,14 +288,33 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     }
   }
 
-  // Phase 4: full recomputation for the rest.
+  // The merged ASTs now reflect the appended data: advance their recorded
+  // epoch for this table (other base tables' lags, if any, are untouched)
+  // and lift any quarantine — maintenance just succeeded.
+  for (Pending& pending : incremental) {
+    pending.st->materialized_epochs[meta->name] = new_epoch;
+    pending.st->consecutive_failures = 0;
+    pending.st->disabled = false;
+  }
+
+  // Phase 4: full recomputation for the rest. A refresh failure marks the
+  // AST (stale, failure counted toward quarantine) but does not fail the
+  // append: the base data is already in, and the rewriter will simply stop
+  // routing through the un-refreshed table.
   for (SummaryTable* st : recompute) {
     auto start = std::chrono::steady_clock::now();
-    SUMTAB_RETURN_NOT_OK(RefreshSummaryTable(st->name));
+    Status refreshed = RefreshSummaryTable(st->name);
     auto end = std::chrono::steady_clock::now();
-    report.entries.push_back(RefreshEntry{
-        st->name, RefreshMode::kRecompute,
-        std::chrono::duration<double, std::milli>(end - start).count()});
+    double millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (!refreshed.ok()) {
+      RecordAstFailure(st);
+      report.entries.push_back(RefreshEntry{st->name, RefreshMode::kFailed,
+                                            millis, refreshed.ToString()});
+      continue;
+    }
+    report.entries.push_back(
+        RefreshEntry{st->name, RefreshMode::kRecompute, millis, ""});
   }
   return report;
 }

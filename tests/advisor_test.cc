@@ -69,7 +69,9 @@ TEST_F(AdvisorTest, BudgetIsRespected) {
   ASSERT_TRUE(rec.ok());
   EXPECT_LE(rec->total_rows_used, 100);
   for (const auto& candidate : rec->candidates) {
-    if (candidate.chosen) EXPECT_LE(candidate.estimated_rows, 100);
+    if (candidate.chosen) {
+      EXPECT_LE(candidate.estimated_rows, 100);
+    }
   }
 }
 

@@ -1,0 +1,368 @@
+// Resilience tests: freshness-aware rewriting, graceful degradation under
+// injected faults, quarantine/revival, and the query guardrails. These are
+// the behavioral guarantees documented in DESIGN.md ("Freshness and
+// degradation semantics"): a summary table is an optimization — it must
+// never change answers (staleness) and never reduce availability (failures).
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+constexpr char kAstDef[] =
+    "select faid, count(*) as c from trans group by faid";
+
+std::vector<Row> MakeTransRows(int start_tid, int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int(start_tid + i), Value::Int(i % 50),
+                       Value::Int(i % 12), Value::Int(i % 40),
+                       Value::Date(19940101 + (i % 28)), Value::Int(1 + i % 5),
+                       Value::Double(10.0), Value::Double(0.0)});
+  }
+  return rows;
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    db_ = testing::MakeCardDb(1000);
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  QueryResult MustQuery(const std::string& sql, QueryOptions opts = {}) {
+    StatusOr<QueryResult> result = db_->Query(sql, opts);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  engine::Relation BaseAnswer(const std::string& sql) {
+    QueryOptions opts;
+    opts.enable_rewrite = false;
+    return MustQuery(sql, opts).relation;
+  }
+
+  AstState StateOf(const std::string& name) {
+    StatusOr<SummaryTableInfo> info = db_->GetSummaryTableInfo(name);
+    EXPECT_TRUE(info.ok()) << info.status().ToString();
+    return info.ok() ? info->state : AstState::kDisabled;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+// ---- fault injector unit behavior ----
+
+TEST_F(ResilienceTest, FaultInjectorFailNTimesAndCounters) {
+  auto& fi = FaultInjector::Instance();
+  fi.Arm("executor/scan", Status::Internal("injected scan failure"), 2);
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  EXPECT_FALSE(db_->Query("select count(*) as c from trans", opts).ok());
+  EXPECT_FALSE(db_->Query("select count(*) as c from trans", opts).ok());
+  // Budget exhausted: third query succeeds.
+  EXPECT_TRUE(db_->Query("select count(*) as c from trans", opts).ok());
+  EXPECT_EQ(fi.Trips("executor/scan"), 2);
+  EXPECT_GE(fi.Hits("executor/scan"), 3);
+}
+
+TEST_F(ResilienceTest, ScopedFaultDisarmsOnExit) {
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  {
+    ScopedFault fault("executor/scan", Status::Internal("boom"), -1);
+    EXPECT_FALSE(db_->Query("select count(*) as c from trans", opts).ok());
+  }
+  EXPECT_TRUE(db_->Query("select count(*) as c from trans", opts).ok());
+}
+
+// ---- (a) freshness: a stale AST is never used by default ----
+
+TEST_F(ResilienceTest, BulkLoadMarksAstStaleAndRewriterSkipsIt) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  EXPECT_EQ(StateOf("s1"), AstState::kFresh);
+  QueryResult before = MustQuery(kAstDef);
+  EXPECT_TRUE(before.used_summary_table);
+
+  // BulkLoad does not maintain ASTs: the pre-change behavior silently served
+  // pre-load data through s1. Now the epoch bump flips it to kStale...
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9000000, 100)).ok());
+  EXPECT_EQ(StateOf("s1"), AstState::kStale);
+  StatusOr<SummaryTableInfo> info = db_->GetSummaryTableInfo("s1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->staleness, 1);
+
+  // ...and the rewriter must answer from base tables, with the correct
+  // post-load result (the regression this PR exists for).
+  QueryResult after = MustQuery(kAstDef);
+  EXPECT_FALSE(after.used_summary_table);
+  EXPECT_TRUE(engine::SameRowMultiset(after.relation, BaseAnswer(kAstDef)));
+  EXPECT_FALSE(engine::SameRowMultiset(after.relation, before.relation));
+}
+
+TEST_F(ResilienceTest, AllowStaleReadsOptsBackIn) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  QueryResult before = MustQuery(kAstDef);
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9000000, 100)).ok());
+
+  QueryOptions stale_ok;
+  stale_ok.allow_stale_reads = true;
+  QueryResult stale = MustQuery(kAstDef, stale_ok);
+  EXPECT_TRUE(stale.used_summary_table);
+  // A stale read serves the pre-load materialization, by design.
+  EXPECT_TRUE(engine::SameRowMultiset(stale.relation, before.relation));
+}
+
+TEST_F(ResilienceTest, PerAstMaxStalenessBoundsTheLag) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  ASSERT_TRUE(db_->SetMaxStaleness("s1", 2).ok());
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9000000, 50)).ok());
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9100000, 50)).ok());
+  // Lag 2 <= max_staleness 2: still served.
+  EXPECT_TRUE(MustQuery(kAstDef).used_summary_table);
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9200000, 50)).ok());
+  // Lag 3 > 2: skipped.
+  EXPECT_FALSE(MustQuery(kAstDef).used_summary_table);
+  EXPECT_FALSE(db_->SetMaxStaleness("s1", -1).ok());
+  EXPECT_FALSE(db_->SetMaxStaleness("ghost", 1).ok());
+}
+
+TEST_F(ResilienceTest, RefreshAndAppendRestoreFreshness) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(9000000, 100)).ok());
+  EXPECT_EQ(StateOf("s1"), AstState::kStale);
+  ASSERT_TRUE(db_->RefreshSummaryTable("s1").ok());
+  EXPECT_EQ(StateOf("s1"), AstState::kFresh);
+  QueryResult routed = MustQuery(kAstDef);
+  EXPECT_TRUE(routed.used_summary_table);
+  EXPECT_TRUE(engine::SameRowMultiset(routed.relation, BaseAnswer(kAstDef)));
+
+  // Append maintains the AST incrementally and keeps it fresh.
+  auto report = db_->Append("trans", MakeTransRows(9500000, 100));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(StateOf("s1"), AstState::kFresh);
+  QueryResult after = MustQuery(kAstDef);
+  EXPECT_TRUE(after.used_summary_table);
+  EXPECT_TRUE(engine::SameRowMultiset(after.relation, BaseAnswer(kAstDef)));
+}
+
+// ---- (b) graceful degradation on rewritten-plan execution failure ----
+
+TEST_F(ResilienceTest, ExecutionFailureDegradesToBaseTables) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  engine::Relation expected = BaseAnswer(kAstDef);
+
+  // The first Execute (the rewritten plan) fails; the fallback base-table
+  // execution must succeed and the result must be correct.
+  FaultInjector::Instance().Arm("executor/execute",
+                                Status::Internal("injected exec failure"), 1);
+  QueryResult degraded = MustQuery(kAstDef);
+  EXPECT_FALSE(degraded.used_summary_table);
+  EXPECT_TRUE(degraded.degradation.degraded);
+  EXPECT_EQ(degraded.degradation.stage, "execute");
+  EXPECT_EQ(degraded.degradation.summary_table, "s1");
+  EXPECT_NE(degraded.degradation.message.find("injected exec failure"),
+            std::string::npos);
+  EXPECT_TRUE(engine::SameRowMultiset(degraded.relation, expected));
+  EXPECT_EQ(FaultInjector::Instance().Trips("executor/execute"), 1);
+
+  // One failure is below the quarantine threshold: the next query routes
+  // through the AST again, and the success clears the failure streak.
+  QueryResult healthy = MustQuery(kAstDef);
+  EXPECT_TRUE(healthy.used_summary_table);
+  EXPECT_FALSE(healthy.degradation.degraded);
+  StatusOr<SummaryTableInfo> info = db_->GetSummaryTableInfo("s1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->consecutive_failures, 0);
+}
+
+TEST_F(ResilienceTest, RewriteSearchFailureDegradesToBaseTables) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  engine::Relation expected = BaseAnswer(kAstDef);
+  ScopedFault fault("rewriter/rewrite",
+                    Status::Internal("injected rewrite failure"), 1);
+  QueryResult degraded = MustQuery(kAstDef);
+  EXPECT_FALSE(degraded.used_summary_table);
+  EXPECT_TRUE(degraded.degradation.degraded);
+  EXPECT_EQ(degraded.degradation.stage, "rewrite");
+  EXPECT_EQ(degraded.degradation.summary_table, "s1");
+  EXPECT_TRUE(engine::SameRowMultiset(degraded.relation, expected));
+}
+
+TEST_F(ResilienceTest, TranslateFailureDegradesToBaseTables) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  engine::Relation expected = BaseAnswer(kAstDef);
+  ScopedFault fault("rewriter/translate",
+                    Status::Internal("injected translate failure"), -1);
+  QueryResult degraded = MustQuery(kAstDef);
+  EXPECT_FALSE(degraded.used_summary_table);
+  EXPECT_TRUE(degraded.degradation.degraded);
+  EXPECT_TRUE(engine::SameRowMultiset(degraded.relation, expected));
+  EXPECT_GE(FaultInjector::Instance().Trips("rewriter/translate"), 1);
+}
+
+TEST_F(ResilienceTest, MatcherFailureDegradesToBaseTables) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  ScopedFault fault("matcher/navigate",
+                    Status::Internal("injected matcher failure"), -1);
+  QueryResult degraded = MustQuery(kAstDef);
+  EXPECT_FALSE(degraded.used_summary_table);
+  EXPECT_TRUE(degraded.degradation.degraded);
+  EXPECT_TRUE(
+      engine::SameRowMultiset(degraded.relation, BaseAnswer(kAstDef)));
+}
+
+// ---- (c) quarantine after repeated failures, revival by refresh ----
+
+TEST_F(ResilienceTest, RepeatedFailuresQuarantineAstAndRefreshRevivesIt) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  FaultInjector::Instance().Arm(
+      "rewriter/rewrite", Status::Internal("injected rewrite failure"), -1);
+  for (int i = 0; i < 3; ++i) {
+    QueryResult degraded = MustQuery(kAstDef);
+    EXPECT_FALSE(degraded.used_summary_table);
+    EXPECT_TRUE(degraded.degradation.degraded);
+  }
+  EXPECT_EQ(StateOf("s1"), AstState::kDisabled);
+  StatusOr<SummaryTableInfo> info = db_->GetSummaryTableInfo("s1");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->consecutive_failures, 3);
+
+  // Quarantined: the AST is not even attempted (fault still armed, yet no
+  // degradation and no additional trips), and allow_stale_reads does not
+  // resurrect it.
+  int64_t trips = FaultInjector::Instance().Trips("rewriter/rewrite");
+  QueryOptions stale_ok;
+  stale_ok.allow_stale_reads = true;
+  QueryResult quarantined = MustQuery(kAstDef, stale_ok);
+  EXPECT_FALSE(quarantined.used_summary_table);
+  EXPECT_FALSE(quarantined.degradation.degraded);
+  EXPECT_EQ(FaultInjector::Instance().Trips("rewriter/rewrite"), trips);
+
+  // A successful refresh revives it.
+  FaultInjector::Instance().Reset();
+  ASSERT_TRUE(db_->RefreshSummaryTable("s1").ok());
+  EXPECT_EQ(StateOf("s1"), AstState::kFresh);
+  QueryResult revived = MustQuery(kAstDef);
+  EXPECT_TRUE(revived.used_summary_table);
+  EXPECT_EQ(revived.summary_table, "s1");
+}
+
+TEST_F(ResilienceTest, BrokenAstDoesNotBlockHealthyOnes) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s2",
+                    "select flid, count(*) as c from trans group by flid")
+                  .ok());
+  // The fault trips once — s1 is attempted first and fails; s2 must still
+  // serve its rewrite in the same query session.
+  const char* sql = "select flid, count(*) as c from trans group by flid";
+  ScopedFault fault("rewriter/rewrite",
+                    Status::Internal("injected rewrite failure"), 1);
+  QueryResult result = MustQuery(sql);
+  EXPECT_TRUE(result.used_summary_table);
+  EXPECT_EQ(result.summary_table, "s2");
+  EXPECT_TRUE(result.degradation.degraded);  // s1's failure is surfaced
+  EXPECT_EQ(result.degradation.summary_table, "s1");
+}
+
+// ---- maintenance resilience ----
+
+TEST_F(ResilienceTest, AppendSurvivesRefreshFailure) {
+  // avg() is not mergeable, so Append refreshes this AST by recomputation —
+  // which we make fail. The append must still land the base rows and report
+  // the AST as kFailed rather than erroring out.
+  ASSERT_TRUE(db_->DefineSummaryTable(
+                    "s_avg",
+                    "select faid, avg(qty) as a from trans group by faid")
+                  .ok());
+  int64_t rows_before = db_->TableRows("trans");
+  ScopedFault fault("maintenance/refresh",
+                    Status::Internal("injected refresh failure"), 1);
+  auto report = db_->Append("trans", MakeTransRows(9000000, 50));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->entries.size(), 1u);
+  EXPECT_EQ(report->entries[0].mode, Database::RefreshMode::kFailed);
+  EXPECT_NE(report->entries[0].error.find("injected refresh failure"),
+            std::string::npos);
+  EXPECT_EQ(db_->TableRows("trans"), rows_before + 50);
+  EXPECT_EQ(StateOf("s_avg"), AstState::kStale);
+
+  // Manual refresh heals it.
+  ASSERT_TRUE(db_->RefreshSummaryTable("s_avg").ok());
+  EXPECT_EQ(StateOf("s_avg"), AstState::kFresh);
+}
+
+TEST_F(ResilienceTest, IncrementalFaultFallsBackToRecompute) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  ScopedFault fault("maintenance/incremental",
+                    Status::Internal("injected incremental failure"), 1);
+  auto report = db_->Append("trans", MakeTransRows(9000000, 50));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->entries.size(), 1u);
+  EXPECT_EQ(report->entries[0].mode, Database::RefreshMode::kRecompute);
+  EXPECT_EQ(StateOf("s1"), AstState::kFresh);
+  // The recomputed AST answers correctly.
+  QueryResult routed = MustQuery(kAstDef);
+  EXPECT_TRUE(routed.used_summary_table);
+  EXPECT_TRUE(engine::SameRowMultiset(routed.relation, BaseAnswer(kAstDef)));
+}
+
+// ---- (d) query guardrails ----
+
+TEST_F(ResilienceTest, RowBudgetStopsRunawayCrossProduct) {
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  opts.max_rows = 1000;
+  // trans x cust cross product: 20000 rows, far over budget.
+  auto result =
+      db_->Query("select count(*) as c from trans, cust", opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+  // The same query under a generous budget succeeds (budget off = 0).
+  QueryOptions unlimited;
+  unlimited.enable_rewrite = false;
+  EXPECT_TRUE(
+      db_->Query("select count(*) as c from trans where qty > 2", unlimited)
+          .ok());
+}
+
+TEST_F(ResilienceTest, TimeoutReturnsResourceExhausted) {
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  opts.timeout_millis = 1e-6;  // expires before the first operator
+  auto result = db_->Query(
+      "select faid, count(*) as c from trans group by faid", opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+}
+
+TEST_F(ResilienceTest, ParserDepthLimitIsCleanError) {
+  std::string sql = "select " + std::string(300, '(') + "1" +
+                    std::string(300, ')') + " as x from trans";
+  auto result = db_->Query(sql);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+}
+
+// Guardrail errors on the rewritten plan still degrade: the base answer is
+// authoritative even when the AST plan blew its budget.
+TEST_F(ResilienceTest, BudgetFailureOnRewrittenPlanFallsBack) {
+  ASSERT_TRUE(db_->DefineSummaryTable("s1", kAstDef).ok());
+  engine::Relation expected = BaseAnswer(kAstDef);
+  // Fail only the first Execute via fault injection to emulate a plan-level
+  // resource failure on the AST path.
+  FaultInjector::Instance().Arm("executor/execute",
+                                Status::ResourceExhausted("injected budget"),
+                                1);
+  QueryResult degraded = MustQuery(kAstDef);
+  EXPECT_FALSE(degraded.used_summary_table);
+  EXPECT_TRUE(degraded.degradation.degraded);
+  EXPECT_TRUE(engine::SameRowMultiset(degraded.relation, expected));
+}
+
+}  // namespace
+}  // namespace sumtab
