@@ -1,0 +1,385 @@
+// Unified PR-3 bench driver: runs the figure workloads (card schema) and the
+// TPC-D workload through the full configuration matrix
+//
+//     threads in {1, hardware} x plan cache in {off, on}
+//
+// validating that every configuration returns the same answer, and emits a
+// machine-readable BENCH_pr3.json with per-query latencies, the parallel
+// speedup (threads=N vs threads=1, cache off), and the plan-cache speedup
+// (cold compile+rewrite vs warm cached plan). hardware_concurrency is
+// recorded in the JSON: on a single-core runner the parallel column is a
+// no-regression check, not a speedup claim.
+//
+// Usage: bench_runner [--quick] [--out PATH]
+//   --quick  small data sizes + fewer reps (CI smoke mode)
+//   --out    output JSON path (default BENCH_pr3.json)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/thread_pool.h"
+#include "data/card_schema.h"
+#include "data/tpcd_schema.h"
+
+namespace sumtab {
+namespace {
+
+struct BenchQuery {
+  const char* label;
+  const char* sql;
+};
+
+struct QueryRow {
+  std::string label;
+  std::string sql;
+  bool rewritten = false;
+  size_t result_rows = 0;
+  double t1_nocache_ms = 0;   // threads=1, cache off (serial reference)
+  double tn_nocache_ms = 0;   // threads=hardware, cache off
+  double t1_cold_ms = 0;      // first cache-on run: compile + populate
+  double t1_warm_ms = 0;      // cache hit, threads=1
+  double tn_warm_ms = 0;      // cache hit, threads=hardware
+  bool valid = true;
+};
+
+struct SuiteResult {
+  std::string name;
+  int64_t fact_rows = 0;
+  std::vector<QueryRow> queries;
+  DatabaseStats stats;
+};
+
+double OnceMs(Database* db, const std::string& sql, const QueryOptions& opts,
+              QueryResult* out) {
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<QueryResult> result = db->Query(sql, opts);
+  auto end = std::chrono::steady_clock::now();
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  if (out != nullptr) *out = std::move(*result);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+double BestMs(Database* db, const std::string& sql, const QueryOptions& opts,
+              int reps, QueryResult* out) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    QueryResult result;
+    double ms = OnceMs(db, sql, opts, &result);
+    if (ms < best) best = ms;
+    if (out != nullptr) *out = std::move(result);
+  }
+  return best;
+}
+
+QueryRow RunMatrix(Database* db, const BenchQuery& q, int reps) {
+  QueryRow row;
+  row.label = q.label;
+  row.sql = q.sql;
+
+  QueryOptions t1;
+  t1.max_threads = 1;
+  t1.enable_plan_cache = false;
+  QueryResult serial;
+  row.t1_nocache_ms = BestMs(db, q.sql, t1, reps, &serial);
+  row.rewritten = serial.used_summary_table;
+  row.result_rows = serial.relation.NumRows();
+
+  QueryOptions tn = t1;
+  tn.max_threads = 0;  // resolve to hardware concurrency
+  QueryResult parallel;
+  row.tn_nocache_ms = BestMs(db, q.sql, tn, reps, &parallel);
+  row.valid = engine::SameRowMultiset(serial.relation, parallel.relation);
+
+  QueryOptions cached1 = t1;
+  cached1.enable_plan_cache = true;
+  QueryResult cold;
+  row.t1_cold_ms = OnceMs(db, q.sql, cached1, &cold);
+  QueryResult warm;
+  row.t1_warm_ms = BestMs(db, q.sql, cached1, reps, &warm);
+  if (!warm.plan_cache_hit) {
+    std::fprintf(stderr, "expected a plan-cache hit: %s\n", q.sql);
+    std::exit(1);
+  }
+  row.valid = row.valid &&
+              engine::SameRowMultiset(serial.relation, warm.relation);
+
+  QueryOptions cachedn = cached1;
+  cachedn.max_threads = 0;
+  QueryResult warm_parallel;
+  row.tn_warm_ms = BestMs(db, q.sql, cachedn, reps, &warm_parallel);
+  row.valid = row.valid &&
+              engine::SameRowMultiset(serial.relation, warm_parallel.relation);
+
+  if (!row.valid) {
+    std::fprintf(stderr, "BENCH FAILURE: configurations disagree on %s\n",
+                 q.sql);
+    std::exit(1);
+  }
+  std::printf(
+      "%-22s t1 %8.2f ms | tN %8.2f ms | cold %8.2f ms | warm %8.2f ms"
+      " | %s\n",
+      row.label.c_str(), row.t1_nocache_ms, row.tn_nocache_ms, row.t1_cold_ms,
+      row.t1_warm_ms, row.rewritten ? "REWRITTEN" : "base");
+  return row;
+}
+
+SuiteResult RunCardSuite(bool quick, int reps) {
+  bench::PrintHeader("card schema: figure workloads (fig2-fig14 shapes)");
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = quick ? 20000 : 100000;
+  if (!data::SetupCardSchema(&db, params).ok()) std::exit(1);
+
+  const BenchQuery asts[] = {
+      {"ast1",
+       "select faid, flid, year(date) as year, count(*) as cnt "
+       "from trans group by faid, flid, year(date)"},
+      {"ast_ym",
+       "select year(date) as year, month(date) as month, "
+       "sum(qty * price) as value from trans group by year(date), "
+       "month(date)"},
+      {"ast7",
+       "select flid, year(date) as year, count(*) as cnt "
+       "from trans group by flid, year(date)"},
+      {"ast10",
+       "select flid, year(date) as year, count(*) as cnt, "
+       "(select count(*) from trans) as totcnt "
+       "from trans group by flid, year(date)"},
+      {"ast12",
+       "select flid, faid, year(date) as year, month(date) as month, "
+       "count(*) as cnt from trans "
+       "group by grouping sets ((flid, faid, year(date)), (flid, year(date)), "
+       "(flid, year(date), month(date)), (year(date)))"},
+  };
+  for (const BenchQuery& ast : asts) {
+    auto rows = db.DefineSummaryTable(ast.label, ast.sql);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "AST %s failed: %s\n", ast.label,
+                   rows.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const BenchQuery queries[] = {
+      {"fig2 basic rewrite",
+       "select faid, state, year(date) as year, count(*) as cnt "
+       "from trans, loc where flid = lid and country = 'USA' "
+       "group by faid, state, year(date) having count(*) > 5"},
+      {"fig6 regroup",
+       "select year(date) % 100 as yy, sum(qty * price) as value "
+       "from trans where month(date) >= 6 group by year(date) % 100"},
+      {"fig7 gb rejoin",
+       "select state, year(date) as year, count(*) as cnt "
+       "from trans, loc where flid = lid and country = 'USA' "
+       "group by state, year(date)"},
+      {"fig10 nested gb",
+       "select tcnt, count(*) as ycnt from "
+       "(select year(date) as year, count(*) as tcnt "
+       "from trans group by year(date)) group by tcnt"},
+      {"fig11 subquery",
+       "select flid, count(*) as cnt, "
+       "count(*) / (select count(*) from trans) as cntpct "
+       "from trans, loc where flid = lid and country = 'USA' "
+       "group by flid having count(*) > 2"},
+      {"fig12 grouping sets",
+       "select flid, year(date) as year, count(*) as cnt "
+       "from trans where year(date) > 1990 "
+       "group by grouping sets ((flid, year(date)), (year(date)))"},
+      {"fig13 gs slice",
+       "select flid, year(date) as year, count(*) as cnt "
+       "from trans where month(date) >= 6 group by flid, year(date)"},
+      {"fig14 cube",
+       "select flid, year(date) as year, count(*) as cnt "
+       "from trans group by cube(flid, year(date))"},
+  };
+  SuiteResult suite;
+  suite.name = "card";
+  suite.fact_rows = db.TableRows("trans");
+  for (const BenchQuery& q : queries) {
+    suite.queries.push_back(RunMatrix(&db, q, reps));
+  }
+  suite.stats = db.Stats();
+  return suite;
+}
+
+SuiteResult RunTpcdSuite(bool quick, int reps) {
+  bench::PrintHeader("tpcd schema: decision-support workload (W1-W8)");
+  Database db;
+  data::TpcdParams params;
+  params.num_lineitems = quick ? 20000 : 100000;
+  params.num_orders = quick ? 2000 : 10000;
+  if (!data::SetupTpcdSchema(&db, params).ok()) std::exit(1);
+
+  const BenchQuery asts[] = {
+      {"ast_part_year",
+       "select lineitem.pkey as pkey, pbrand, ptype, year(shipdate) as y, "
+       "count(*) as cnt, sum(lqty) as qty, sum(lprice) as price, "
+       "sum(lprice * (1 - ldisc)) as rev "
+       "from lineitem, part where lineitem.pkey = part.pkey "
+       "group by lineitem.pkey, pbrand, ptype, year(shipdate)"},
+      {"ast_order_year",
+       "select year(odate) as y, opriority, count(*) as cnt from orders "
+       "group by year(odate), opriority"},
+      {"ast_ship_month",
+       "select year(shipdate) as y, month(shipdate) as m, count(*) as cnt, "
+       "sum(lprice * (1 - ldisc)) as rev from lineitem "
+       "group by year(shipdate), month(shipdate)"},
+  };
+  for (const BenchQuery& ast : asts) {
+    auto rows = db.DefineSummaryTable(ast.label, ast.sql);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "AST %s failed: %s\n", ast.label,
+                   rows.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  const BenchQuery queries[] = {
+      {"W1 revenue by year",
+       "select year(shipdate) as y, sum(lprice * (1 - ldisc)) as rev "
+       "from lineitem group by year(shipdate)"},
+      {"W2 brand-year revenue",
+       "select pbrand, year(shipdate) as y, sum(lprice * (1 - ldisc)) as rev "
+       "from lineitem, part where lineitem.pkey = part.pkey "
+       "group by pbrand, year(shipdate)"},
+      {"W3 volume by type",
+       "select ptype, sum(lqty) as vol from lineitem, part "
+       "where lineitem.pkey = part.pkey and year(shipdate) >= 1994 "
+       "group by ptype"},
+      {"W4 parts histogram",
+       "select pkey, count(*) as cnt from lineitem group by pkey "
+       "having count(*) > 40"},
+      {"W5 orders by year",
+       "select year(odate) as y, count(*) as cnt from orders "
+       "group by year(odate)"},
+      {"W6 priority 1995",
+       "select opriority, count(*) as cnt from orders "
+       "where year(odate) = 1995 group by opriority"},
+      {"W7 region revenue",
+       "select rname, sum(lprice) as rev "
+       "from lineitem, orders, customer, nation "
+       "where lineitem.okey = orders.okey and orders.ckey = customer.ckey "
+       "and customer.nkey = nation.nkey group by rname"},
+      {"W8 avg discount",
+       "select pkey, avg(ldisc) as d from lineitem group by pkey"},
+  };
+  SuiteResult suite;
+  suite.name = "tpcd";
+  suite.fact_rows = db.TableRows("lineitem");
+  for (const BenchQuery& q : queries) {
+    suite.queries.push_back(RunMatrix(&db, q, reps));
+  }
+  suite.stats = db.Stats();
+  return suite;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, bool quick,
+               const std::vector<SuiteResult>& suites) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr3\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               ThreadPool::HardwareParallelism());
+  std::fprintf(f, "  \"suites\": [\n");
+  for (size_t s = 0; s < suites.size(); ++s) {
+    const SuiteResult& suite = suites[s];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", suite.name.c_str());
+    std::fprintf(f, "      \"fact_rows\": %lld,\n",
+                 static_cast<long long>(suite.fact_rows));
+    std::fprintf(
+        f,
+        "      \"plan_cache\": {\"hits\": %lld, \"misses\": %lld, "
+        "\"invalidations\": %lld, \"entries\": %lld},\n",
+        static_cast<long long>(suite.stats.plan_cache_hits),
+        static_cast<long long>(suite.stats.plan_cache_misses),
+        static_cast<long long>(suite.stats.plan_cache_invalidations),
+        static_cast<long long>(suite.stats.plan_cache_entries));
+    std::fprintf(f, "      \"queries\": [\n");
+    for (size_t i = 0; i < suite.queries.size(); ++i) {
+      const QueryRow& q = suite.queries[i];
+      double parallel_speedup =
+          q.tn_nocache_ms > 0 ? q.t1_nocache_ms / q.tn_nocache_ms : 0.0;
+      double cache_speedup = q.t1_warm_ms > 0 ? q.t1_cold_ms / q.t1_warm_ms
+                                              : 0.0;
+      std::fprintf(
+          f,
+          "        {\"label\": \"%s\", \"sql\": \"%s\", "
+          "\"rewritten\": %s, \"result_rows\": %zu, "
+          "\"t1_nocache_ms\": %.4f, \"tn_nocache_ms\": %.4f, "
+          "\"t1_cold_ms\": %.4f, \"t1_warm_ms\": %.4f, "
+          "\"tn_warm_ms\": %.4f, \"parallel_speedup\": %.3f, "
+          "\"cache_speedup\": %.3f}%s\n",
+          JsonEscape(q.label).c_str(), JsonEscape(q.sql).c_str(),
+          q.rewritten ? "true" : "false", q.result_rows, q.t1_nocache_ms,
+          q.tn_nocache_ms, q.t1_cold_ms, q.t1_warm_ms, q.tn_warm_ms,
+          parallel_speedup, cache_speedup,
+          i + 1 < suite.queries.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", s + 1 < suites.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace sumtab
+
+int main(int argc, char** argv) {
+  using namespace sumtab;
+  bool quick = false;
+  std::string out = "BENCH_pr3.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  int reps = quick ? 2 : 3;
+  std::printf("bench_runner: quick=%d hardware_concurrency=%d\n\n", quick,
+              ThreadPool::HardwareParallelism());
+  std::vector<SuiteResult> suites;
+  suites.push_back(RunCardSuite(quick, reps));
+  suites.push_back(RunTpcdSuite(quick, reps));
+  WriteJson(out, quick, suites);
+
+  double cold = 0, warm = 0, t1 = 0, tn = 0;
+  for (const SuiteResult& suite : suites) {
+    for (const QueryRow& q : suite.queries) {
+      cold += q.t1_cold_ms;
+      warm += q.t1_warm_ms;
+      t1 += q.t1_nocache_ms;
+      tn += q.tn_nocache_ms;
+    }
+  }
+  std::printf(
+      "TOTALS: serial %.2f ms | parallel %.2f ms (%.2fx) | "
+      "cache cold %.2f ms | cache warm %.2f ms (%.2fx)\n",
+      t1, tn, tn > 0 ? t1 / tn : 0.0, cold, warm,
+      warm > 0 ? cold / warm : 0.0);
+  return 0;
+}

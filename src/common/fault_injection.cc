@@ -7,48 +7,80 @@ FaultInjector& FaultInjector::Instance() {
   return *instance;
 }
 
+FaultInjector::PointState* FaultInjector::StateLocked(
+    const std::string& point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    it = points_.emplace(point, std::make_unique<PointState>()).first;
+  }
+  return it->second.get();
+}
+
 void FaultInjector::Arm(const std::string& point, Status failure, int times) {
   std::lock_guard<std::mutex> lock(mu_);
-  armed_[point] = Armed{std::move(failure), times};
+  PointState* ps = StateLocked(point);
+  ps->failure = std::move(failure);
+  ps->remaining.store(times, std::memory_order_release);
   active_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::Disarm(const std::string& point) {
   std::lock_guard<std::mutex> lock(mu_);
-  armed_.erase(point);
+  auto it = points_.find(point);
+  if (it != points_.end()) {
+    it->second->remaining.store(0, std::memory_order_release);
+  }
   // Counters stay live (tests often assert hits after the scenario); the
   // active flag stays set until Reset so they keep accumulating.
 }
 
 void FaultInjector::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  armed_.clear();
-  hits_.clear();
-  trips_.clear();
+  // Zero instead of erase: Check() may hold a PointState* without the lock.
+  for (auto& [name, ps] : points_) {
+    ps->remaining.store(0, std::memory_order_release);
+    ps->hits.store(0, std::memory_order_relaxed);
+    ps->trips.store(0, std::memory_order_relaxed);
+  }
   active_.store(false, std::memory_order_release);
 }
 
 int64_t FaultInjector::Hits(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = hits_.find(point);
-  return it == hits_.end() ? 0 : it->second;
+  auto it = points_.find(point);
+  return it == points_.end() ? 0
+                             : it->second->hits.load(std::memory_order_relaxed);
 }
 
 int64_t FaultInjector::Trips(const std::string& point) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = trips_.find(point);
-  return it == trips_.end() ? 0 : it->second;
+  auto it = points_.find(point);
+  return it == points_.end()
+             ? 0
+             : it->second->trips.load(std::memory_order_relaxed);
 }
 
 Status FaultInjector::Check(const char* point) {
   if (!active_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  ++hits_[point];
-  auto it = armed_.find(point);
-  if (it == armed_.end() || it->second.remaining == 0) return Status::OK();
-  if (it->second.remaining > 0) --it->second.remaining;
-  ++trips_[point];
-  return it->second.failure;
+  PointState* ps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ps = StateLocked(point);
+  }
+  ps->hits.fetch_add(1, std::memory_order_relaxed);
+  // Claim one unit of trip budget with a CAS so N concurrent workers through
+  // a point armed with times=k trip exactly k times.
+  int remaining = ps->remaining.load(std::memory_order_acquire);
+  while (remaining != 0) {
+    if (remaining < 0 ||
+        ps->remaining.compare_exchange_weak(remaining, remaining - 1,
+                                            std::memory_order_acq_rel)) {
+      ps->trips.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      return ps->failure;
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace sumtab

@@ -13,12 +13,21 @@
 //
 // ScopedFault arms in its constructor and resets the point on destruction,
 // so a test cannot leak an armed fault into the next test.
+//
+// Thread-safety: fault points are evaluated from executor worker threads
+// once a query goes parallel, so all bookkeeping must be exact under
+// concurrency. Each point's state lives in a heap node that is never freed
+// (points are few and named statically); hits/trips are atomic counters and
+// the trip budget is decremented with a CAS, so concurrent Check() calls
+// through an armed point never over- or under-trip, and the mutex guards
+// only the name -> node map and the armed Status.
 #ifndef SUMTAB_COMMON_FAULT_INJECTION_H_
 #define SUMTAB_COMMON_FAULT_INJECTION_H_
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -58,16 +67,25 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
-  struct Armed {
+  /// Per-point state. Nodes are created on first touch and reused for the
+  /// process lifetime (Reset zeroes them instead of erasing), so a worker
+  /// thread holding a PointState* across the map mutex is always safe.
+  struct PointState {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> trips{0};
+    /// Remaining trip budget: 0 = disarmed, < 0 = fail forever.
+    std::atomic<int> remaining{0};
+    /// Written under mu_ by Arm(); read under mu_ by Check() after it wins
+    /// the budget CAS.
     Status failure;
-    int remaining = 0;  // < 0 = unlimited
   };
+
+  /// Finds or creates the node for `point` (caller holds mu_).
+  PointState* StateLocked(const std::string& point);
 
   std::atomic<bool> active_{false};
   mutable std::mutex mu_;
-  std::map<std::string, Armed> armed_;
-  std::map<std::string, int64_t> hits_;
-  std::map<std::string, int64_t> trips_;
+  std::map<std::string, std::unique_ptr<PointState>> points_;
 };
 
 /// RAII arming for tests: arms on construction, disarms on destruction.

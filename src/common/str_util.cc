@@ -31,4 +31,34 @@ std::string Join(const std::vector<std::string>& parts,
   return out;
 }
 
+std::string NormalizeSqlText(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool in_literal = false;
+  bool pending_space = false;
+  for (char c : sql) {
+    if (in_literal) {
+      out.push_back(c);
+      if (c == '\'') in_literal = false;  // '' escapes re-enter on next quote
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    if (c == '\'') {
+      in_literal = true;
+      out.push_back(c);
+    } else {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
 }  // namespace sumtab

@@ -17,6 +17,14 @@ bool EqualsIgnoreCase(const std::string& a, const std::string& b);
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep);
 
+/// Canonical form of a SQL statement for plan-cache keying: whitespace runs
+/// collapse to one space, leading/trailing whitespace is trimmed, and
+/// everything outside single-quoted string literals is lower-cased (literals
+/// keep their bytes — 'ABC' and 'abc' are different queries). Purely
+/// lexical: two texts with equal normal forms parse identically, but
+/// semantically equal queries spelled differently may still differ.
+std::string NormalizeSqlText(const std::string& sql);
+
 }  // namespace sumtab
 
 #endif  // SUMTAB_COMMON_STR_UTIL_H_

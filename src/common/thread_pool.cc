@@ -1,0 +1,105 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sumtab {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(0, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      fn = std::move(queue_.front());
+      queue_.pop();
+    }
+    fn();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: pool workers may outlive static destruction order.
+  static ThreadPool* pool = new ThreadPool(HardwareParallelism() - 1);
+  return *pool;
+}
+
+int ThreadPool::HardwareParallelism() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+int ParallelLanes(int64_t n, int max_parallel, int64_t min_chunk) {
+  if (max_parallel <= 1 || n < min_chunk * 2 || ThreadPool::OnWorkerThread()) {
+    return 1;
+  }
+  int lanes = std::min(max_parallel, ThreadPool::Shared().num_threads() + 1);
+  lanes = static_cast<int>(
+      std::min<int64_t>(lanes, (n + min_chunk - 1) / min_chunk));
+  return std::max(1, lanes);
+}
+
+void ParallelFor(int64_t n, int max_parallel,
+                 const std::function<void(int, int64_t, int64_t)>& body,
+                 int64_t min_chunk) {
+  if (n <= 0) return;
+  const int lanes = ParallelLanes(n, max_parallel, min_chunk);
+  if (lanes == 1) {
+    body(0, 0, n);
+    return;
+  }
+  // Deterministic chunking: lane i gets [i*n/lanes, (i+1)*n/lanes).
+  std::atomic<int> pending{lanes - 1};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (int lane = 1; lane < lanes; ++lane) {
+    int64_t begin = n * lane / lanes;
+    int64_t end = n * (lane + 1) / lanes;
+    ThreadPool::Shared().Schedule([&, lane, begin, end] {
+      body(lane, begin, end);
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  body(0, 0, n / lanes);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace sumtab

@@ -1,0 +1,84 @@
+// Fixed-size worker pool plus the ParallelFor morsel driver the engine uses
+// for intra-query parallelism (DESIGN.md, "Parallel execution and plan
+// caching").
+//
+// Design constraints, in order:
+//  1. threads=1 must be byte-for-byte the single-threaded engine: ParallelFor
+//     with max_parallel <= 1 (or a small n) runs the body inline on the
+//     calling thread without touching the pool.
+//  2. Determinism: chunk boundaries depend only on (n, lane count), never on
+//     scheduling, so a parallel operator that concatenates per-chunk outputs
+//     in chunk order produces exactly the serial row order.
+//  3. No nested fan-out: a pool worker that calls ParallelFor runs the body
+//     inline (a worker blocking on other workers can deadlock a fixed pool).
+//
+// The process-wide pool (ThreadPool::Shared()) is created lazily with
+// hardware_concurrency - 1 workers and lives for the process lifetime;
+// queries borrow lanes from it instead of spawning threads per operator.
+#ifndef SUMTAB_COMMON_THREAD_POOL_H_
+#define SUMTAB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sumtab {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 0).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker. `fn` must not throw.
+  void Schedule(std::function<void()> fn);
+
+  /// Process-wide pool with max(0, hardware_concurrency - 1) workers; the
+  /// calling thread is always the extra lane.
+  static ThreadPool& Shared();
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static int HardwareParallelism();
+
+  /// True when called from inside a Shared()-pool worker.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, n) into `lanes` contiguous chunks and runs
+/// `body(lane, begin, end)` for each, using up to `max_parallel` concurrent
+/// lanes (the calling thread is one of them; the rest come from
+/// ThreadPool::Shared()). Blocks until every lane finished.
+///
+/// lanes = min(max_parallel, Shared().num_threads() + 1), and the whole call
+/// degenerates to a single inline `body(0, 0, n)` when max_parallel <= 1,
+/// when n < min_chunk * 2, or when already on a pool worker. Chunk
+/// boundaries are a pure function of (n, lanes) — deterministic.
+void ParallelFor(int64_t n, int max_parallel,
+                 const std::function<void(int lane, int64_t begin,
+                                          int64_t end)>& body,
+                 int64_t min_chunk = 1024);
+
+/// Number of lanes ParallelFor would actually use for (n, max_parallel).
+/// Operators use this to size per-lane output buffers.
+int ParallelLanes(int64_t n, int max_parallel, int64_t min_chunk = 1024);
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_COMMON_THREAD_POOL_H_

@@ -1,7 +1,10 @@
 #include "engine/aggregator.h"
 
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace sumtab {
 namespace engine {
@@ -116,52 +119,108 @@ struct Accum {
   }
 };
 
+/// Accumulates `row` into its group inside `groups`.
+void AccumulateRow(const Row& row, const std::vector<int>& set,
+                   const std::vector<int>& grouping_cols,
+                   const std::vector<AggSpec>& aggs,
+                   std::unordered_map<Row, std::vector<Accum>, RowHash>* groups) {
+  Row key;
+  key.reserve(set.size());
+  for (int g : set) key.push_back(row[grouping_cols[g]]);
+  auto [it, inserted] = groups->try_emplace(std::move(key));
+  if (inserted) it->second.resize(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    it->second[a].AddValue(spec,
+                           spec.star ? Value::Null() : row[spec.arg_col]);
+  }
+}
+
+/// Renders every group of one cuboid into output rows (grouping outputs
+/// NULL-padded where the cuboid grouped them out, then the aggregates).
+void EmitGroups(
+    const std::unordered_map<Row, std::vector<Accum>, RowHash>& groups,
+    const std::vector<int>& set, size_t num_grouping_cols,
+    const std::vector<AggSpec>& aggs, std::vector<Row>* output) {
+  for (const auto& [key, accums] : groups) {
+    Row out;
+    out.reserve(num_grouping_cols + aggs.size());
+    for (size_t g = 0; g < num_grouping_cols; ++g) {
+      int pos = -1;
+      for (size_t k = 0; k < set.size(); ++k) {
+        if (set[k] == static_cast<int>(g)) pos = static_cast<int>(k);
+      }
+      out.push_back(pos >= 0 ? key[pos] : Value::Null());
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out.push_back(accums[a].Finish(aggs[a]));
+    }
+    output->push_back(std::move(out));
+  }
+}
+
+/// Rows per lane below which partitioning overhead beats the win.
+constexpr int64_t kMinParallelRowsPerLane = 4096;
+
 }  // namespace
 
 StatusOr<std::vector<Row>> Aggregate(
     const std::vector<Row>& input, const std::vector<int>& grouping_cols,
     const std::vector<std::vector<int>>& grouping_sets,
-    const std::vector<AggSpec>& aggs) {
+    const std::vector<AggSpec>& aggs, int max_threads) {
   for (const AggSpec& spec : aggs) {
     if (!spec.star && spec.arg_col < 0) {
       return Status::Internal("aggregate argument column missing");
     }
   }
+  const int64_t n = static_cast<int64_t>(input.size());
   std::vector<Row> output;
   for (const std::vector<int>& set : grouping_sets) {
+    // A cuboid with grouping columns and a big input aggregates in parallel:
+    // every group hashes wholly into one partition, partitions run
+    // concurrently, and each partition walks the input in order — so the
+    // per-group accumulation order (and thus every floating-point sum) is
+    // exactly the serial one. The empty set (global aggregation) is a single
+    // group and stays serial.
+    const int lanes =
+        set.empty() ? 1 : ParallelLanes(n, max_threads, kMinParallelRowsPerLane);
+    if (lanes > 1) {
+      std::vector<uint8_t> partition_of(input.size());
+      ParallelFor(n, lanes, [&](int, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          size_t h = 0;
+          for (int g : set) {
+            h = h * 1000003u + input[i][grouping_cols[g]].Hash();
+          }
+          partition_of[i] = static_cast<uint8_t>(h % lanes);
+        }
+      });
+      std::vector<std::vector<Row>> lane_output(lanes);
+      ParallelFor(lanes, lanes, [&](int, int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
+          for (size_t i = 0; i < input.size(); ++i) {
+            if (partition_of[i] != p) continue;
+            AccumulateRow(input[i], set, grouping_cols, aggs, &groups);
+          }
+          EmitGroups(groups, set, grouping_cols.size(), aggs,
+                     &lane_output[p]);
+        }
+      }, /*min_chunk=*/1);
+      for (std::vector<Row>& part : lane_output) {
+        for (Row& row : part) output.push_back(std::move(row));
+      }
+      continue;
+    }
     std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
     for (const Row& row : input) {
-      Row key;
-      key.reserve(set.size());
-      for (int g : set) key.push_back(row[grouping_cols[g]]);
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(aggs.size());
-      for (size_t a = 0; a < aggs.size(); ++a) {
-        const AggSpec& spec = aggs[a];
-        it->second[a].AddValue(
-            spec, spec.star ? Value::Null() : row[spec.arg_col]);
-      }
+      AccumulateRow(row, set, grouping_cols, aggs, &groups);
     }
     if (groups.empty() && set.empty()) {
       // Global aggregation over an empty input produces one row.
       groups.try_emplace(Row{}).first->second.resize(aggs.size());
     }
-    for (const auto& [key, accums] : groups) {
-      Row out;
-      out.reserve(grouping_cols.size() + aggs.size());
-      for (size_t g = 0; g < grouping_cols.size(); ++g) {
-        // NULL-pad grouped-out columns of this cuboid.
-        int pos = -1;
-        for (size_t k = 0; k < set.size(); ++k) {
-          if (set[k] == static_cast<int>(g)) pos = static_cast<int>(k);
-        }
-        out.push_back(pos >= 0 ? key[pos] : Value::Null());
-      }
-      for (size_t a = 0; a < aggs.size(); ++a) {
-        out.push_back(accums[a].Finish(aggs[a]));
-      }
-      output.push_back(std::move(out));
-    }
+    EmitGroups(groups, set, grouping_cols.size(), aggs, &output);
   }
   return output;
 }

@@ -28,10 +28,18 @@ struct AggSpec {
 /// Output row layout: one value per grouping output (NULL when the cuboid
 /// groups it out), then one value per aggregate. An empty input still yields
 /// one row for each empty grouping set (global aggregation semantics).
+///
+/// max_threads > 1 enables hash-partitioned parallel aggregation for large
+/// inputs: rows are partitioned by group-key hash so every group lands
+/// wholly inside one partition, partitions aggregate concurrently, and each
+/// partition visits its rows in input order. Per-group accumulation order is
+/// therefore identical to the serial path — floating-point sums are
+/// bit-identical, only output row order may differ (callers treat results
+/// as multisets). max_threads <= 1 is the serial reference.
 StatusOr<std::vector<Row>> Aggregate(
     const std::vector<Row>& input, const std::vector<int>& grouping_cols,
     const std::vector<std::vector<int>>& grouping_sets,
-    const std::vector<AggSpec>& aggs);
+    const std::vector<AggSpec>& aggs, int max_threads = 1);
 
 }  // namespace engine
 }  // namespace sumtab

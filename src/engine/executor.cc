@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/fault_injection.h"
+#include "common/thread_pool.h"
 #include "engine/aggregator.h"
 #include "expr/expr_eval.h"
 #include "expr/expr_rewrite.h"
@@ -46,20 +47,70 @@ bool IsEquiJoin(const ExprPtr& pred, int* qa, int* ca, int* qb, int* cb) {
   return true;
 }
 
+/// Rows per morsel for parallel filter/probe/project loops.
+constexpr int64_t kMorselRows = 4096;
+
 }  // namespace
 
 Status Executor::Charge(int64_t rows) {
-  rows_charged_ += rows;
-  if (options_.max_rows > 0 && rows_charged_ > options_.max_rows) {
+  int64_t charged =
+      rows_charged_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (options_.max_rows > 0 && charged > options_.max_rows) {
     return Status::ResourceExhausted(
         "query exceeded its row budget (" +
         std::to_string(options_.max_rows) + " rows materialized)");
   }
-  deadline_poll_ += rows;
-  if (has_deadline_ && deadline_poll_ >= 1024) {
-    deadline_poll_ = 0;
+  int64_t polled =
+      deadline_poll_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (has_deadline_ && polled >= 1024) {
+    deadline_poll_.store(0, std::memory_order_relaxed);
     return CheckDeadline();
   }
+  return Status::OK();
+}
+
+Status Executor::FilterRows(const ExprPtr& pred, int q, int nq,
+                            std::vector<Row>* rows) {
+  std::vector<int> offsets(nq, -1);
+  offsets[q] = 0;
+  const int64_t n = static_cast<int64_t>(rows->size());
+  const int lanes = ParallelLanes(n, options_.max_threads, kMorselRows);
+  if (lanes == 1) {
+    std::vector<Row> kept;
+    kept.reserve(rows->size());
+    for (Row& row : *rows) {
+      expr::EvalContext ctx{&offsets, &row};
+      SUMTAB_ASSIGN_OR_RETURN(bool pass, expr::EvalPredicate(pred, ctx));
+      if (pass) kept.push_back(std::move(row));
+    }
+    *rows = std::move(kept);
+    return Status::OK();
+  }
+  // Morsel-parallel: each lane filters a contiguous chunk; chunks are
+  // re-concatenated in order, so surviving rows keep the serial order.
+  std::vector<std::vector<Row>> lane_kept(lanes);
+  std::vector<Status> lane_status(lanes, Status::OK());
+  ParallelFor(n, lanes, [&](int lane, int64_t begin, int64_t end) {
+    lane_kept[lane].reserve(end - begin);
+    for (int64_t i = begin; i < end; ++i) {
+      expr::EvalContext ctx{&offsets, &(*rows)[i]};
+      StatusOr<bool> pass = expr::EvalPredicate(pred, ctx);
+      if (!pass.ok()) {
+        lane_status[lane] = pass.status();
+        return;
+      }
+      if (*pass) lane_kept[lane].push_back(std::move((*rows)[i]));
+    }
+  }, kMorselRows);
+  for (const Status& st : lane_status) SUMTAB_RETURN_NOT_OK(st);
+  std::vector<Row> kept;
+  size_t total = 0;
+  for (const auto& part : lane_kept) total += part.size();
+  kept.reserve(total);
+  for (std::vector<Row>& part : lane_kept) {
+    for (Row& row : part) kept.push_back(std::move(row));
+  }
+  *rows = std::move(kept);
   return Status::OK();
 }
 
@@ -139,18 +190,9 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
   for (const ExprPtr& pred : box.predicates) {
     std::vector<int> qs = PredQuantifiers(pred);
     if (qs.size() == 1) {
-      int q = qs[0];
-      // Push down: filter the child rows in place.
-      std::vector<int> offsets(nq, -1);
-      offsets[q] = 0;
-      std::vector<Row> kept;
-      kept.reserve(child_rows[q].size());
-      for (Row& row : child_rows[q]) {
-        expr::EvalContext ctx{&offsets, &row};
-        SUMTAB_ASSIGN_OR_RETURN(bool pass, expr::EvalPredicate(pred, ctx));
-        if (pass) kept.push_back(std::move(row));
-      }
-      child_rows[q] = std::move(kept);
+      // Push down: filter the child rows in place (morsel-parallel when the
+      // scan is large).
+      SUMTAB_RETURN_NOT_OK(FilterRows(pred, qs[0], nq, &child_rows[qs[0]]));
       continue;
     }
     JoinPred jp;
@@ -255,24 +297,46 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
         if (has_null) continue;  // SQL '=' never matches NULL
         table[std::move(key)].push_back(&row);
       }
+      // Probe morsel-parallel: the build table is read-only; each lane
+      // probes a contiguous chunk of `combined` and chunk outputs are
+      // concatenated in order (deterministic row order).
+      const int64_t probe_n = static_cast<int64_t>(combined.size());
+      const int lanes =
+          ParallelLanes(probe_n, options_.max_threads, kMorselRows);
+      std::vector<std::vector<Row>> lane_out(lanes);
+      std::vector<Status> lane_status(lanes, Status::OK());
+      ParallelFor(probe_n, lanes, [&](int lane, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          const Row& left = combined[i];
+          Row key;
+          key.reserve(probe_slots.size());
+          bool has_null = false;
+          for (int slot : probe_slots) {
+            has_null = has_null || left[slot].is_null();
+            key.push_back(left[slot]);
+          }
+          if (has_null) continue;
+          auto it = table.find(key);
+          if (it == table.end()) continue;
+          for (const Row* right : it->second) {
+            Status charged = Charge(1);
+            if (!charged.ok()) {
+              lane_status[lane] = std::move(charged);
+              return;
+            }
+            Row merged = left;
+            merged.insert(merged.end(), right->begin(), right->end());
+            lane_out[lane].push_back(std::move(merged));
+          }
+        }
+      }, kMorselRows);
+      for (const Status& st : lane_status) SUMTAB_RETURN_NOT_OK(st);
       std::vector<Row> next_combined;
-      for (const Row& left : combined) {
-        Row key;
-        key.reserve(probe_slots.size());
-        bool has_null = false;
-        for (int slot : probe_slots) {
-          has_null = has_null || left[slot].is_null();
-          key.push_back(left[slot]);
-        }
-        if (has_null) continue;
-        auto it = table.find(key);
-        if (it == table.end()) continue;
-        for (const Row* right : it->second) {
-          SUMTAB_RETURN_NOT_OK(Charge(1));
-          Row merged = left;
-          merged.insert(merged.end(), right->begin(), right->end());
-          next_combined.push_back(std::move(merged));
-        }
+      size_t total = 0;
+      for (const auto& part : lane_out) total += part.size();
+      next_combined.reserve(total);
+      for (std::vector<Row>& part : lane_out) {
+        for (Row& row : part) next_combined.push_back(std::move(row));
       }
       combined = std::move(next_combined);
       offsets[next] = width;
@@ -311,20 +375,33 @@ StatusOr<Executor::RelPtr> Executor::ExecSelect(const qgm::Graph& graph,
     return Status::Internal("residual predicates left after join");
   }
 
-  // 4. Project.
+  // 4. Project (morsel-parallel; lanes write disjoint ranges of the
+  //    pre-sized output, so row order matches the serial path exactly).
   auto result = std::make_shared<Relation>();
   for (const auto& out : box.outputs) result->column_names.push_back(out.name);
-  result->rows.reserve(combined.size());
-  for (const Row& row : combined) {
-    expr::EvalContext ctx{&offsets, &row};
-    Row out;
-    out.reserve(box.outputs.size());
-    for (const auto& col : box.outputs) {
-      SUMTAB_ASSIGN_OR_RETURN(Value v, expr::Eval(col.expr, ctx));
-      out.push_back(std::move(v));
+  const int64_t project_n = static_cast<int64_t>(combined.size());
+  const int project_lanes =
+      ParallelLanes(project_n, options_.max_threads, kMorselRows);
+  result->rows.resize(combined.size());
+  std::vector<Status> project_status(project_lanes, Status::OK());
+  ParallelFor(project_n, project_lanes,
+              [&](int lane, int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      expr::EvalContext ctx{&offsets, &combined[i]};
+      Row out;
+      out.reserve(box.outputs.size());
+      for (const auto& col : box.outputs) {
+        StatusOr<Value> v = expr::Eval(col.expr, ctx);
+        if (!v.ok()) {
+          project_status[lane] = v.status();
+          return;
+        }
+        out.push_back(std::move(*v));
+      }
+      result->rows[i] = std::move(out);
     }
-    result->rows.push_back(std::move(out));
-  }
+  }, kMorselRows);
+  for (const Status& st : project_status) SUMTAB_RETURN_NOT_OK(st);
 
   if (box.distinct) {
     std::unordered_set<Row, RowHash> seen;
@@ -389,7 +466,8 @@ StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
   }
   SUMTAB_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      Aggregate(child->rows, grouping_cols, sets, aggs));
+      Aggregate(child->rows, grouping_cols, sets, aggs,
+                options_.max_threads));
   SUMTAB_RETURN_NOT_OK(Charge(static_cast<int64_t>(rows.size())));
   auto result = std::make_shared<Relation>();
   for (const auto& out : box.outputs) result->column_names.push_back(out.name);
@@ -409,8 +487,8 @@ StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
 
 StatusOr<Relation> Executor::Execute(const qgm::Graph& graph) {
   SUMTAB_FAULT_POINT("executor/execute");
-  rows_charged_ = 0;
-  deadline_poll_ = 0;
+  rows_charged_.store(0, std::memory_order_relaxed);
+  deadline_poll_.store(0, std::memory_order_relaxed);
   has_deadline_ = options_.timeout_millis > 0;
   if (has_deadline_) {
     deadline_ = std::chrono::steady_clock::now() +

@@ -6,17 +6,28 @@
 // QGM describes semantics, not plans; this interpreter picks a plan with two
 // fixed policies (single-quantifier predicate pushdown, greedy hash joins)
 // that suffice for benchmarking relative costs.
+//
+// With max_threads > 1 the hot loops go morsel-parallel on the shared pool:
+// pushed-down filters, projection, and hash-join probes split the input into
+// contiguous chunks whose outputs are concatenated in chunk order, and
+// aggregation hash-partitions rows by group key — both schemes preserve the
+// serial per-row evaluation order inside each group/chunk, so results are
+// bit-identical to max_threads = 1 up to output row order (see DESIGN.md,
+// "Parallel execution and plan caching").
 #ifndef SUMTAB_ENGINE_EXECUTOR_H_
 #define SUMTAB_ENGINE_EXECUTOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/relation.h"
+#include "expr/expr.h"
 #include "qgm/qgm.h"
 
 namespace sumtab {
@@ -39,6 +50,10 @@ struct ExecOptions {
   /// boundaries and periodically inside join loops; exceeding it returns
   /// kResourceExhausted.
   double timeout_millis = 0;
+  /// Max concurrent lanes for morsel-parallel operators. 1 (the default) is
+  /// the single-threaded semantic reference; values above the shared pool
+  /// size are clamped to it.
+  int max_threads = 1;
 };
 
 class Executor {
@@ -56,16 +71,22 @@ class Executor {
   StatusOr<RelPtr> ExecSelect(const qgm::Graph& graph, const qgm::Box& box);
   StatusOr<RelPtr> ExecGroupBy(const qgm::Graph& graph, const qgm::Box& box);
 
+  /// Filters `rows` in place by `pred` (which references only quantifier
+  /// `q`), morsel-parallel when the input is large. Surviving rows keep
+  /// their relative order.
+  Status FilterRows(const expr::ExprPtr& pred, int q, int nq,
+                    std::vector<Row>* rows);
+
   /// Accounts `rows` materialized rows against the budget; every 1024
   /// charged rows it also polls the deadline (a clock read is too expensive
-  /// per row).
+  /// per row). Thread-safe: parallel lanes charge the shared budget.
   Status Charge(int64_t rows);
   Status CheckDeadline();
 
   const Storage& storage_;
   ExecOptions options_;
-  int64_t rows_charged_ = 0;
-  int64_t deadline_poll_ = 0;
+  std::atomic<int64_t> rows_charged_{0};
+  std::atomic<int64_t> deadline_poll_{0};
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_;
 };

@@ -1,7 +1,10 @@
 #include "sumtab/database.h"
 
+#include <algorithm>
+
 #include "common/fault_injection.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "matching/rewriter.h"
 #include "qgm/qgm_builder.h"
 #include "qgm/qgm_print.h"
@@ -30,6 +33,99 @@ std::vector<std::string> LeafTables(const qgm::Graph& graph) {
 Database::Database() = default;
 Database::~Database() = default;
 
+// ---- rewrite-plan cache ----
+
+std::string Database::PlanCacheKey(const std::string& sql,
+                                   const QueryOptions& options) const {
+  // Only options that change the *plan graph* belong in the key; execution
+  // knobs (threads, budgets, join strategy) reuse the same entry.
+  return NormalizeSqlText(sql) + "#rw=" + (options.enable_rewrite ? "1" : "0") +
+         "#stale=" + (options.allow_stale_reads ? "1" : "0");
+}
+
+Database::CacheLookup Database::LookupPlan(const std::string& key,
+                                           const QueryOptions& options,
+                                           CachedPlan* out) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    ++cache_misses_;
+    return CacheLookup::kMiss;
+  }
+  const CachedPlan& entry = it->second;
+  bool valid = entry.generation == catalog_generation_;
+  // Any epoch bump of a base table the original query scans invalidates:
+  // a spliced-in AST may now be stale, and even the relative costs that
+  // picked this plan have changed.
+  for (const auto& [table, epoch] : entry.base_epochs) {
+    valid = valid && storage_.Epoch(table) == epoch;
+  }
+  // The ASTs this plan reads must still be serviceable under the *current*
+  // options — a quarantined or newly-stale AST must not be served from
+  // cache when a fresh search would have skipped it.
+  for (const std::string& name : entry.used_asts) {
+    const SummaryTable* st = FindSummaryTable(name);
+    valid = valid && st != nullptr &&
+            UsableForRewrite(*st, options.allow_stale_reads);
+  }
+  if (!valid) {
+    ++cache_invalidations_;
+    plan_lru_.erase(it->second.lru_pos);
+    plan_cache_.erase(it);
+    return CacheLookup::kInvalidated;
+  }
+  ++cache_hits_;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
+  out->plan = qgm::Graph::CloneGraph(entry.plan);
+  out->used_summary_table = entry.used_summary_table;
+  out->summary_table = entry.summary_table;
+  out->rewritten_sql = entry.rewritten_sql;
+  out->candidate_rewrites = entry.candidate_rewrites;
+  out->used_asts = entry.used_asts;
+  return CacheLookup::kHit;
+}
+
+void Database::InsertPlan(const std::string& key, CachedPlan entry) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  entry.generation = catalog_generation_;
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    plan_lru_.erase(it->second.lru_pos);
+    plan_cache_.erase(it);
+  }
+  plan_lru_.push_front(key);
+  entry.lru_pos = plan_lru_.begin();
+  plan_cache_.emplace(key, std::move(entry));
+  while (plan_cache_.size() > kPlanCacheCapacity) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+  }
+}
+
+void Database::ForgetPlan(const std::string& key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) return;
+  plan_lru_.erase(it->second.lru_pos);
+  plan_cache_.erase(it);
+}
+
+void Database::BumpGeneration() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  ++catalog_generation_;
+}
+
+DatabaseStats Database::Stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  DatabaseStats stats;
+  stats.plan_cache_hits = cache_hits_;
+  stats.plan_cache_misses = cache_misses_;
+  stats.plan_cache_invalidations = cache_invalidations_;
+  stats.plan_cache_entries = static_cast<int64_t>(plan_cache_.size());
+  stats.catalog_generation = catalog_generation_;
+  return stats;
+}
+
 Status Database::CreateTable(const std::string& name,
                              const std::vector<catalog::Column>& columns,
                              const std::vector<std::string>& primary_key) {
@@ -42,15 +138,19 @@ Status Database::CreateTable(const std::string& name,
   for (const catalog::Column& col : columns) {
     empty.column_names.push_back(ToLower(col.name));
   }
-  return storage_.AddTable(name, std::move(empty));
+  SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(empty)));
+  BumpGeneration();
+  return Status::OK();
 }
 
 Status Database::AddForeignKey(const std::string& child_table,
                                const std::string& child_column,
                                const std::string& parent_table,
                                const std::string& parent_column) {
-  return catalog_.AddForeignKey(child_table, child_column, parent_table,
-                                parent_column);
+  SUMTAB_RETURN_NOT_OK(catalog_.AddForeignKey(child_table, child_column,
+                                              parent_table, parent_column));
+  BumpGeneration();  // RI constraints feed the matcher's rejoin reasoning
+  return Status::OK();
 }
 
 Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
@@ -110,7 +210,7 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
   st->graph = std::move(graph);
   MarkRefreshed(st.get());
   summary_tables_.push_back(std::move(st));
-  return rows;
+  return rows;  // MarkRefreshed bumped the catalog generation
 }
 
 Status Database::DropSummaryTable(const std::string& name) {
@@ -118,6 +218,7 @@ Status Database::DropSummaryTable(const std::string& name) {
   for (size_t i = 0; i < summary_tables_.size(); ++i) {
     if (summary_tables_[i]->name == key) {
       summary_tables_.erase(summary_tables_.begin() + i);
+      BumpGeneration();
       return storage_.DropTable(key);
       // Note: the catalog keeps the (now dangling) table entry out of
       // simplicity; queries naming it will fail at execution.
@@ -186,6 +287,9 @@ void Database::MarkRefreshed(SummaryTable* st) {
   }
   st->consecutive_failures = 0;
   st->disabled = false;
+  // A define/refresh/revival changes which rewrites a fresh search would
+  // pick, so cached plans from before it must be re-searched.
+  BumpGeneration();
 }
 
 StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
@@ -213,6 +317,7 @@ Status Database::SetMaxStaleness(const std::string& name,
     return Status::NotFound("summary table '" + name + "'");
   }
   st->max_staleness = max_epoch_lag;
+  BumpGeneration();  // staleness tolerance changes rewrite eligibility
   return Status::OK();
 }
 
@@ -292,53 +397,88 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
 
 StatusOr<QueryResult> Database::Query(const std::string& sql,
                                       const QueryOptions& options) {
-  SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
-                          sql::Parse(sql));
-  SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
-
   QueryResult result;
-  const qgm::Graph* to_run = &graph;
-  std::unique_ptr<qgm::Graph> rewritten;
+  std::string cache_key;
+  std::unique_ptr<qgm::Graph> plan;      // the graph to execute (owned)
+  std::unique_ptr<qgm::Graph> original;  // base-table form, for fallback
   std::vector<std::string> used;
-  if (options.enable_rewrite) {
-    std::string chosen;
-    rewritten = TryRewrite(graph, options, &chosen, &result.candidate_rewrites,
-                           &used, &result.degradation);
-    if (rewritten != nullptr) {
-      StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
-      if (new_sql.ok()) {
-        result.used_summary_table = true;
-        result.summary_table = chosen;
-        result.rewritten_sql = std::move(*new_sql);
-        to_run = rewritten.get();
-      } else {
-        // The rewrite can't be rendered/executed: degrade to base tables.
-        for (const std::string& name : used) {
-          if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
-        }
-        result.degradation.degraded = true;
-        result.degradation.stage = "rewrite";
-        result.degradation.summary_table = chosen;
-        if (!result.degradation.message.empty()) {
-          result.degradation.message += "; ";
-        }
-        result.degradation.message += new_sql.status().ToString();
-        rewritten.reset();
-      }
+  bool was_rewritten = false;
+
+  // 1. Plan-cache lookup: a hit skips parse -> QGM build -> match search.
+  if (options.enable_plan_cache) {
+    cache_key = PlanCacheKey(sql, options);
+    CachedPlan cached;
+    if (LookupPlan(cache_key, options, &cached) == CacheLookup::kHit) {
+      result.plan_cache_hit = true;
+      result.used_summary_table = cached.used_summary_table;
+      result.summary_table = cached.summary_table;
+      result.rewritten_sql = cached.rewritten_sql;
+      result.candidate_rewrites = cached.candidate_rewrites;
+      used = cached.used_asts;
+      was_rewritten = cached.used_summary_table;
+      plan = std::make_unique<qgm::Graph>(std::move(cached.plan));
     }
   }
+
+  // 2. Compile path (miss / invalidated / cache disabled).
+  if (plan == nullptr) {
+    SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                            sql::Parse(sql));
+    SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+    original = std::make_unique<qgm::Graph>(std::move(graph));
+    if (options.enable_rewrite) {
+      std::string chosen;
+      std::unique_ptr<qgm::Graph> rewritten =
+          TryRewrite(*original, options, &chosen, &result.candidate_rewrites,
+                     &used, &result.degradation);
+      if (rewritten != nullptr) {
+        StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
+        if (new_sql.ok()) {
+          result.used_summary_table = true;
+          result.summary_table = chosen;
+          result.rewritten_sql = std::move(*new_sql);
+          was_rewritten = true;
+          plan = std::move(rewritten);
+        } else {
+          // The rewrite can't be rendered/executed: degrade to base tables.
+          for (const std::string& name : used) {
+            if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
+          }
+          result.degradation.degraded = true;
+          result.degradation.stage = "rewrite";
+          result.degradation.summary_table = chosen;
+          if (!result.degradation.message.empty()) {
+            result.degradation.message += "; ";
+          }
+          result.degradation.message += new_sql.status().ToString();
+          used.clear();
+        }
+      }
+    }
+    if (plan == nullptr) {
+      plan = std::make_unique<qgm::Graph>(qgm::Graph::CloneGraph(*original));
+      used.clear();
+    }
+  }
+
   engine::ExecOptions exec_options;
   exec_options.disable_hash_join = options.disable_hash_join;
   exec_options.max_rows = options.max_rows;
   exec_options.timeout_millis = options.timeout_millis;
+  // 0 = hardware concurrency; clamp so aggregation partition ids stay narrow.
+  exec_options.max_threads =
+      options.max_threads == 0
+          ? ThreadPool::HardwareParallelism()
+          : std::min(options.max_threads, 128);
   engine::Executor executor(storage_, exec_options);
-  StatusOr<engine::Relation> data = executor.Execute(*to_run);
-  if (!data.ok() && to_run != &graph) {
+  StatusOr<engine::Relation> data = executor.Execute(*plan);
+  if (!data.ok() && was_rewritten) {
     // Graceful degradation: the rewritten plan failed, so fall back to the
     // base tables — a summary table is an optimization, never a requirement.
     for (const std::string& name : used) {
       if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
     }
+    if (result.plan_cache_hit) ForgetPlan(cache_key);  // entry is broken
     result.degradation.degraded = true;
     result.degradation.stage = "execute";
     result.degradation.summary_table = result.summary_table;
@@ -347,8 +487,16 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
     result.used_summary_table = false;
     result.summary_table.clear();
     result.rewritten_sql.clear();
+    if (original == nullptr) {
+      // Cache hit: the base-table form was never built this call.
+      SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                              sql::Parse(sql));
+      SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph,
+                              qgm::BuildGraph(*stmt, catalog_));
+      original = std::make_unique<qgm::Graph>(std::move(graph));
+    }
     engine::Executor retry(storage_, exec_options);
-    data = retry.Execute(graph);
+    data = retry.Execute(*original);
   }
   if (!data.ok()) return data.status();
   if (result.used_summary_table) {
@@ -358,6 +506,22 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
         st->consecutive_failures = 0;
       }
     }
+  }
+  // 3. Memoize the decision — only a plan that parsed, matched, and executed
+  //    cleanly this call (a fallback plan is not the search's answer).
+  if (options.enable_plan_cache && !result.plan_cache_hit &&
+      !result.degradation.degraded && original != nullptr) {
+    CachedPlan entry;
+    entry.plan = std::move(*plan);
+    entry.used_summary_table = result.used_summary_table;
+    entry.summary_table = result.summary_table;
+    entry.rewritten_sql = result.rewritten_sql;
+    entry.candidate_rewrites = result.candidate_rewrites;
+    entry.used_asts = used;
+    for (const std::string& table : LeafTables(*original)) {
+      entry.base_epochs[ToLower(table)] = storage_.Epoch(table);
+    }
+    InsertPlan(cache_key, std::move(entry));
   }
   result.relation = std::move(*data);
   return result;

@@ -17,8 +17,10 @@
 #define SUMTAB_SUMTAB_DATABASE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,15 @@ struct QueryOptions {
   int64_t max_rows = 0;
   /// Executor wall-clock budget in milliseconds; 0 = none.
   double timeout_millis = 0;
+  /// Max concurrent lanes for intra-query parallelism. 0 (the default)
+  /// resolves to hardware concurrency; 1 is the single-threaded semantic
+  /// reference (bit-identical to the pre-parallel engine).
+  int max_threads = 0;
+  /// Consult/populate the rewrite-plan cache. A hit skips the
+  /// parse -> QGM-build -> match-search pipeline entirely; entries are
+  /// validated against the catalog generation, base-table epochs, and the
+  /// freshness state of every summary table they splice in.
+  bool enable_plan_cache = true;
 };
 
 /// Diagnostic attached to a QueryResult when something on the rewrite path
@@ -71,7 +82,22 @@ struct QueryResult {
   std::string summary_table;       // which AST answered the query
   std::string rewritten_sql;       // the NewQ form (empty if not rewritten)
   int candidate_rewrites = 0;      // how many ASTs offered a rewrite
+  bool plan_cache_hit = false;     // served from the rewrite-plan cache
   QueryDegradation degradation;    // set when a failure was recovered
+};
+
+/// Counters exposed by Database::Stats(). Hits/misses/invalidations
+/// partition plan-cache lookups: an invalidation is a lookup that found an
+/// entry but had to discard it (DDL generation change, base-table epoch
+/// bump, or a spliced-in summary table no longer serviceable).
+struct DatabaseStats {
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_invalidations = 0;
+  int64_t plan_cache_entries = 0;
+  /// Monotonic DDL counter (CreateTable / DefineSummaryTable / Drop /
+  /// SetMaxStaleness / refresh); part of every cache entry's validity.
+  int64_t catalog_generation = 0;
 };
 
 /// Introspection snapshot of one summary table's freshness bookkeeping.
@@ -165,6 +191,8 @@ class Database {
   const engine::Storage& storage() const { return storage_; }
   /// Row count of a loaded table (0 if absent).
   int64_t TableRows(const std::string& name) const;
+  /// Plan-cache and DDL counters (snapshot).
+  DatabaseStats Stats() const;
 
  private:
   struct SummaryTable {
@@ -181,6 +209,43 @@ class Database {
 
   /// Consecutive rewrite-path failures before an AST is quarantined.
   static constexpr int kQuarantineThreshold = 3;
+
+  /// Max cached plans; least-recently-used entries are evicted beyond it.
+  static constexpr size_t kPlanCacheCapacity = 256;
+
+  /// One memoized rewrite decision (DESIGN.md, "Parallel execution and plan
+  /// caching"). Key = normalized SQL + the planning-relevant options;
+  /// validity = (catalog generation, epoch of every base table the original
+  /// query scans, serviceability of every spliced-in AST).
+  struct CachedPlan {
+    qgm::Graph plan;  // the graph Query() would execute (rewritten or not)
+    bool used_summary_table = false;
+    std::string summary_table;
+    std::string rewritten_sql;
+    int candidate_rewrites = 0;
+    std::vector<std::string> used_asts;
+    int64_t generation = 0;
+    /// Epochs of the original query's base tables at caching time. Any bump
+    /// (BulkLoad / Append) invalidates: the plan may scan an AST whose
+    /// content no longer reflects the base data.
+    std::map<std::string, int64_t> base_epochs;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  enum class CacheLookup { kHit, kMiss, kInvalidated };
+
+  std::string PlanCacheKey(const std::string& sql,
+                           const QueryOptions& options) const;
+  /// Validates + pops the entry for `key` under cache_mu_. On kHit, `*out`
+  /// receives a deep copy of the cached plan and its metadata.
+  CacheLookup LookupPlan(const std::string& key, const QueryOptions& options,
+                         CachedPlan* out);
+  void InsertPlan(const std::string& key, CachedPlan entry);
+  /// Drops the entry for `key` (used when a cached plan fails to execute).
+  void ForgetPlan(const std::string& key);
+  /// DDL/AST-lifecycle change: bump the generation so every cached plan made
+  /// before it is discarded on next lookup.
+  void BumpGeneration();
 
   /// Best rewrite across the usable (fresh-enough, non-quarantined) ASTs —
   /// fewest estimated scanned rows; null result when none matches. An AST
@@ -207,6 +272,17 @@ class Database {
   catalog::Catalog catalog_;
   engine::Storage storage_;
   std::vector<std::unique_ptr<SummaryTable>> summary_tables_;
+
+  /// Rewrite-plan cache (LRU). cache_mu_ guards the map, LRU list, stats,
+  /// and generation counter — Database is not thread-safe as a whole, but
+  /// the cache bookkeeping is, so Stats() can be polled while queries run.
+  mutable std::mutex cache_mu_;
+  std::map<std::string, CachedPlan> plan_cache_;
+  std::list<std::string> plan_lru_;  // front = most recent
+  int64_t catalog_generation_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  int64_t cache_invalidations_ = 0;
 };
 
 }  // namespace sumtab

@@ -1,0 +1,345 @@
+// Differential rewrite-equivalence oracle: a seeded random query generator
+// over the card and TPC-D schemas executes every query three ways —
+//   A: rewriting disabled, threads=1   (the semantic reference)
+//   B: rewriting enabled,  threads=1
+//   C: rewriting enabled,  threads=4   (morsel-parallel + plan cache)
+// and asserts equivalence. B vs A uses the repo's canonical multiset check
+// (a rewrite re-aggregates partial sums, so floating-point results may
+// differ in the last bits — that tolerance is the paper's own equivalence
+// notion). C vs B must be BIT-IDENTICAL after sorting: the parallel engine
+// hash-partitions rows by group key and concatenates morsels in chunk
+// order, so per-group accumulation order is exactly the serial one and any
+// fp difference is a real bug.
+//
+// Any mismatch prints the seed, query ordinal, SQL, the Explain() plan
+// (which names the chosen AST), and both result sets — replay by running
+// the failing seed alone.
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/card_schema.h"
+#include "data/tpcd_schema.h"
+#include "engine/relation.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace {
+
+/// Strict equality of sorted row sets: same size, same Values bit-for-bit
+/// (Value::operator== is exact, not approximate).
+::testing::AssertionResult BitIdenticalSorted(const engine::Relation& a,
+                                              const engine::Relation& b) {
+  if (a.rows.size() != b.rows.size()) {
+    return ::testing::AssertionFailure()
+           << "row count " << a.rows.size() << " vs " << b.rows.size();
+  }
+  std::vector<Row> left = a.rows;
+  std::vector<Row> right = b.rows;
+  auto cmp = [](const Row& x, const Row& y) {
+    return std::lexicographical_compare(x.begin(), x.end(), y.begin(),
+                                        y.end());
+  };
+  std::sort(left.begin(), left.end(), cmp);
+  std::sort(right.begin(), right.end(), cmp);
+  for (size_t i = 0; i < left.size(); ++i) {
+    if (left[i].size() != right[i].size()) {
+      return ::testing::AssertionFailure() << "arity differs at row " << i;
+    }
+    for (size_t j = 0; j < left[i].size(); ++j) {
+      if (!(left[i][j] == right[i][j])) {
+        return ::testing::AssertionFailure()
+               << "value differs at sorted row " << i << " col " << j << ": "
+               << left[i][j].ToString() << " vs " << right[i][j].ToString();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Seeded generator of GROUP BY / join / grouping-set / scalar-subquery
+/// queries over one schema's fact table and dimensions.
+class QueryGen {
+ public:
+  struct Dim {
+    std::string expr;   // grouping expression, e.g. "year(date)"
+    std::string alias;  // select-list alias
+  };
+  struct JoinDim {
+    std::string table;
+    std::string join_pred;  // e.g. "trans.faid = acct.aid"
+    std::string attr;       // a groupable attribute of the dim table
+  };
+
+  QueryGen(uint64_t seed, std::string fact, std::vector<Dim> dims,
+           std::vector<std::string> agg_args, std::vector<JoinDim> joins,
+           std::vector<std::string> filters)
+      : rng_(seed),
+        fact_(std::move(fact)),
+        dims_(std::move(dims)),
+        agg_args_(std::move(agg_args)),
+        joins_(std::move(joins)),
+        filters_(std::move(filters)) {}
+
+  std::string Next() {
+    switch (rng_() % 4) {
+      case 0: return GroupBy();
+      case 1: return JoinFilter();
+      case 2: return GroupingSets();
+      default: return ScalarSubquery();
+    }
+  }
+
+ private:
+  int Rand(int n) { return static_cast<int>(rng_() % n); }
+  const Dim& RandDim() { return dims_[Rand(static_cast<int>(dims_.size()))]; }
+
+  std::string Aggs() {
+    std::string out = "count(*) as cnt";
+    int extra = Rand(3);
+    for (int i = 0; i < extra; ++i) {
+      const std::string& arg = agg_args_[Rand(static_cast<int>(agg_args_.size()))];
+      const char* fns[] = {"sum", "min", "max", "avg", "count"};
+      const char* fn = fns[Rand(5)];
+      out += ", " + std::string(fn) + "(" + arg + ") as a" + std::to_string(i);
+    }
+    return out;
+  }
+
+  /// 1-2 distinct grouping dims.
+  std::vector<Dim> PickDims(int max_dims) {
+    std::vector<Dim> picked;
+    int want = 1 + Rand(max_dims);
+    for (int i = 0; i < want; ++i) {
+      const Dim& d = RandDim();
+      bool dup = false;
+      for (const Dim& p : picked) dup = dup || p.alias == d.alias;
+      if (!dup) picked.push_back(d);
+    }
+    return picked;
+  }
+
+  std::string SelectOf(const std::vector<Dim>& dims) {
+    std::string sel, grp;
+    for (const Dim& d : dims) {
+      sel += d.expr + (d.expr == d.alias ? "" : " as " + d.alias) + ", ";
+      grp += (grp.empty() ? "" : ", ") + d.expr;
+    }
+    return "select " + sel + Aggs() + " from " + fact_ +
+           MaybeWhere() + " group by " + grp;
+  }
+
+  std::string MaybeWhere() {
+    if (Rand(2) == 0 || filters_.empty()) return "";
+    return " where " + filters_[Rand(static_cast<int>(filters_.size()))];
+  }
+
+  std::string GroupBy() {
+    std::string sql = SelectOf(PickDims(2));
+    if (Rand(3) == 0) sql += " having count(*) > " + std::to_string(Rand(20));
+    return sql;
+  }
+
+  std::string JoinFilter() {
+    const JoinDim& j = joins_[Rand(static_cast<int>(joins_.size()))];
+    std::string sel = j.attr + ", ";
+    std::string grp = j.attr;
+    if (Rand(2) == 0) {
+      const Dim& d = RandDim();
+      // Qualify bare fact columns: the dim table may share the name
+      // (e.g. lineitem.pkey vs part.pkey).
+      std::string expr = d.expr.find('(') == std::string::npos
+                             ? fact_ + "." + d.expr
+                             : d.expr;
+      sel += expr + " as " + d.alias + ", ";
+      grp += ", " + expr;
+    }
+    std::string where = " where " + j.join_pred;
+    if (Rand(2) == 0 && !filters_.empty()) {
+      where += " and " + filters_[Rand(static_cast<int>(filters_.size()))];
+    }
+    return "select " + sel + Aggs() + " from " + fact_ + ", " + j.table +
+           where + " group by " + grp;
+  }
+
+  std::string GroupingSets() {
+    std::vector<Dim> dims = PickDims(2);
+    if (dims.size() < 2) dims.push_back(RandDim());
+    if (dims[0].alias == dims[1].alias) return GroupBy();
+    std::string sel, cols;
+    for (const Dim& d : dims) {
+      sel += d.expr + (d.expr == d.alias ? "" : " as " + d.alias) + ", ";
+      cols += (cols.empty() ? "" : ", ") + d.expr;
+    }
+    const char* forms[] = {"rollup", "cube", "grouping sets"};
+    std::string form = forms[Rand(3)];
+    std::string grp =
+        form == "grouping sets"
+            ? "grouping sets((" + dims[0].expr + "), (" + dims[1].expr + "))"
+            : form + "(" + cols + ")";
+    return "select " + sel + Aggs() + " from " + fact_ + MaybeWhere() +
+           " group by " + grp;
+  }
+
+  std::string ScalarSubquery() {
+    const Dim& d = RandDim();
+    const std::string& arg =
+        agg_args_[Rand(static_cast<int>(agg_args_.size()))];
+    const char* fn = Rand(2) == 0 ? "avg" : "min";
+    return "select " + d.expr + (d.expr == d.alias ? "" : " as " + d.alias) +
+           ", " + Aggs() + " from " + fact_ + " where " + arg + " >= (select " +
+           fn + "(" + arg + ") from " + fact_ + ") group by " + d.expr;
+  }
+
+  std::mt19937_64 rng_;
+  std::string fact_;
+  std::vector<Dim> dims_;
+  std::vector<std::string> agg_args_;
+  std::vector<JoinDim> joins_;
+  std::vector<std::string> filters_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Runs one generated query three ways and cross-checks.
+  void CheckQuery(Database* db, const std::string& sql, int ordinal,
+                  uint64_t seed) {
+    QueryOptions no_rewrite;
+    no_rewrite.enable_rewrite = false;
+    no_rewrite.max_threads = 1;
+    QueryOptions rewrite;
+    rewrite.max_threads = 1;
+    QueryOptions parallel;
+    parallel.max_threads = 4;
+
+    StatusOr<QueryResult> a = db->Query(sql, no_rewrite);
+    ASSERT_TRUE(a.ok()) << Diag(db, sql, ordinal, seed)
+                        << "\nA failed: " << a.status().ToString();
+    StatusOr<QueryResult> b = db->Query(sql, rewrite);
+    ASSERT_TRUE(b.ok()) << Diag(db, sql, ordinal, seed)
+                        << "\nB failed: " << b.status().ToString();
+    StatusOr<QueryResult> c = db->Query(sql, parallel);
+    ASSERT_TRUE(c.ok()) << Diag(db, sql, ordinal, seed)
+                        << "\nC failed: " << c.status().ToString();
+
+    if (b->used_summary_table) ++rewritten_;
+    ++total_;
+
+    // Rewrite equivalence: multiset equality with the repo's fp tolerance
+    // (re-aggregating an AST's partial sums legally perturbs last bits).
+    EXPECT_TRUE(engine::SameRowMultiset(a->relation, b->relation))
+        << Diag(db, sql, ordinal, seed) << "\nAST: " << b->summary_table
+        << "\nrewritten: " << b->rewritten_sql << "\nno-rewrite:\n"
+        << a->relation.ToString(30) << "rewrite:\n"
+        << b->relation.ToString(30);
+    // Parallel determinism: same plan as B (via rewrite or its cached
+    // plan), so sorted results must be bit-identical.
+    EXPECT_TRUE(BitIdenticalSorted(b->relation, c->relation))
+        << Diag(db, sql, ordinal, seed) << "\nAST: " << c->summary_table
+        << "\nrewritten: " << c->rewritten_sql << "\nthreads=1:\n"
+        << b->relation.ToString(30) << "threads=4:\n"
+        << c->relation.ToString(30);
+  }
+
+  std::string Diag(Database* db, const std::string& sql, int ordinal,
+                   uint64_t seed) {
+    std::string out = "seed=" + std::to_string(seed) +
+                      " query#" + std::to_string(ordinal) + "\nsql: " + sql;
+    StatusOr<std::string> plan = db->Explain(sql);
+    if (plan.ok()) out += "\n" + *plan;
+    return out;
+  }
+
+  int total_ = 0;
+  int rewritten_ = 0;
+};
+
+TEST_P(DifferentialTest, CardSchemaThreeWayEquivalence) {
+  const uint64_t seed = GetParam();
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = 4000;
+  params.seed = seed;
+  ASSERT_TRUE(data::SetupCardSchema(&db, params).ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_card_a",
+                    "select faid, flid, year(date) as y, count(*) as cnt, "
+                    "sum(qty) as sq, sum(price) as sp, min(price) as mnp, "
+                    "max(qty) as mxq from trans "
+                    "group by faid, flid, year(date)")
+                  .ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_card_b",
+                    "select fpgid, year(date) as y, month(date) as m, "
+                    "count(*) as cnt, sum(price) as sp from trans "
+                    "group by fpgid, year(date), month(date)")
+                  .ok());
+
+  QueryGen gen(seed, "trans",
+               {{"faid", "faid"},
+                {"fpgid", "fpgid"},
+                {"flid", "flid"},
+                {"year(date)", "y"},
+                {"month(date)", "m"}},
+               {"qty", "price", "disc"},
+               {{"acct", "trans.faid = acct.aid", "status"},
+                {"loc", "trans.flid = loc.lid", "state"},
+                {"pgroup", "trans.fpgid = pgroup.pgid", "pgname"}},
+               {"year(date) >= 1992", "qty > 2", "faid < 30",
+                "price > 50.0"});
+  for (int i = 0; i < 160; ++i) {
+    CheckQuery(&db, gen.Next(), i, seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) break;
+  }
+  // The generator must actually exercise the rewriter, not just miss.
+  EXPECT_GT(rewritten_, total_ / 8)
+      << "only " << rewritten_ << "/" << total_ << " queries were rewritten";
+}
+
+TEST_P(DifferentialTest, TpcdSchemaThreeWayEquivalence) {
+  const uint64_t seed = GetParam();
+  Database db;
+  data::TpcdParams params;
+  params.num_lineitems = 6000;
+  params.num_orders = 600;
+  params.seed = seed;
+  ASSERT_TRUE(data::SetupTpcdSchema(&db, params).ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_tpcd_a",
+                    "select lineitem.pkey as pkey, pbrand, ptype, "
+                    "year(shipdate) as y, count(*) as cnt, sum(lqty) as qty, "
+                    "sum(lprice) as price from lineitem, part "
+                    "where lineitem.pkey = part.pkey "
+                    "group by lineitem.pkey, pbrand, ptype, year(shipdate)")
+                  .ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_tpcd_b",
+                    "select year(odate) as y, opriority, count(*) as cnt "
+                    "from orders group by year(odate), opriority")
+                  .ok());
+
+  QueryGen gen(seed ^ 0x5eedULL, "lineitem",
+               {{"pkey", "pkey"},
+                {"okey", "okey"},
+                {"year(shipdate)", "y"},
+                {"month(shipdate)", "m"}},
+               {"lqty", "lprice", "ldisc"},
+               {{"part", "lineitem.pkey = part.pkey", "pbrand"},
+                {"part", "lineitem.pkey = part.pkey", "ptype"},
+                {"orders", "lineitem.okey = orders.okey", "opriority"}},
+               {"year(shipdate) >= 1994", "lqty > 10", "lprice > 500.0"});
+  for (int i = 0; i < 80; ++i) {
+    CheckQuery(&db, gen.Next(), i, seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) break;
+  }
+}
+
+// 160 card + 80 tpcd queries per seed = 240 >= the 200 the oracle promises.
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values<uint64_t>(1, 77, 4242));
+
+}  // namespace
+}  // namespace sumtab

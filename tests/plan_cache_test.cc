@@ -1,0 +1,238 @@
+// Rewrite-plan cache correctness (DESIGN.md, "Parallel execution and plan
+// caching"): hits on textually-identical queries, invalidation on DDL
+// (catalog generation) and on base-table epoch bumps (BulkLoad / Append),
+// and composition with PR 2's freshness machinery — a cached rewrite
+// against a now-stale or quarantined AST must never be served.
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/str_util.h"
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+constexpr char kAstDef[] =
+    "select faid, flid, year(date) as y, count(*) as cnt, sum(qty) as sq "
+    "from trans group by faid, flid, year(date)";
+constexpr char kQuery[] =
+    "select faid, count(*) as cnt from trans group by faid";
+
+std::vector<Row> MakeTransRows(int start_tid, int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int(start_tid + i), Value::Int(i % 50),
+                       Value::Int(i % 12), Value::Int(i % 40),
+                       Value::Date(19940101 + (i % 28)), Value::Int(1 + i % 5),
+                       Value::Double(10.0), Value::Double(0.0)});
+  }
+  return rows;
+}
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    db_ = testing::MakeCardDb(1000);
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  QueryResult MustQuery(const std::string& sql, QueryOptions opts = {}) {
+    StatusOr<QueryResult> result = db_->Query(sql, opts);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PlanCacheTest, NormalizeSqlText) {
+  EXPECT_EQ(NormalizeSqlText("  SELECT  *\n FROM\tT  "), "select * from t");
+  // String literals keep their case; surrounding SQL is folded.
+  EXPECT_EQ(NormalizeSqlText("SELECT 'AbC'  FROM T"), "select 'AbC' from t");
+  EXPECT_EQ(NormalizeSqlText("a"), NormalizeSqlText("  A  "));
+}
+
+TEST_F(PlanCacheTest, HitAfterIdenticalQuery) {
+  QueryResult first = MustQuery(kQuery);
+  EXPECT_FALSE(first.plan_cache_hit);
+  QueryResult second = MustQuery(kQuery);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_TRUE(engine::SameRowMultiset(first.relation, second.relation));
+  DatabaseStats stats = db_->Stats();
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_EQ(stats.plan_cache_entries, 1);
+}
+
+TEST_F(PlanCacheTest, HitIsTextuallyNormalized) {
+  MustQuery(kQuery);
+  QueryResult hit = MustQuery(
+      "SELECT faid,   count(*) AS cnt\nFROM trans GROUP BY faid");
+  EXPECT_TRUE(hit.plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, RewriteFlagPartitionsTheCache) {
+  MustQuery(kQuery);
+  QueryOptions off;
+  off.enable_rewrite = false;
+  QueryResult no_rewrite = MustQuery(kQuery, off);
+  EXPECT_FALSE(no_rewrite.plan_cache_hit);  // different planning options
+  QueryResult again = MustQuery(kQuery, off);
+  EXPECT_TRUE(again.plan_cache_hit);
+  EXPECT_FALSE(again.used_summary_table);
+}
+
+TEST_F(PlanCacheTest, CacheCanBeDisabledPerQuery) {
+  MustQuery(kQuery);
+  QueryOptions opts;
+  opts.enable_plan_cache = false;
+  EXPECT_FALSE(MustQuery(kQuery, opts).plan_cache_hit);
+}
+
+TEST_F(PlanCacheTest, CachedRewritePlanIsServedAndEquivalent) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  engine::Relation reference = MustQuery(kQuery, no_rewrite).relation;
+
+  QueryResult cold = MustQuery(kQuery);
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_TRUE(cold.used_summary_table);
+  QueryResult warm = MustQuery(kQuery);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_TRUE(warm.used_summary_table);
+  EXPECT_EQ(warm.summary_table, cold.summary_table);
+  EXPECT_EQ(warm.rewritten_sql, cold.rewritten_sql);
+  EXPECT_TRUE(engine::SameRowMultiset(reference, warm.relation));
+}
+
+TEST_F(PlanCacheTest, MissAfterDdlNewAstMustBeReSearched) {
+  // Warm a base-table plan, then define an AST that covers the query: the
+  // cached base plan is stale planning state and must be re-searched.
+  QueryResult cold = MustQuery(kQuery);
+  EXPECT_FALSE(cold.used_summary_table);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  QueryResult after_ddl = MustQuery(kQuery);
+  EXPECT_FALSE(after_ddl.plan_cache_hit);
+  EXPECT_TRUE(after_ddl.used_summary_table) << after_ddl.rewritten_sql;
+  EXPECT_GE(db_->Stats().plan_cache_invalidations, 1);
+}
+
+TEST_F(PlanCacheTest, DropSummaryTableInvalidates) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  EXPECT_TRUE(MustQuery(kQuery).used_summary_table);
+  ASSERT_TRUE(db_->DropSummaryTable("ast1").ok());
+  QueryResult after = MustQuery(kQuery);
+  EXPECT_FALSE(after.plan_cache_hit);
+  EXPECT_FALSE(after.used_summary_table);
+}
+
+TEST_F(PlanCacheTest, BulkLoadEpochBumpInvalidates) {
+  QueryResult cold = MustQuery(kQuery);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(100000, 50)).ok());
+  QueryResult after = MustQuery(kQuery);
+  EXPECT_FALSE(after.plan_cache_hit);
+  // And the recompiled answer sees the new rows.
+  int64_t total_cold = 0, total_after = 0;
+  for (const Row& row : cold.relation.rows) total_cold += row[1].AsInt();
+  for (const Row& row : after.relation.rows) total_after += row[1].AsInt();
+  EXPECT_EQ(total_after, total_cold + 50);
+  EXPECT_GE(db_->Stats().plan_cache_invalidations, 1);
+}
+
+TEST_F(PlanCacheTest, AppendEpochBumpInvalidates) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  EXPECT_TRUE(MustQuery(kQuery).used_summary_table);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+  ASSERT_TRUE(db_->Append("trans", MakeTransRows(200000, 30)).ok());
+  // Append maintained the AST (fresh again) but bumped the trans epoch —
+  // the cached plan predates both and must be recompiled.
+  QueryResult after = MustQuery(kQuery);
+  EXPECT_FALSE(after.plan_cache_hit);
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  EXPECT_TRUE(engine::SameRowMultiset(
+      MustQuery(kQuery, no_rewrite).relation, after.relation));
+}
+
+TEST_F(PlanCacheTest, CachedRewriteAgainstStaleAstIsNotServed) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  QueryResult cold = MustQuery(kQuery);
+  ASSERT_TRUE(cold.used_summary_table);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+
+  // BulkLoad does NOT maintain ASTs: ast1 goes stale. The cached rewrite
+  // must be invalidated, and the fresh search must answer from base tables.
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(300000, 40)).ok());
+  ASSERT_EQ(db_->GetSummaryTableInfo("ast1")->state, AstState::kStale);
+  QueryResult after = MustQuery(kQuery);
+  EXPECT_FALSE(after.plan_cache_hit);
+  EXPECT_FALSE(after.used_summary_table);
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  EXPECT_TRUE(engine::SameRowMultiset(
+      MustQuery(kQuery, no_rewrite).relation, after.relation));
+}
+
+TEST_F(PlanCacheTest, CachedRewriteAgainstQuarantinedAstIsNotServed) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  ASSERT_TRUE(MustQuery(kQuery).used_summary_table);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+
+  // Drive the AST into quarantine with repeated execute-stage faults on a
+  // DIFFERENT query so the cached entry for kQuery is untouched.
+  constexpr char kOther[] =
+      "select flid, count(*) as cnt from trans group by flid";
+  {
+    ScopedFault fault("executor/execute", Status::Internal("boom"), -1);
+    // Both the rewritten attempt and the base fallback trip; the query
+    // fails outright but each failure counts against the AST.
+    for (int i = 0; i < 3; ++i) (void)db_->Query(kOther);
+  }
+  ASSERT_EQ(db_->GetSummaryTableInfo("ast1")->state, AstState::kDisabled);
+
+  QueryResult after = MustQuery(kQuery);
+  EXPECT_FALSE(after.plan_cache_hit);   // usability check rejected the entry
+  EXPECT_FALSE(after.used_summary_table);
+  EXPECT_GE(db_->Stats().plan_cache_invalidations, 1);
+}
+
+TEST_F(PlanCacheTest, StaleReadsUseDistinctKeyAndRespectStaleness) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  ASSERT_TRUE(MustQuery(kQuery).used_summary_table);
+  ASSERT_TRUE(db_->BulkLoad("trans", MakeTransRows(400000, 10)).ok());
+
+  // allow_stale_reads=true is a different planning context: first call
+  // compiles (miss), serves the stale AST, and caches under its own key.
+  QueryOptions stale;
+  stale.allow_stale_reads = true;
+  QueryResult stale_cold = MustQuery(kQuery, stale);
+  EXPECT_FALSE(stale_cold.plan_cache_hit);
+  EXPECT_TRUE(stale_cold.used_summary_table);
+  QueryResult stale_warm = MustQuery(kQuery, stale);
+  EXPECT_TRUE(stale_warm.plan_cache_hit);
+  EXPECT_TRUE(stale_warm.used_summary_table);
+
+  // The exact-freshness key still refuses the stale AST.
+  EXPECT_FALSE(MustQuery(kQuery).used_summary_table);
+}
+
+TEST_F(PlanCacheTest, StatsCountersAreConsistent) {
+  DatabaseStats before = db_->Stats();
+  EXPECT_EQ(before.plan_cache_hits, 0);
+  EXPECT_EQ(before.plan_cache_entries, 0);
+  MustQuery(kQuery);
+  MustQuery(kQuery);
+  MustQuery(kQuery);
+  DatabaseStats after = db_->Stats();
+  EXPECT_EQ(after.plan_cache_misses, 1);
+  EXPECT_EQ(after.plan_cache_hits, 2);
+  EXPECT_GT(after.catalog_generation, 0);  // schema DDL during setup
+}
+
+}  // namespace
+}  // namespace sumtab
