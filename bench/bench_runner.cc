@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "data/card_schema.h"
 #include "data/tpcd_schema.h"
@@ -337,7 +338,10 @@ void WriteJson(const std::string& path, bool quick,
     }
     std::fprintf(f, "      ]\n    }%s\n", s + 1 < suites.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::string metrics =
+      MetricsRegistry::ToJson(MetricsRegistry::Global().Snap());
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.c_str());
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
 }

@@ -1,0 +1,151 @@
+#include "common/reject_reason.h"
+
+namespace sumtab {
+
+const char* RejectReasonToken(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kBoxKindMismatch:
+      return "box_kind_mismatch";
+    case RejectReason::kBaseTableMismatch:
+      return "base_table_mismatch";
+    case RejectReason::kNoChildMatch:
+      return "no_child_match";
+    case RejectReason::kSecondaryChildNotExact:
+      return "secondary_child_not_exact";
+    case RejectReason::kDistinctMismatch:
+      return "distinct_mismatch";
+    case RejectReason::kExtraJoinNotLossless:
+      return "extra_join_not_lossless";
+    case RejectReason::kMultipleGroupingChildren:
+      return "multiple_grouping_children";
+    case RejectReason::kSecondaryChildNotScalar:
+      return "secondary_child_not_scalar";
+    case RejectReason::kJoinPredOnGroupingChild:
+      return "join_pred_on_grouping_child";
+    case RejectReason::kSubsumerJoinPredOnGroupingChild:
+      return "subsumer_join_pred_on_grouping_child";
+    case RejectReason::kSubsumerPredUnmatched:
+      return "subsumer_pred_unmatched";
+    case RejectReason::kDistinctOverGroupingComp:
+      return "distinct_over_grouping_comp";
+    case RejectReason::kNonExactDistinct:
+      return "non_exact_distinct";
+    case RejectReason::kChildrenNotMatched:
+      return "children_not_matched";
+    case RejectReason::kMultiBoxChildComp:
+      return "multi_box_child_comp";
+    case RejectReason::kGroupingColumnNotDerivable:
+      return "grouping_column_not_derivable";
+    case RejectReason::kChildPredNotPullable:
+      return "child_pred_not_pullable";
+    case RejectReason::kAggregateNotDerivable:
+      return "aggregate_not_derivable";
+    case RejectReason::kMultidimensionalComp:
+      return "multidimensional_comp";
+    case RejectReason::kDeepCompChain:
+      return "deep_comp_chain";
+    case RejectReason::kNoCuboidMatch:
+      return "no_cuboid_match";
+    case RejectReason::kCuboidNotCovered:
+      return "cuboid_not_covered";
+    case RejectReason::kCuboidUnionNotCovered:
+      return "cuboid_union_not_covered";
+    case RejectReason::kColumnNotPreserved:
+      return "column_not_preserved";
+    case RejectReason::kAggregateNotPreserved:
+      return "aggregate_not_preserved";
+    case RejectReason::kAggArgUsesRejoinColumn:
+      return "agg_arg_uses_rejoin_column";
+    case RejectReason::kCountDistinctStar:
+      return "count_distinct_star";
+    case RejectReason::kCountDistinctNoGroupingColumn:
+      return "count_distinct_no_grouping_column";
+    case RejectReason::kNoCountStarColumn:
+      return "no_count_star_column";
+    case RejectReason::kNoCountColumn:
+      return "no_count_column";
+    case RejectReason::kSumDistinctNoGroupingColumn:
+      return "sum_distinct_no_grouping_column";
+    case RejectReason::kNoSumDerivation:
+      return "no_sum_derivation";
+    case RejectReason::kNoMinMaxDerivation:
+      return "no_min_max_derivation";
+    case RejectReason::kAvgNotLowered:
+      return "avg_not_lowered";
+    case RejectReason::kMaintDistinctBlock:
+      return "maint_distinct_block";
+    case RejectReason::kMaintScalarSubquery:
+      return "maint_scalar_subquery";
+    case RejectReason::kMaintDeltaRefCount:
+      return "maint_delta_ref_count";
+    case RejectReason::kMaintMultiQuantifierRoot:
+      return "maint_multi_quantifier_root";
+    case RejectReason::kMaintAggBelowJoin:
+      return "maint_agg_below_join";
+    case RejectReason::kMaintRootShape:
+      return "maint_root_shape";
+    case RejectReason::kMaintHavingPredicate:
+      return "maint_having_predicate";
+    case RejectReason::kMaintRootChildNotGroupBy:
+      return "maint_root_child_not_group_by";
+    case RejectReason::kMaintGroupByChildNotSelect:
+      return "maint_group_by_child_not_select";
+    case RejectReason::kMaintNestedBlock:
+      return "maint_nested_block";
+    case RejectReason::kMaintComputedOutput:
+      return "maint_computed_output";
+    case RejectReason::kMaintDistinctAggregate:
+      return "maint_distinct_aggregate";
+    case RejectReason::kMaintNonMergeableAggregate:
+      return "maint_non_mergeable_aggregate";
+    case RejectReason::kMaintMultiGroupingSet:
+      return "maint_multi_grouping_set";
+    case RejectReason::kMaintPartialGroupKey:
+      return "maint_partial_group_key";
+    case RejectReason::kMaintNonForeachQuantifier:
+      return "maint_non_foreach_quantifier";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsKnownSubcode(uint16_t subcode) {
+  // Round-trip through the token table: anything unknown renders as
+  // "unknown" and maps back to kNone.
+  RejectReason r = static_cast<RejectReason>(subcode);
+  return std::string(RejectReasonToken(r)) != "unknown";
+}
+
+std::string Compose(RejectReason reason, const std::string& detail) {
+  std::string msg = "[";
+  msg += RejectReasonToken(reason);
+  msg += "]";
+  if (!detail.empty()) {
+    msg += " ";
+    msg += detail;
+  }
+  return msg;
+}
+
+}  // namespace
+
+RejectReason RejectReasonFromStatus(const Status& status) {
+  uint16_t subcode = status.subcode();
+  if (subcode == 0 || !IsKnownSubcode(subcode)) return RejectReason::kNone;
+  return static_cast<RejectReason>(subcode);
+}
+
+Status RejectMatch(RejectReason reason, const std::string& detail) {
+  return Status::NotFound(Compose(reason, detail))
+      .WithSubcode(static_cast<uint16_t>(reason));
+}
+
+Status RejectUnsupported(RejectReason reason, const std::string& detail) {
+  return Status::NotSupported(Compose(reason, detail))
+      .WithSubcode(static_cast<uint16_t>(reason));
+}
+
+}  // namespace sumtab

@@ -1,0 +1,102 @@
+// Machine-readable reject reasons for match attempts and incremental-refresh
+// analysis. Every "this pattern does not apply" site in src/matching/ and
+// src/sumtab/maintenance.cc stamps one of these onto the Status it returns
+// (via Status::subcode), so the navigator trace, EXPLAIN REWRITE, and the
+// metrics registry can report *why* a rewrite or merge was rejected without
+// parsing human-readable message strings.
+#ifndef SUMTAB_COMMON_REJECT_REASON_H_
+#define SUMTAB_COMMON_REJECT_REASON_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sumtab {
+
+enum class RejectReason : uint16_t {
+  kNone = 0,
+
+  // ---- navigator / box pairing ----
+  kBoxKindMismatch = 1,
+  kBaseTableMismatch = 2,
+
+  // ---- SELECT/SELECT patterns (paper 4.1.1, 4.2.3, 4.2.4) ----
+  kNoChildMatch = 10,
+  kSecondaryChildNotExact = 11,
+  kDistinctMismatch = 12,
+  kExtraJoinNotLossless = 13,
+  kMultipleGroupingChildren = 14,
+  kSecondaryChildNotScalar = 15,
+  kJoinPredOnGroupingChild = 16,
+  kSubsumerJoinPredOnGroupingChild = 17,
+  kSubsumerPredUnmatched = 18,
+  kDistinctOverGroupingComp = 19,
+  kNonExactDistinct = 20,
+
+  // ---- GROUP-BY/GROUP-BY patterns (paper 4.1.2, 4.2.1, 4.2.2) ----
+  kChildrenNotMatched = 30,
+  kMultiBoxChildComp = 31,
+  kGroupingColumnNotDerivable = 32,
+  kChildPredNotPullable = 33,
+  kAggregateNotDerivable = 34,
+  kMultidimensionalComp = 35,
+  kDeepCompChain = 36,
+
+  // ---- CUBE patterns (paper 5.1, 5.2) ----
+  kNoCuboidMatch = 50,
+  kCuboidNotCovered = 51,
+  kCuboidUnionNotCovered = 52,
+
+  // ---- compensation column derivation (paper Sec. 4 derivation rules) ----
+  kColumnNotPreserved = 70,
+  kAggregateNotPreserved = 71,
+  kAggArgUsesRejoinColumn = 72,
+  kCountDistinctStar = 73,
+  kCountDistinctNoGroupingColumn = 74,
+  kNoCountStarColumn = 75,
+  kNoCountColumn = 76,
+  kSumDistinctNoGroupingColumn = 77,
+  kNoSumDerivation = 78,
+  kNoMinMaxDerivation = 79,
+  kAvgNotLowered = 80,
+
+  // ---- incremental maintenance (AnalyzeMergePlan) ----
+  kMaintDistinctBlock = 100,
+  kMaintScalarSubquery = 101,
+  kMaintDeltaRefCount = 102,
+  kMaintMultiQuantifierRoot = 103,
+  kMaintAggBelowJoin = 104,
+  kMaintRootShape = 105,
+  kMaintHavingPredicate = 106,
+  kMaintRootChildNotGroupBy = 107,
+  kMaintGroupByChildNotSelect = 108,
+  kMaintNestedBlock = 109,
+  kMaintComputedOutput = 110,
+  kMaintDistinctAggregate = 111,
+  kMaintNonMergeableAggregate = 112,
+  kMaintMultiGroupingSet = 113,
+  kMaintPartialGroupKey = 114,
+  kMaintNonForeachQuantifier = 115,
+};
+
+/// Stable snake_case token for a reason, e.g. "distinct_mismatch".
+/// These tokens are the public vocabulary of EXPLAIN REWRITE and the
+/// metrics registry; treat them as an API.
+const char* RejectReasonToken(RejectReason reason);
+
+/// Inverse of Status::subcode(): 0 / unknown subcodes map to kNone.
+RejectReason RejectReasonFromStatus(const Status& status);
+
+/// kNotFound status carrying `reason` as subcode; message is
+/// "[token] detail". Used by match patterns ("the pattern does not apply").
+Status RejectMatch(RejectReason reason, const std::string& detail);
+
+/// kNotSupported status carrying `reason` as subcode; message is
+/// "[token] detail". Used by derivation rules and maintenance analysis
+/// ("the construct is recognized but cannot be handled").
+Status RejectUnsupported(RejectReason reason, const std::string& detail);
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_COMMON_REJECT_REASON_H_

@@ -3,6 +3,7 @@
 #define SUMTAB_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -50,6 +51,19 @@ class [[nodiscard]] Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Optional machine-readable refinement of the code. 0 means "none".
+  /// Matching/maintenance reject sites stamp a RejectReason here so callers
+  /// (navigator trace, EXPLAIN REWRITE, Append's unaffected-table check) can
+  /// branch without parsing the human-readable message.
+  uint16_t subcode() const { return subcode_; }
+
+  /// Returns a copy of this status carrying `subcode`.
+  Status WithSubcode(uint16_t subcode) const {
+    Status s = *this;
+    s.subcode_ = subcode;
+    return s;
+  }
+
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -57,6 +71,7 @@ class [[nodiscard]] Status {
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
 
   Code code_;
+  uint16_t subcode_ = 0;
   std::string message_;
 };
 

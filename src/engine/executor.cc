@@ -53,6 +53,7 @@ constexpr int64_t kMorselRows = 4096;
 }  // namespace
 
 Status Executor::Charge(int64_t rows) {
+  if (options_.trace != nullptr) options_.trace->AddRowsProcessed(rows);
   int64_t charged =
       rows_charged_.fetch_add(rows, std::memory_order_relaxed) + rows;
   if (options_.max_rows > 0 && charged > options_.max_rows) {

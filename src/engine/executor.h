@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/relation.h"
 #include "expr/expr.h"
 #include "qgm/qgm.h"
@@ -54,6 +55,10 @@ struct ExecOptions {
   /// the single-threaded semantic reference; values above the shared pool
   /// size are clamped to it.
   int max_threads = 1;
+  /// Optional query trace: rows materialized are counted into it from the
+  /// same (possibly parallel) lanes that charge the row budget. Null on the
+  /// untraced path — one pointer test per Charge call.
+  QueryTrace* trace = nullptr;
 };
 
 class Executor {

@@ -7,6 +7,7 @@
 // subsumee falls back to its union grouping set GSᴱ and regroups with its own
 // gs function.
 #include <algorithm>
+#include "common/reject_reason.h"
 
 #include "expr/expr.h"
 #include "matching/groupby_core.h"
@@ -37,7 +38,7 @@ std::vector<int> SetsBySize(const Box& r) {
 StatusOr<MatchResult> MatchSimpleVsCube(MatchSession* session, const Box& e,
                                         const Box& r,
                                         const GBChildComp& cc) {
-  Status last = Status::NotFound("no subsumer cuboid matched");
+  Status last = RejectMatch(RejectReason::kNoCuboidMatch, "no subsumer cuboid matched");
   for (int si : SetsBySize(r)) {
     const std::vector<int>& r_set = r.grouping_sets[si];
     StatusOr<GBMatchInfo> info =
@@ -80,7 +81,7 @@ StatusOr<MatchResult> MatchCubeVsCube(MatchSession* session, const Box& e,
     }
     // Paper 5.2: if any sub-match fails, the entire match fails.
     if (!found) {
-      return Status::NotFound("subsumee cuboid " + std::to_string(ei) +
+      return RejectMatch(RejectReason::kCuboidNotCovered, "subsumee cuboid " + std::to_string(ei) +
                               " matches no subsumer cuboid");
     }
   }
@@ -151,7 +152,7 @@ StatusOr<MatchResult> MatchCubeVsCube(MatchSession* session, const Box& e,
   // Fallback: treat the subsumee as a simple GROUP-BY over GSᴱ (its union
   // grouping set), slice the smallest covering subsumer cuboid, and regroup
   // with the subsumee's own gs function.
-  Status last = Status::NotFound("no subsumer cuboid covers the union set");
+  Status last = RejectMatch(RejectReason::kCuboidUnionNotCovered, "no subsumer cuboid covers the union set");
   for (int si : r_order) {
     const std::vector<int>& r_set = r.grouping_sets[si];
     StatusOr<GBMatchInfo> info = AnalyzeGroupByMatchForced(

@@ -1,4 +1,5 @@
 #include "matching/derive.h"
+#include "common/reject_reason.h"
 
 #include "expr/expr_print.h"
 #include "matching/predicate_match.h"
@@ -58,11 +59,11 @@ StatusOr<ExprPtr> Deriver::Derive(const ExprPtr& translated) const {
 
   switch (translated->kind) {
     case Expr::Kind::kColumnRef:
-      return Status::NotFound("subsumer does not preserve column q" +
+      return RejectMatch(RejectReason::kColumnNotPreserved, "subsumer does not preserve column q" +
                               std::to_string(translated->quantifier) + "." +
                               std::to_string(translated->column));
     case Expr::Kind::kAggregate:
-      return Status::NotFound("aggregate '" + expr::ToString(translated) +
+      return RejectMatch(RejectReason::kAggregateNotPreserved, "aggregate '" + expr::ToString(translated) +
                               "' is not a subsumer QCL");
     default:
       break;
@@ -95,7 +96,7 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
   if (arg != nullptr && ContainsRejoin(arg)) {
     // Paper Sec. 4.2.1 assumption: aggregate arguments originate from
     // non-rejoin columns only (relaxation is future work, see [13]).
-    return Status::NotFound("aggregate argument uses a rejoin column");
+    return RejectMatch(RejectReason::kAggArgUsesRejoinColumn, "aggregate argument uses a rejoin column");
   }
 
   // Finds a subsumer aggregate output satisfying `pred`.
@@ -134,17 +135,17 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
         // Rule (f): COUNT(distinct x) over a grouping column. We use the
         // always-safe COUNT(DISTINCT y) form; the paper's plain COUNT(y) is
         // valid only when the residual grouping set is exactly {y} finer.
-        if (star) return Status::NotFound("count(distinct *) is invalid");
+        if (star) return RejectMatch(RejectReason::kCountDistinctStar, "count(distinct *) is invalid");
         int g = find_grouping(arg);
         if (g < 0) {
-          return Status::NotFound("count distinct needs a grouping column");
+          return RejectMatch(RejectReason::kCountDistinctNoGroupingColumn, "count distinct needs a grouping column");
         }
         return AggDerivation{AggFunc::kCount, true, expr::ColRef(0, g)};
       }
       if (star) {
         // Rule (a): COUNT(*) = SUM(cnt).
         int k = find_row_count();
-        if (k < 0) return Status::NotFound("no COUNT(*) subsumer QCL");
+        if (k < 0) return RejectMatch(RejectReason::kNoCountStarColumn, "no COUNT(*) subsumer QCL");
         return AggDerivation{AggFunc::kSum, false, expr::ColRef(0, k)};
       }
       // Rule (b): COUNT(x) = SUM(COUNT(y)) with y ≡ x.
@@ -157,7 +158,7 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
         StatusOr<qgm::ColumnInfo> info = qgm::ExprInfo(arg, gb, ast_graph);
         if (info.ok() && !info->nullable) k = find_row_count();
       }
-      if (k < 0) return Status::NotFound("no COUNT subsumer QCL for argument");
+      if (k < 0) return RejectMatch(RejectReason::kNoCountColumn, "no COUNT subsumer QCL for argument");
       return AggDerivation{AggFunc::kSum, false, expr::ColRef(0, k)};
     }
 
@@ -166,7 +167,7 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
         // Rule (g): SUM(distinct x) over a grouping column.
         int g = find_grouping(arg);
         if (g < 0) {
-          return Status::NotFound("sum distinct needs a grouping column");
+          return RejectMatch(RejectReason::kSumDistinctNoGroupingColumn, "sum distinct needs a grouping column");
         }
         return AggDerivation{AggFunc::kSum, true, expr::ColRef(0, g)};
       }
@@ -185,7 +186,7 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
             expr::Binary(expr::BinaryOp::kMul, expr::ColRef(0, g),
                          expr::ColRef(0, cnt))};
       }
-      return Status::NotFound("no SUM derivation for argument");
+      return RejectMatch(RejectReason::kNoSumDerivation, "no SUM derivation for argument");
     }
 
     case AggFunc::kMin:
@@ -199,13 +200,13 @@ StatusOr<AggDerivation> DeriveAggregate(const ExprPtr& translated_agg,
       if (k >= 0) return AggDerivation{f, false, expr::ColRef(0, k)};
       int g = find_grouping(arg);
       if (g >= 0) return AggDerivation{f, false, expr::ColRef(0, g)};
-      return Status::NotFound("no MIN/MAX derivation for argument");
+      return RejectMatch(RejectReason::kNoMinMaxDerivation, "no MIN/MAX derivation for argument");
     }
 
     case AggFunc::kAvg:
       // The QGM builder lowers AVG to SUM/COUNT; reaching here means a
       // hand-constructed graph.
-      return Status::NotSupported("derive AVG directly (lower it first)");
+      return RejectUnsupported(RejectReason::kAvgNotLowered, "derive AVG directly (lower it first)");
   }
   return Status::Internal("unhandled aggregate function");
 }

@@ -4,6 +4,7 @@
 // patterns (Sec. 5) share AnalyzeGroupByMatch/BuildGroupByComp and live in
 // cube.cc.
 #include <algorithm>
+#include "common/reject_reason.h"
 #include <set>
 
 #include "expr/expr_rewrite.h"
@@ -31,7 +32,7 @@ StatusOr<GBChildComp> GetGBChildComp(MatchSession* session, const Box& e,
   const MatchResult* m =
       session->Find(e.quantifiers[0].child, r.quantifiers[0].child);
   if (m == nullptr) {
-    return Status::NotFound("GROUP-BY children were not matched");
+    return RejectMatch(RejectReason::kChildrenNotMatched, "GROUP-BY children were not matched");
   }
   GBChildComp cc;
   if (m->exact) {
@@ -42,7 +43,7 @@ StatusOr<GBChildComp> GetGBChildComp(MatchSession* session, const Box& e,
   SUMTAB_ASSIGN_OR_RETURN(CompChain chain, AnalyzeComp(*session, m->comp_root));
   if (chain.select_only()) {
     if (chain.spine.size() != 1) {
-      return Status::NotFound("multi-box SELECT child compensation");
+      return RejectMatch(RejectReason::kMultiBoxChildComp, "multi-box SELECT child compensation");
     }
     cc.trivial = false;
     cc.select_box = chain.spine[0];
@@ -153,7 +154,7 @@ StatusOr<GBMatchInfo> AnalyzeGroupByMatchImpl(
                             ExpandThroughChild(session, cc, r, e.outputs[i].expr));
     StatusOr<ExprPtr> d = grouping_deriver.Derive(t);
     if (!d.ok()) {
-      return Status::NotFound("grouping column '" + e.outputs[i].name +
+      return RejectMatch(RejectReason::kGroupingColumnNotDerivable, "grouping column '" + e.outputs[i].name +
                               "' not derivable: " + d.status().message());
     }
     info.derived_outputs[i] = *d;
@@ -189,7 +190,7 @@ StatusOr<GBMatchInfo> AnalyzeGroupByMatchImpl(
   for (const ExprPtr& p : expanded_cc_preds) {
     StatusOr<ExprPtr> d = grouping_deriver.Derive(p);
     if (!d.ok()) {
-      return Status::NotFound("child compensation predicate not pullable: " +
+      return RejectMatch(RejectReason::kChildPredNotPullable, "child compensation predicate not pullable: " +
                               d.status().message());
     }
     info.pulled_preds.push_back(*d);
@@ -220,7 +221,7 @@ StatusOr<GBMatchInfo> AnalyzeGroupByMatchImpl(
         }
       }
       if (found < 0) {
-        return Status::NotFound("aggregate '" + e.outputs[i].name +
+        return RejectMatch(RejectReason::kAggregateNotDerivable, "aggregate '" + e.outputs[i].name +
                                 "' has no exact subsumer QCL");
       }
       info.derived_outputs[i] = expr::ColRef(0, found);
@@ -229,7 +230,7 @@ StatusOr<GBMatchInfo> AnalyzeGroupByMatchImpl(
       StatusOr<AggDerivation> ad =
           DeriveAggregate(t, r, session->ast(), equiv, agg_deriver);
       if (!ad.ok()) {
-        return Status::NotFound("aggregate '" + e.outputs[i].name +
+        return RejectMatch(RejectReason::kAggregateNotDerivable, "aggregate '" + e.outputs[i].name +
                                 "' not derivable: " + ad.status().message());
       }
       info.agg_derivations.emplace_back(i, *ad);
@@ -357,7 +358,7 @@ StatusOr<MatchResult> MatchGroupByWithGBComp(MatchSession* session,
   int lgb = chain.lowest_gb_pos;
   const Box* low_gb = comp.box(chain.spine[lgb]);
   if (low_gb->grouping_sets.size() > 1) {
-    return Status::NotFound("multidimensional compensation GROUP-BY");
+    return RejectMatch(RejectReason::kMultidimensionalComp, "multidimensional compensation GROUP-BY");
   }
   GBChildComp inner;
   int below_count = static_cast<int>(chain.spine.size()) - lgb - 1;
@@ -368,7 +369,7 @@ StatusOr<MatchResult> MatchGroupByWithGBComp(MatchSession* session,
     inner.trivial = false;
     inner.select_box = chain.spine.back();
   } else {
-    return Status::NotFound("deep compensation chain below the GROUP-BY");
+    return RejectMatch(RejectReason::kDeepCompChain, "deep compensation chain below the GROUP-BY");
   }
 
   BoxId inter_root;

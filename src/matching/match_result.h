@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/trace.h"
 #include "qgm/qgm.h"
 
 namespace sumtab {
@@ -86,7 +87,14 @@ class MatchSession {
     return it == rejoin_source_.end() ? qgm::kInvalidBox : it->second;
   }
 
+  /// Optional trace sink: when set, the navigator records every match
+  /// attempt (pattern kind + structured outcome) into it. Null by default —
+  /// the disabled-tracing path costs one pointer test per attempt.
+  void set_trace(AstAttemptTrace* trace) { trace_ = trace; }
+  AstAttemptTrace* trace() const { return trace_; }
+
  private:
+  AstAttemptTrace* trace_ = nullptr;
   const qgm::Graph& query_;
   const qgm::Graph& ast_;
   const catalog::Catalog& catalog_;

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/reject_reason.h"
 #include "matching/groupby_core.h"
 #include "matching/match_fn.h"
 
@@ -29,6 +31,56 @@ std::vector<int> ComputeRanks(const qgm::Graph& graph) {
   return rank;
 }
 
+// The pattern family a (subsumee, subsumer) pair dispatches to — the
+// vocabulary EXPLAIN REWRITE reports per match attempt.
+const char* PatternName(const Box* e, const Box* r) {
+  if (e->kind != r->kind) return "dispatch";
+  switch (e->kind) {
+    case Box::Kind::kBase:
+      return "seed";
+    case Box::Kind::kSelect:
+      return "select/select";
+    case Box::Kind::kGroupBy:
+      return (e->grouping_sets.size() > 1 || r->grouping_sets.size() > 1)
+                 ? "cube"
+                 : "groupby/groupby";
+  }
+  return "dispatch";
+}
+
+// Records one MatchBoxes outcome into the session's trace sink (when
+// tracing) and the global match-attempt counters (always; relaxed atomics).
+void RecordAttempt(MatchSession* session, BoxId subsumee, BoxId subsumer,
+                   const StatusOr<MatchResult>& m) {
+  static Counter* attempts =
+      MetricsRegistry::Global().counter("match.attempts");
+  static Counter* accepts = MetricsRegistry::Global().counter("match.accepts");
+  static Counter* rejects = MetricsRegistry::Global().counter("match.rejects");
+  attempts->Increment();
+  (m.ok() ? accepts : rejects)->Increment();
+  if (!m.ok()) {
+    RejectReason reason = RejectReasonFromStatus(m.status());
+    MetricsRegistry::Global()
+        .counter(std::string("match.reject.") + RejectReasonToken(reason))
+        ->Increment();
+  }
+  AstAttemptTrace* trace = session->trace();
+  if (trace == nullptr) return;
+  MatchAttemptTrace attempt;
+  attempt.query_box = subsumee;
+  attempt.ast_box = subsumer;
+  attempt.pattern =
+      PatternName(session->query().box(subsumee), session->ast().box(subsumer));
+  if (m.ok()) {
+    attempt.matched = true;
+    attempt.exact = m.value().exact;
+  } else {
+    attempt.reason = RejectReasonFromStatus(m.status());
+    attempt.detail = m.status().message();
+  }
+  trace->match_attempts.push_back(std::move(attempt));
+}
+
 }  // namespace
 
 StatusOr<MatchResult> MatchBoxes(MatchSession* session, BoxId subsumee,
@@ -38,12 +90,13 @@ StatusOr<MatchResult> MatchBoxes(MatchSession* session, BoxId subsumee,
   // Paper Sec. 3 condition 2: same box type (see footnote 2 for the known
   // relaxations, which are out of scope here).
   if (e->kind != r->kind) {
-    return Status::NotFound("box types differ");
+    return RejectMatch(RejectReason::kBoxKindMismatch, "box types differ");
   }
   switch (e->kind) {
     case Box::Kind::kBase: {
       if (e->table_name != r->table_name) {
-        return Status::NotFound("different base tables");
+        return RejectMatch(RejectReason::kBaseTableMismatch,
+                           "different base tables");
       }
       MatchResult result;
       result.exact = true;
@@ -89,10 +142,17 @@ Status RunNavigator(MatchSession* session) {
     if (eb->kind != Box::Kind::kBase) continue;
     for (BoxId ra : ast.TopologicalOrder()) {
       const Box* rb = ast.box(ra);
-      if (rb->kind != Box::Kind::kBase || rb->table_name != eb->table_name) {
+      if (rb->kind != Box::Kind::kBase) continue;
+      if (rb->table_name != eb->table_name) {
+        // Skipped on the fast path; when tracing, run the (cheap) match so
+        // EXPLAIN REWRITE shows the base_table_mismatch seed reject.
+        if (session->trace() != nullptr) {
+          RecordAttempt(session, qe, ra, MatchBoxes(session, qe, ra));
+        }
         continue;
       }
       StatusOr<MatchResult> m = MatchBoxes(session, qe, ra);
+      RecordAttempt(session, qe, ra, m);
       if (!m.ok()) continue;
       session->Record(qe, ra, std::move(*m));
       enqueue_parents(qe, ra);
@@ -105,6 +165,7 @@ Status RunNavigator(MatchSession* session) {
     auto [e, r] = key;
     if (session->Find(e, r) != nullptr) continue;
     StatusOr<MatchResult> m = MatchBoxes(session, e, r);
+    RecordAttempt(session, e, r, m);
     if (!m.ok()) {
       if (m.status().code() != Status::Code::kNotFound) {
         return m.status();  // surface internal errors

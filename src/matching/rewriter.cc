@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "matching/navigator.h"
 
 namespace sumtab {
@@ -18,13 +19,27 @@ using qgm::BoxId;
 
 StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
                                      const SummaryTableDef& ast,
-                                     const catalog::Catalog& catalog) {
+                                     const catalog::Catalog& catalog,
+                                     AstAttemptTrace* attempt,
+                                     QueryTrace* qtrace) {
   SUMTAB_FAULT_POINT("rewriter/rewrite");
   if (ast.graph == nullptr) {
     return Status::InvalidArgument("summary table has no definition graph");
   }
   MatchSession session(query, *ast.graph, catalog);
-  SUMTAB_RETURN_NOT_OK(RunNavigator(&session));
+  session.set_trace(attempt);
+  {
+    int64_t start = MonotonicNanos();
+    Status navigated = RunNavigator(&session);
+    int64_t micros = (MonotonicNanos() - start) / 1000;
+    static Histogram* nav_hist =
+        MetricsRegistry::Global().histogram("phase.navigate");
+    nav_hist->Record(micros);
+    if (qtrace != nullptr) {
+      qtrace->RecordPhaseMicros(QueryTrace::kPhaseNavigate, micros);
+    }
+    SUMTAB_RETURN_NOT_OK(navigated);
+  }
 
   // Pick the match against the AST root that covers the largest query
   // subtree (highest rank): the more of the query the AST answers, the less

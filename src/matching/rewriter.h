@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "matching/match_result.h"
 #include "qgm/qgm.h"
 
@@ -31,9 +32,15 @@ struct RewriteResult {
 /// Attempts to reroute `query` through `ast`. Picks the highest matched
 /// query box (largest replaced subtree) when several match the AST root.
 /// Returns rewritten=false when the navigator finds no root match.
+///
+/// `attempt` (optional) collects every (query-box, AST-box) match outcome;
+/// `qtrace` (optional) accumulates navigator wall time into its
+/// kPhaseNavigate slot. Both are null on the untraced hot path.
 StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
                                      const SummaryTableDef& ast,
-                                     const catalog::Catalog& catalog);
+                                     const catalog::Catalog& catalog,
+                                     AstAttemptTrace* attempt = nullptr,
+                                     QueryTrace* qtrace = nullptr);
 
 }  // namespace matching
 }  // namespace sumtab

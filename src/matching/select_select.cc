@@ -1,4 +1,5 @@
 #include <algorithm>
+#include "common/reject_reason.h"
 #include <set>
 
 #include "expr/expr_rewrite.h"
@@ -64,7 +65,7 @@ StatusOr<Assignment> AssignChildren(MatchSession* session, const Box& e,
     }
   }
   if (!a.any_match) {
-    return Status::NotFound("no subsumee child matches any subsumer child");
+    return RejectMatch(RejectReason::kNoChildMatch, "no subsumee child matches any subsumer child");
   }
   for (size_t i = 0; i < e.quantifiers.size(); ++i) {
     if (e_assigned[i]) continue;
@@ -289,7 +290,7 @@ StatusOr<MatchResult> BuildGroupingComp(
       // Translate through the (exact) child match, then derive from R.
       const MatchResult& m = *slot.result;
       if (!m.exact) {
-        failure = Status::NotFound(
+        failure = RejectMatch(RejectReason::kSecondaryChildNotExact, 
             "4.2.4: secondary child matches must be exact");
         return;
       }
@@ -420,7 +421,7 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
   // supported (SELECT DISTINCT vs GROUP-BY matching is future work, see the
   // paper's footnote 2).
   if (e.distinct != r.distinct) {
-    return Status::NotFound("DISTINCT mismatch");
+    return RejectMatch(RejectReason::kDistinctMismatch, "DISTINCT mismatch");
   }
   SUMTAB_ASSIGN_OR_RETURN(Assignment assignment, AssignChildren(session, e, r));
 
@@ -432,7 +433,7 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
   for (size_t j = 0; j < r.quantifiers.size(); ++j) {
     if (!is_extra[j]) continue;
     if (!ExtraJoinIsLossless(*session, r, static_cast<int>(j), is_extra)) {
-      return Status::NotFound("extra subsumer join is not provably lossless");
+      return RejectMatch(RejectReason::kExtraJoinNotLossless, "extra subsumer join is not provably lossless");
     }
   }
 
@@ -440,27 +441,27 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
   int gb_child = -1;
   if (!assignment.gb_comp_children.empty()) {
     if (assignment.gb_comp_children.size() > 1) {
-      return Status::NotFound("more than one grouping child compensation");
+      return RejectMatch(RejectReason::kMultipleGroupingChildren, "more than one grouping child compensation");
     }
     gb_child = assignment.gb_comp_children[0];
     for (size_t i = 0; i < assignment.slots.size(); ++i) {
       if (static_cast<int>(i) == gb_child) continue;
       if (assignment.slots[i].kind == ChildSlot::Kind::kMatched &&
           e.quantifiers[i].kind != Quantifier::Kind::kScalar) {
-        return Status::NotFound(
+        return RejectMatch(RejectReason::kSecondaryChildNotScalar, 
             "4.2.4 requires secondary matched children to be scalar "
             "subqueries (no common joins)");
       }
     }
     for (const ExprPtr& p : e.predicates) {
       if (PredQuantifiers(p).size() > 1 && ContainsQuantifier(p, gb_child)) {
-        return Status::NotFound("join predicate on the grouping child");
+        return RejectMatch(RejectReason::kJoinPredOnGroupingChild, "join predicate on the grouping child");
       }
     }
     int rj = assignment.slots[gb_child].r_quantifier;
     for (const ExprPtr& p : r.predicates) {
       if (PredQuantifiers(p).size() > 1 && ContainsQuantifier(p, rj)) {
-        return Status::NotFound(
+        return RejectMatch(RejectReason::kSubsumerJoinPredOnGroupingChild, 
             "subsumer join predicate on the grouping child");
       }
     }
@@ -552,7 +553,7 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
       satisfied = PredicateSubsumes(rp, gb_cc[k], equiv_r);
     }
     if (!satisfied) {
-      return Status::NotFound("subsumer predicate has no subsumee match");
+      return RejectMatch(RejectReason::kSubsumerPredUnmatched, "subsumer predicate has no subsumee match");
     }
   }
 
@@ -562,7 +563,7 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
     for (size_t k = 0; k < te.size(); ++k) {
       if (!te_matched[k]) unmatched_e_preds.push_back(e.predicates[k]);
     }
-    if (e.distinct) return Status::NotFound("DISTINCT over grouping comp");
+    if (e.distinct) return RejectMatch(RejectReason::kDistinctOverGroupingComp, "DISTINCT over grouping comp");
     return BuildGroupingComp(session, e, r, assignment, gb_child,
                              equiv_derive, unmatched_e_preds);
   }
@@ -609,7 +610,7 @@ StatusOr<MatchResult> MatchSelectSelect(MatchSession* session, const Box& e,
     return result;
   }
   if (e.distinct) {
-    return Status::NotFound("non-exact DISTINCT match unsupported");
+    return RejectMatch(RejectReason::kNonExactDistinct, "non-exact DISTINCT match unsupported");
   }
   SUMTAB_ASSIGN_OR_RETURN(
       BoxId comp_root,

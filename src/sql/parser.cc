@@ -537,5 +537,25 @@ StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql,
   return parser.ParseStatement();
 }
 
+bool IsExplainRewrite(const std::string& sql, std::string* inner_sql) {
+  StatusOr<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return false;  // the SELECT parser will report the error
+  const std::vector<Token>& toks = *tokens;
+  if (toks.size() < 3) return false;
+  if (toks[0].type != TokenType::kIdentifier || toks[0].text != "explain") {
+    return false;
+  }
+  if (toks[1].type != TokenType::kIdentifier || toks[1].text != "rewrite") {
+    return false;
+  }
+  if (toks[2].type == TokenType::kEnd) return false;
+  if (inner_sql != nullptr) {
+    // Hand back the raw statement text from the third token on, so the
+    // inner parse reports offsets into what the user actually wrote.
+    *inner_sql = sql.substr(static_cast<size_t>(toks[2].position));
+  }
+  return true;
+}
+
 }  // namespace sql
 }  // namespace sumtab

@@ -27,6 +27,13 @@ struct ParseOptions {
 StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql,
                                             const ParseOptions& options = {});
 
+/// Statement-level dispatch for `EXPLAIN REWRITE <select>`: true when `sql`
+/// starts with the (case-insensitive) EXPLAIN REWRITE prefix, in which case
+/// `*inner_sql` receives the <select> text verbatim. EXPLAIN and REWRITE are
+/// not reserved words — they lex as identifiers, so columns/tables may still
+/// use those names; only the statement *prefix* is recognized here.
+bool IsExplainRewrite(const std::string& sql, std::string* inner_sql);
+
 }  // namespace sql
 }  // namespace sumtab
 

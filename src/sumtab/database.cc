@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/reject_reason.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "matching/rewriter.h"
@@ -10,6 +12,7 @@
 #include "qgm/qgm_print.h"
 #include "qgm/qgm_to_sql.h"
 #include "sql/parser.h"
+#include "sumtab/maintenance.h"
 
 namespace sumtab {
 
@@ -45,36 +48,53 @@ std::string Database::PlanCacheKey(const std::string& sql,
 
 Database::CacheLookup Database::LookupPlan(const std::string& key,
                                            const QueryOptions& options,
-                                           CachedPlan* out) {
+                                           CachedPlan* out,
+                                           std::string* invalidation_cause) {
+  static Counter* hits = MetricsRegistry::Global().counter("plan_cache.hits");
+  static Counter* misses =
+      MetricsRegistry::Global().counter("plan_cache.misses");
+  static Counter* invalidations =
+      MetricsRegistry::Global().counter("plan_cache.invalidations");
   std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = plan_cache_.find(key);
   if (it == plan_cache_.end()) {
     ++cache_misses_;
+    misses->Increment();
     return CacheLookup::kMiss;
   }
   const CachedPlan& entry = it->second;
-  bool valid = entry.generation == catalog_generation_;
+  std::string cause;
   // Any epoch bump of a base table the original query scans invalidates:
   // a spliced-in AST may now be stale, and even the relative costs that
   // picked this plan have changed.
+  if (entry.generation != catalog_generation_) {
+    cause = "generation";
+  }
   for (const auto& [table, epoch] : entry.base_epochs) {
-    valid = valid && storage_.Epoch(table) == epoch;
+    if (cause.empty() && storage_.Epoch(table) != epoch) {
+      cause = "epoch:" + table;
+    }
   }
   // The ASTs this plan reads must still be serviceable under the *current*
   // options — a quarantined or newly-stale AST must not be served from
   // cache when a fresh search would have skipped it.
   for (const std::string& name : entry.used_asts) {
     const SummaryTable* st = FindSummaryTable(name);
-    valid = valid && st != nullptr &&
-            UsableForRewrite(*st, options.allow_stale_reads);
+    if (cause.empty() &&
+        (st == nullptr || !UsableForRewrite(*st, options.allow_stale_reads))) {
+      cause = "ast:" + name;
+    }
   }
-  if (!valid) {
+  if (!cause.empty()) {
     ++cache_invalidations_;
+    invalidations->Increment();
+    if (invalidation_cause != nullptr) *invalidation_cause = cause;
     plan_lru_.erase(it->second.lru_pos);
     plan_cache_.erase(it);
     return CacheLookup::kInvalidated;
   }
   ++cache_hits_;
+  hits->Increment();
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
   out->plan = qgm::Graph::CloneGraph(entry.plan);
   out->used_summary_table = entry.used_summary_table;
@@ -123,6 +143,7 @@ DatabaseStats Database::Stats() const {
   stats.plan_cache_invalidations = cache_invalidations_;
   stats.plan_cache_entries = static_cast<int64_t>(plan_cache_.size());
   stats.catalog_generation = catalog_generation_;
+  stats.metrics = MetricsRegistry::Global().Snap();
   return stats;
 }
 
@@ -324,8 +345,27 @@ Status Database::SetMaxStaleness(const std::string& name,
 std::unique_ptr<qgm::Graph> Database::TryRewrite(
     const qgm::Graph& query, const QueryOptions& options, std::string* chosen,
     int* candidates, std::vector<std::string>* used_asts,
-    QueryDegradation* degradation) {
+    QueryDegradation* degradation, QueryTrace* trace) {
   *candidates = 0;
+  // EXPLAIN REWRITE also reports, per AST, whether an append to each of its
+  // base tables would merge incrementally — computed once (round 0) and only
+  // when tracing.
+  auto maintenance_verdict = [](const SummaryTable& st) {
+    std::string verdict;
+    for (const std::string& table : LeafTables(st.graph)) {
+      StatusOr<maintenance::MergePlan> plan =
+          maintenance::AnalyzeMergePlan(st.graph, table);
+      if (!verdict.empty()) verdict += ", ";
+      verdict += table;
+      verdict += "=";
+      if (plan.ok()) {
+        verdict += plan->spj_append ? "incremental(spj)" : "incremental";
+      } else {
+        verdict += RejectReasonToken(RejectReasonFromStatus(plan.status()));
+      }
+    }
+    return verdict;
+  };
   // Cost heuristic: total rows scanned at the leaves.
   auto leaf_cost = [this](const qgm::Graph& graph) {
     int64_t cost = 0;
@@ -350,11 +390,29 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
     std::unique_ptr<qgm::Graph> best;
     int64_t best_cost = current_cost;
     std::string best_name;
+    std::vector<AstAttemptTrace> attempts;  // this round's, when tracing
+    int best_attempt = -1;                  // index into `attempts`
     for (const auto& st : summary_tables_) {
-      if (!UsableForRewrite(*st, options.allow_stale_reads)) continue;
+      if (!UsableForRewrite(*st, options.allow_stale_reads)) {
+        if (trace != nullptr && round == 0) {
+          trace->AddNote("ast '" + st->name + "' skipped: " +
+                         (st->disabled ? "quarantined" : "stale"));
+        }
+        continue;
+      }
       matching::SummaryTableDef def{st->name, &st->graph};
+      AstAttemptTrace attempt;
+      AstAttemptTrace* attempt_ptr = nullptr;
+      if (trace != nullptr) {
+        attempt.ast_name = st->name;
+        attempt.round = round;
+        attempt.cost_before = static_cast<double>(current_cost);
+        if (round == 0) attempt.maintenance = maintenance_verdict(*st);
+        attempt_ptr = &attempt;
+      }
       StatusOr<matching::RewriteResult> rewrite = matching::RewriteQuery(
-          current != nullptr ? *current : query, def, catalog_);
+          current != nullptr ? *current : query, def, catalog_, attempt_ptr,
+          trace);
       if (!rewrite.ok()) {
         // A broken AST must not take down the search: skip it, count the
         // failure toward quarantine, and surface the event as degradation.
@@ -367,9 +425,21 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
         degradation->summary_table += st->name;
         if (!degradation->message.empty()) degradation->message += "; ";
         degradation->message += rewrite.status().ToString();
+        if (trace != nullptr) {
+          attempt.reason = RejectReasonFromStatus(rewrite.status());
+          attempt.detail = rewrite.status().ToString();
+          attempts.push_back(std::move(attempt));
+        }
         continue;
       }
-      if (!rewrite->rewritten) continue;
+      if (!rewrite->rewritten) {
+        if (trace != nullptr) {
+          attempt.num_matches = rewrite->num_matches;
+          attempt.detail = "no match against the AST root";
+          attempts.push_back(std::move(attempt));
+        }
+        continue;
+      }
       if (round == 0) ++*candidates;
       int64_t cost = leaf_cost(rewrite->graph);
       // The first round takes any match (<=): even a same-size SPJ summary
@@ -379,16 +449,33 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
                             ? (round == 0 ? cost <= current_cost
                                           : cost < current_cost)
                             : cost < best_cost;
+      if (trace != nullptr) {
+        attempt.produced = true;
+        attempt.num_matches = rewrite->num_matches;
+        attempt.cost_after = static_cast<double>(cost);
+        if (!acceptable) attempt.detail = "costlier than the current plan";
+      }
       if (acceptable) {
         best = std::make_unique<qgm::Graph>(std::move(rewrite->graph));
         best_cost = cost;
         best_name = st->name;
+        if (trace != nullptr) best_attempt = static_cast<int>(attempts.size());
+      }
+      if (trace != nullptr) attempts.push_back(std::move(attempt));
+    }
+    if (trace != nullptr) {
+      if (best_attempt >= 0) attempts[best_attempt].chosen = true;
+      for (AstAttemptTrace& attempt : attempts) {
+        trace->AddAstAttempt(std::move(attempt));
       }
     }
     if (best == nullptr) break;
     current = std::move(best);
     current_cost = best_cost;
     if (used.empty() || used.back() != best_name) used.push_back(best_name);
+  }
+  if (current != nullptr) {
+    MetricsRegistry::Global().counter("rewrite.rewritten")->Increment();
   }
   *chosen = Join(used, "+");
   *used_asts = std::move(used);
@@ -397,7 +484,48 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
 
 StatusOr<QueryResult> Database::Query(const std::string& sql,
                                       const QueryOptions& options) {
+  std::string inner_sql;
+  if (sql::IsExplainRewrite(sql, &inner_sql)) {
+    SUMTAB_ASSIGN_OR_RETURN(std::string text,
+                            ExplainRewrite(inner_sql, options));
+    QueryResult result;
+    result.relation.column_names = {"explain rewrite"};
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      result.relation.rows.push_back(
+          {Value::String(text.substr(start, end - start))});
+      start = end + 1;
+    }
+    return result;
+  }
+  return QuerySelect(sql, options);
+}
+
+StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
+                                            const QueryOptions& options) {
+  static Counter* queries = MetricsRegistry::Global().counter("query.total");
+  static Counter* degraded_queries =
+      MetricsRegistry::Global().counter("query.degraded");
+  static Counter* rewritten_queries =
+      MetricsRegistry::Global().counter("query.rewritten");
+  static Histogram* total_hist =
+      MetricsRegistry::Global().histogram("query.latency");
+  static Histogram* parse_hist =
+      MetricsRegistry::Global().histogram("phase.parse");
+  static Histogram* build_hist =
+      MetricsRegistry::Global().histogram("phase.qgm_build");
+  static Histogram* rewrite_hist =
+      MetricsRegistry::Global().histogram("phase.rewrite");
+  static Histogram* execute_hist =
+      MetricsRegistry::Global().histogram("phase.execute");
+  queries->Increment();
+  ScopedLatency total_timer(total_hist);
+
   QueryResult result;
+  if (options.collect_trace) result.trace = std::make_shared<QueryTrace>();
+  QueryTrace* trace = result.trace.get();
   std::string cache_key;
   std::unique_ptr<qgm::Graph> plan;      // the graph to execute (owned)
   std::unique_ptr<qgm::Graph> original;  // base-table form, for fallback
@@ -408,7 +536,22 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
   if (options.enable_plan_cache) {
     cache_key = PlanCacheKey(sql, options);
     CachedPlan cached;
-    if (LookupPlan(cache_key, options, &cached) == CacheLookup::kHit) {
+    std::string cause;
+    CacheLookup lookup = LookupPlan(cache_key, options, &cached, &cause);
+    if (trace != nullptr) {
+      switch (lookup) {
+        case CacheLookup::kHit:
+          trace->SetPlanCache(PlanCacheOutcome::kHit, "");
+          break;
+        case CacheLookup::kMiss:
+          trace->SetPlanCache(PlanCacheOutcome::kMiss, "");
+          break;
+        case CacheLookup::kInvalidated:
+          trace->SetPlanCache(PlanCacheOutcome::kInvalidated, cause);
+          break;
+      }
+    }
+    if (lookup == CacheLookup::kHit) {
       result.plan_cache_hit = true;
       result.used_summary_table = cached.used_summary_table;
       result.summary_table = cached.summary_table;
@@ -422,15 +565,30 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
 
   // 2. Compile path (miss / invalidated / cache disabled).
   if (plan == nullptr) {
+    int64_t t0 = MonotonicNanos();
     SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                             sql::Parse(sql));
+    int64_t t1 = MonotonicNanos();
     SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+    int64_t t2 = MonotonicNanos();
+    parse_hist->Record((t1 - t0) / 1000);
+    build_hist->Record((t2 - t1) / 1000);
+    if (trace != nullptr) {
+      trace->RecordPhaseMicros(QueryTrace::kPhaseParse, (t1 - t0) / 1000);
+      trace->RecordPhaseMicros(QueryTrace::kPhaseQgmBuild, (t2 - t1) / 1000);
+    }
     original = std::make_unique<qgm::Graph>(std::move(graph));
     if (options.enable_rewrite) {
       std::string chosen;
+      int64_t rw0 = MonotonicNanos();
       std::unique_ptr<qgm::Graph> rewritten =
           TryRewrite(*original, options, &chosen, &result.candidate_rewrites,
-                     &used, &result.degradation);
+                     &used, &result.degradation, trace);
+      int64_t rw_micros = (MonotonicNanos() - rw0) / 1000;
+      rewrite_hist->Record(rw_micros);
+      if (trace != nullptr) {
+        trace->RecordPhaseMicros(QueryTrace::kPhaseRewrite, rw_micros);
+      }
       if (rewritten != nullptr) {
         StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
         if (new_sql.ok()) {
@@ -470,6 +628,8 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
       options.max_threads == 0
           ? ThreadPool::HardwareParallelism()
           : std::min(options.max_threads, 128);
+  exec_options.trace = trace;
+  int64_t exec_start = MonotonicNanos();
   engine::Executor executor(storage_, exec_options);
   StatusOr<engine::Relation> data = executor.Execute(*plan);
   if (!data.ok() && was_rewritten) {
@@ -498,7 +658,21 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
     engine::Executor retry(storage_, exec_options);
     data = retry.Execute(*original);
   }
+  {
+    int64_t exec_micros = (MonotonicNanos() - exec_start) / 1000;
+    execute_hist->Record(exec_micros);
+    if (trace != nullptr) {
+      trace->RecordPhaseMicros(QueryTrace::kPhaseExecute, exec_micros);
+    }
+  }
   if (!data.ok()) return data.status();
+  if (result.used_summary_table) {
+    rewritten_queries->Increment();
+    if (trace != nullptr) {
+      trace->SetChosen(result.summary_table, result.rewritten_sql);
+    }
+  }
+  if (result.degradation.degraded) degraded_queries->Increment();
   if (result.used_summary_table) {
     // Serving through the AST(s) worked: clear their failure streaks.
     for (const std::string& name : used) {
@@ -559,6 +733,68 @@ StatusOr<std::string> Database::Explain(const std::string& sql) {
   out += "-- rewritten QGM --\n" + qgm::ToString(*rewritten);
   SUMTAB_ASSIGN_OR_RETURN(std::string new_sql, qgm::ToSql(*rewritten));
   out += "-- rewritten SQL --\n" + new_sql + "\n";
+  return out;
+}
+
+StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
+                                               const QueryOptions& options) {
+  QueryTrace trace;
+
+  // Plan-cache fate first, exactly as Query() would see it. This is a real
+  // lookup — a hit refreshes the LRU, a stale entry is dropped — but EXPLAIN
+  // never inserts, so explaining cannot seed the cache with an unexecuted
+  // plan.
+  if (options.enable_plan_cache) {
+    CachedPlan cached;
+    std::string cause;
+    switch (LookupPlan(PlanCacheKey(sql, options), options, &cached, &cause)) {
+      case CacheLookup::kHit:
+        trace.SetPlanCache(PlanCacheOutcome::kHit, "");
+        break;
+      case CacheLookup::kMiss:
+        trace.SetPlanCache(PlanCacheOutcome::kMiss, "");
+        break;
+      case CacheLookup::kInvalidated:
+        trace.SetPlanCache(PlanCacheOutcome::kInvalidated, cause);
+        break;
+    }
+  }
+
+  int64_t t0 = MonotonicNanos();
+  SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                          sql::Parse(sql));
+  int64_t t1 = MonotonicNanos();
+  SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
+  int64_t t2 = MonotonicNanos();
+  trace.RecordPhaseMicros(QueryTrace::kPhaseParse, (t1 - t0) / 1000);
+  trace.RecordPhaseMicros(QueryTrace::kPhaseQgmBuild, (t2 - t1) / 1000);
+
+  std::string chosen;
+  int candidates = 0;
+  std::vector<std::string> used;
+  QueryDegradation degradation;
+  int64_t rw0 = MonotonicNanos();
+  std::unique_ptr<qgm::Graph> rewritten;
+  if (options.enable_rewrite) {
+    rewritten = TryRewrite(graph, options, &chosen, &candidates, &used,
+                           &degradation, &trace);
+  } else {
+    trace.AddNote("rewriting disabled by options");
+  }
+  trace.RecordPhaseMicros(QueryTrace::kPhaseRewrite,
+                          (MonotonicNanos() - rw0) / 1000);
+  if (rewritten != nullptr) {
+    StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
+    trace.SetChosen(chosen, new_sql.ok() ? *new_sql : "");
+  }
+  if (degradation.degraded) {
+    trace.AddNote("degraded (" + degradation.stage +
+                  "): " + degradation.message);
+  }
+
+  std::string out = "== EXPLAIN REWRITE ==\n";
+  out += "candidates: " + std::to_string(candidates) + "\n";
+  out += trace.ToString();
   return out;
 }
 

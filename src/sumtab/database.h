@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/executor.h"
 #include "engine/relation.h"
 #include "qgm/qgm.h"
@@ -64,6 +66,11 @@ struct QueryOptions {
   /// validated against the catalog generation, base-table epochs, and the
   /// freshness state of every summary table they splice in.
   bool enable_plan_cache = true;
+  /// Attach a QueryTrace to the result: per-phase wall times, every
+  /// (query-box, AST) match attempt with its structured outcome, plan-cache
+  /// fate, and rows processed. Off by default — the untraced path pays only
+  /// null-pointer checks.
+  bool collect_trace = false;
 };
 
 /// Diagnostic attached to a QueryResult when something on the rewrite path
@@ -84,6 +91,9 @@ struct QueryResult {
   int candidate_rewrites = 0;      // how many ASTs offered a rewrite
   bool plan_cache_hit = false;     // served from the rewrite-plan cache
   QueryDegradation degradation;    // set when a failure was recovered
+  /// Set when QueryOptions::collect_trace was on (shared so the executor's
+  /// parallel lanes can keep counting rows while the caller holds it).
+  std::shared_ptr<QueryTrace> trace;
 };
 
 /// Counters exposed by Database::Stats(). Hits/misses/invalidations
@@ -98,6 +108,10 @@ struct DatabaseStats {
   /// Monotonic DDL counter (CreateTable / DefineSummaryTable / Drop /
   /// SetMaxStaleness / refresh); part of every cache entry's validity.
   int64_t catalog_generation = 0;
+  /// Snapshot of the process-wide metrics registry (counters + latency
+  /// histograms): query/rewrite/match/maintenance counters and per-phase
+  /// timings. Process-wide, not per-Database.
+  MetricsRegistry::Snapshot metrics;
 };
 
 /// Introspection snapshot of one summary table's freshness bookkeeping.
@@ -186,6 +200,17 @@ class Database {
   /// any) and the rewritten SQL.
   StatusOr<std::string> Explain(const std::string& sql);
 
+  /// Runs the full rewrite pipeline (plan-cache lookup included, execution
+  /// excluded) with tracing on and renders the trace: chosen AST and
+  /// compensation summary, every match attempt's pattern + structured
+  /// reject reason (verbatim snake_case tokens), each AST's
+  /// incremental-maintainability verdict, plan-cache hit/miss/invalidation
+  /// cause, and phase timings. Also reachable through
+  /// Query("explain rewrite <select...>"), which returns the same text as
+  /// a single-column relation.
+  StatusOr<std::string> ExplainRewrite(const std::string& sql,
+                                       const QueryOptions& options = {});
+
   // ---- introspection ----
   const catalog::Catalog& catalog() const { return catalog_; }
   const engine::Storage& storage() const { return storage_; }
@@ -237,9 +262,12 @@ class Database {
   std::string PlanCacheKey(const std::string& sql,
                            const QueryOptions& options) const;
   /// Validates + pops the entry for `key` under cache_mu_. On kHit, `*out`
-  /// receives a deep copy of the cached plan and its metadata.
+  /// receives a deep copy of the cached plan and its metadata. On
+  /// kInvalidated, `*invalidation_cause` (if non-null) names the trigger:
+  /// "generation", "epoch:<table>", or "ast:<name>".
   CacheLookup LookupPlan(const std::string& key, const QueryOptions& options,
-                         CachedPlan* out);
+                         CachedPlan* out,
+                         std::string* invalidation_cause = nullptr);
   void InsertPlan(const std::string& key, CachedPlan entry);
   /// Drops the entry for `key` (used when a cached plan fails to execute).
   void ForgetPlan(const std::string& key);
@@ -256,7 +284,13 @@ class Database {
                                          const QueryOptions& options,
                                          std::string* chosen, int* candidates,
                                          std::vector<std::string>* used_asts,
-                                         QueryDegradation* degradation);
+                                         QueryDegradation* degradation,
+                                         QueryTrace* trace = nullptr);
+
+  /// Query() body for a plain SELECT (Query() itself also routes
+  /// "explain rewrite" statements to ExplainRewrite()).
+  StatusOr<QueryResult> QuerySelect(const std::string& sql,
+                                    const QueryOptions& options);
 
   /// Epoch lag of `st` summed over its base tables.
   int64_t StalenessOf(const SummaryTable& st) const;

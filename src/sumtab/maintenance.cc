@@ -8,102 +8,140 @@
 // and the per-group results merge into the materialized table: COUNT/SUM
 // add, MIN/MAX combine, new groups append. Anything else (HAVING, DISTINCT
 // aggregates, scalar subqueries, self-references, nested blocks) recomputes.
+#include "sumtab/maintenance.h"
+
 #include <chrono>
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/reject_reason.h"
 #include "common/str_util.h"
 #include "engine/executor.h"
 #include "expr/expr_rewrite.h"
 #include "sumtab/database.h"
 
 namespace sumtab {
+namespace maintenance {
 
-namespace {
-
-struct MergePlan {
-  bool spj_append = false;            // no aggregation: append delta rows
-  std::vector<int> key_cols;          // output positions forming the group key
-  struct AggCol {
-    int col;
-    expr::AggFunc func;
-  };
-  std::vector<AggCol> agg_cols;
-};
-
-/// Decides whether `graph` (an AST definition) supports incremental insert
-/// maintenance, and how its output columns merge.
 StatusOr<MergePlan> AnalyzeMergePlan(const qgm::Graph& graph,
                                      const std::string& delta_table) {
   int references = 0;
+  bool has_group_by = false;
   for (qgm::BoxId id : graph.TopologicalOrder()) {
     const qgm::Box* box = graph.box(id);
     if (box->kind == qgm::Box::Kind::kBase &&
         box->table_name == delta_table) {
       ++references;
     }
+    if (box->IsGroupBy()) has_group_by = true;
     if (box->distinct) {
-      return Status::NotSupported("DISTINCT block");
+      return RejectUnsupported(RejectReason::kMaintDistinctBlock,
+                               "DISTINCT block");
     }
     for (const qgm::Quantifier& q : box->quantifiers) {
       if (q.kind == qgm::Quantifier::Kind::kScalar) {
-        return Status::NotSupported("scalar subquery");
+        return RejectUnsupported(RejectReason::kMaintScalarSubquery,
+                                 "scalar subquery");
       }
     }
   }
   if (references != 1) {
-    return Status::NotSupported("appended table referenced != 1 time");
+    // The caller tells "unaffected" (0 refs) from "self-join" (>1) by
+    // counting references itself, keyed on this subcode.
+    return RejectUnsupported(RejectReason::kMaintDeltaRefCount,
+                             "appended table referenced != 1 time");
   }
 
   const qgm::Box* root = graph.box(graph.root());
+  if (root->kind != qgm::Box::Kind::kSelect || root->quantifiers.empty()) {
+    return RejectUnsupported(RejectReason::kMaintRootShape,
+                             "unexpected root shape");
+  }
   MergePlan plan;
-  if (root->kind == qgm::Box::Kind::kSelect && root->quantifiers.size() >= 1 &&
-      graph.box(root->quantifiers[0].child)->kind != qgm::Box::Kind::kGroupBy) {
-    // Select-project-join AST: the delta's SPJ result appends directly —
-    // provided no GROUP-BY exists anywhere.
-    for (qgm::BoxId id : graph.TopologicalOrder()) {
-      if (graph.box(id)->IsGroupBy()) {
-        return Status::NotSupported("aggregation below a join");
-      }
-    }
+  if (!has_group_by) {
+    // Select-project-join AST: for an insert-only delta over a table
+    // referenced exactly once, delta(R join S) == deltaR join S, so the
+    // delta's SPJ result appends directly. This holds for any number of
+    // root quantifiers (all are kForeach — scalars were rejected above).
     plan.spj_append = true;
     return plan;
   }
-  if (root->kind != qgm::Box::Kind::kSelect ||
-      root->quantifiers.size() != 1) {
-    return Status::NotSupported("unexpected root shape");
+  // Aggregate path: one aggregate block — SELECT root over a single
+  // GROUP-BY over a SELECT over base tables.
+  if (root->quantifiers.size() != 1) {
+    // A join above (or beside) the aggregation consumes summary rows more
+    // than once; merging deltas into it is not linear. Explicitly rejected
+    // rather than inferred from quantifiers[0]'s kind.
+    return RejectUnsupported(RejectReason::kMaintMultiQuantifierRoot,
+                             "aggregate root has multiple quantifiers");
   }
   if (!root->predicates.empty()) {
-    return Status::NotSupported("HAVING predicate");  // filters break merging
+    // HAVING filters rows whose aggregates a delta may push across the
+    // threshold; merging cannot resurrect filtered groups.
+    return RejectUnsupported(RejectReason::kMaintHavingPredicate,
+                             "HAVING predicate");
   }
   const qgm::Box* gb = graph.box(root->quantifiers[0].child);
   if (!gb->IsGroupBy()) {
-    return Status::NotSupported("root child is not a GROUP-BY");
+    return RejectUnsupported(RejectReason::kMaintAggBelowJoin,
+                             "aggregation below a join");
   }
   // Exactly one aggregate block: nothing below the GROUP-BY's select may
   // group again.
   const qgm::Box* lower = graph.box(gb->quantifiers[0].child);
   if (lower->kind != qgm::Box::Kind::kSelect) {
-    return Status::NotSupported("GROUP-BY child is not a SELECT");
+    return RejectUnsupported(RejectReason::kMaintGroupByChildNotSelect,
+                             "GROUP-BY child is not a SELECT");
   }
   for (const qgm::Quantifier& q : lower->quantifiers) {
     if (graph.box(q.child)->kind != qgm::Box::Kind::kBase) {
-      return Status::NotSupported("nested query block");
+      return RejectUnsupported(RejectReason::kMaintNestedBlock,
+                               "nested query block");
+    }
+  }
+  if (!gb->IsSimpleGroupBy()) {
+    // CUBE/ROLLUP/GROUPING SETS merge per-cuboid: a delta row's NULL
+    // pattern identifies its cuboid, so the keyed merge lands each delta
+    // row on its own cuboid's groups — unless a grouping column can be
+    // NULL in the *data*, where a data-NULL in one cuboid and the padding
+    // NULL of a coarser cuboid produce the same key and the merge would
+    // combine rows across cuboids (a recompute keeps them separate).
+    // Nullability must come from the grouping source below the GROUP-BY:
+    // the GROUP-BY's own column_info already folds in padding nullability.
+    for (int i = 0; i < gb->NumOutputs(); ++i) {
+      if (!gb->IsGroupingOutput(i)) continue;
+      int col = -1;
+      bool source_nullable = true;  // conservatively reject odd shapes
+      if (expr::IsSimpleColumnRef(gb->outputs[i].expr, 0, &col) && col >= 0 &&
+          col < static_cast<int>(lower->column_info.size())) {
+        source_nullable = lower->column_info[col].nullable;
+      }
+      if (source_nullable) {
+        return RejectUnsupported(
+            RejectReason::kMaintMultiGroupingSet,
+            "nullable grouping column '" + gb->outputs[i].name +
+                "' under multiple grouping sets");
+      }
     }
   }
   // Root outputs must be bare references to GROUP-BY outputs.
+  std::vector<bool> key_projected(gb->outputs.size(), false);
   for (size_t i = 0; i < root->outputs.size(); ++i) {
     int col = -1;
     if (!expr::IsSimpleColumnRef(root->outputs[i].expr, 0, &col)) {
-      return Status::NotSupported("computed expression above the aggregate");
+      return RejectUnsupported(RejectReason::kMaintComputedOutput,
+                               "computed expression above the aggregate");
     }
     if (gb->IsGroupingOutput(col)) {
       plan.key_cols.push_back(static_cast<int>(i));
+      key_projected[col] = true;
       continue;
     }
     const expr::ExprPtr& agg = gb->outputs[col].expr;
     if (agg->agg_distinct) {
-      return Status::NotSupported("DISTINCT aggregate");
+      return RejectUnsupported(RejectReason::kMaintDistinctAggregate,
+                               "DISTINCT aggregate");
     }
     switch (agg->agg) {
       case expr::AggFunc::kCount:
@@ -112,21 +150,36 @@ StatusOr<MergePlan> AnalyzeMergePlan(const qgm::Graph& graph,
       case expr::AggFunc::kMax:
         break;
       default:
-        return Status::NotSupported("non-mergeable aggregate");
+        return RejectUnsupported(RejectReason::kMaintNonMergeableAggregate,
+                                 "non-mergeable aggregate");
     }
     plan.agg_cols.push_back(MergePlan::AggCol{static_cast<int>(i), agg->agg});
+  }
+  // The merge is keyed on the projected grouping columns; if the root drops
+  // one, distinct groups alias in the materialized table and deltas would
+  // merge into whichever row the key index found first.
+  for (int i = 0; i < gb->NumOutputs(); ++i) {
+    if (gb->IsGroupingOutput(i) && !key_projected[i]) {
+      return RejectUnsupported(RejectReason::kMaintPartialGroupKey,
+                               "root does not project grouping column '" +
+                                   gb->outputs[i].name + "'");
+    }
   }
   return plan;
 }
 
-Value MergeValues(expr::AggFunc func, const Value& current,
-                  const Value& delta) {
+Value MergeAggregateValues(expr::AggFunc func, const Value& current,
+                           const Value& delta) {
+  // NULL identity: SUM/MIN/MAX over an all-NULL partition is NULL, and the
+  // accumulator ignores NULL partitions when combining — so does the merge.
   if (current.is_null()) return delta;
   if (delta.is_null()) return current;
   switch (func) {
     case expr::AggFunc::kCount:
       return Value::Int(current.AsInt() + delta.AsInt());
     case expr::AggFunc::kSum:
+      // Accumulator-combine semantics: the result is Double iff either
+      // partition saw a double (sticky-double promotion), else Int.
       if (current.kind() == Value::Kind::kInt &&
           delta.kind() == Value::Kind::kInt) {
         return Value::Int(current.AsInt() + delta.AsInt());
@@ -140,6 +193,14 @@ Value MergeValues(expr::AggFunc func, const Value& current,
       return current;
   }
 }
+
+}  // namespace maintenance
+
+namespace {
+
+using maintenance::AnalyzeMergePlan;
+using maintenance::MergeAggregateValues;
+using maintenance::MergePlan;
 
 }  // namespace
 
@@ -197,8 +258,8 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     StatusOr<MergePlan> plan = AnalyzeMergePlan(st->graph, meta->name);
     if (!plan.ok()) {
       bool unaffected = false;
-      if (plan.status().message() ==
-          "appended table referenced != 1 time") {
+      if (RejectReasonFromStatus(plan.status()) ==
+          RejectReason::kMaintDeltaRefCount) {
         // Distinguish 0 references (unaffected) from self-joins.
         int refs = 0;
         for (qgm::BoxId id : st->graph.TopologicalOrder()) {
@@ -283,7 +344,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
       Row& existing = stored->rows[it->second];
       for (const MergePlan::AggCol& agg : pending.plan.agg_cols) {
         existing[agg.col] =
-            MergeValues(agg.func, existing[agg.col], drow[agg.col]);
+            MergeAggregateValues(agg.func, existing[agg.col], drow[agg.col]);
       }
     }
   }
@@ -315,6 +376,26 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     }
     report.entries.push_back(
         RefreshEntry{st->name, RefreshMode::kRecompute, millis, ""});
+  }
+  for (const RefreshEntry& entry : report.entries) {
+    const char* mode = "unknown";
+    switch (entry.mode) {
+      case RefreshMode::kUnaffected:
+        mode = "unaffected";
+        break;
+      case RefreshMode::kIncremental:
+        mode = "incremental";
+        break;
+      case RefreshMode::kRecompute:
+        mode = "recompute";
+        break;
+      case RefreshMode::kFailed:
+        mode = "failed";
+        break;
+    }
+    MetricsRegistry::Global()
+        .counter(std::string("maintenance.") + mode)
+        ->Increment();
   }
   return report;
 }

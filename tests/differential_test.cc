@@ -337,6 +337,101 @@ TEST_P(DifferentialTest, TpcdSchemaThreeWayEquivalence) {
   }
 }
 
+// Incremental-maintenance leg: after a sequence of random Appends, every
+// mergeable AST must (a) have refreshed via the kIncremental path — not a
+// silent recompute — and (b) hold content row-for-row identical to a forced
+// recompute of the same definition. Int-only aggregates are compared
+// bit-for-bit; SUM(double) merges re-associate fp addition, so that AST is
+// compared under the repo's canonical multiset tolerance.
+TEST_P(DifferentialTest, IncrementalMaintenanceMatchesRecompute) {
+  const uint64_t seed = GetParam();
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = 3000;
+  params.seed = seed;
+  ASSERT_TRUE(data::SetupCardSchema(&db, params).ok());
+  struct AstDef {
+    const char* name;
+    const char* stored;  // projection of the stored table, for comparison
+    std::string def;
+    bool bit_exact;  // int-only aggregates: merge must be bit-identical
+  };
+  std::vector<AstDef> asts = {
+      {"ast_int", "select faid, flid, cnt, sq, mn, mx from ast_int",
+       "select faid, flid, count(*) as cnt, sum(qty) as sq, "
+       "min(qty) as mn, max(qty) as mx from trans group by faid, flid",
+       true},
+      {"ast_mixed", "select fpgid, y, cnt, sp, mnp from ast_mixed",
+       "select fpgid, year(date) as y, count(*) as cnt, "
+       "sum(price) as sp, min(price) as mnp from trans "
+       "group by fpgid, year(date)",
+       false},
+      {"ast_rollup", "select faid, y, c from ast_rollup",
+       "select faid, year(date) as y, count(*) as c from trans "
+       "group by rollup(faid, year(date))",
+       true},
+  };
+  for (const AstDef& ast : asts) {
+    ASSERT_TRUE(db.DefineSummaryTable(ast.name, ast.def).ok()) << ast.name;
+  }
+
+  std::mt19937_64 rng(seed ^ 0xdeadULL);
+  int next_tid = 1000000;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Row> delta;
+    int n = 20 + static_cast<int>(rng() % 60);
+    for (int i = 0; i < n; ++i) {
+      delta.push_back(Row{
+          Value::Int(next_tid++), Value::Int(static_cast<int>(rng() % 50)),
+          Value::Int(static_cast<int>(rng() % 12)),
+          Value::Int(static_cast<int>(rng() % 40)),
+          Value::Date(19900101 + static_cast<int>(rng() % 5) * 10000 +
+                      static_cast<int>(rng() % 12) * 100 +
+                      static_cast<int>(rng() % 28)),
+          Value::Int(1 + static_cast<int>(rng() % 5)),
+          Value::Double(5.0 + static_cast<double>(rng() % 995) * 0.25),
+          Value::Double(0.0)});
+    }
+    StatusOr<Database::MaintenanceReport> report =
+        db.Append("trans", std::move(delta));
+    ASSERT_TRUE(report.ok())
+        << "seed=" << seed << " round=" << round << ": "
+        << report.status().ToString();
+    for (const AstDef& ast : asts) {
+      for (const Database::RefreshEntry& entry : report->entries) {
+        if (entry.summary_table != ast.name) continue;
+        EXPECT_EQ(entry.mode, Database::RefreshMode::kIncremental)
+            << "seed=" << seed << " round=" << round << " ast=" << ast.name
+            << " error=" << entry.error;
+      }
+    }
+  }
+
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  for (const AstDef& ast : asts) {
+    StatusOr<QueryResult> merged = db.Query(ast.stored, no_rewrite);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    // Force a from-scratch recompute of the same definition and re-read.
+    ASSERT_TRUE(db.RefreshSummaryTable(ast.name).ok()) << ast.name;
+    StatusOr<QueryResult> recomputed = db.Query(ast.stored, no_rewrite);
+    ASSERT_TRUE(recomputed.ok()) << recomputed.status().ToString();
+    if (ast.bit_exact) {
+      EXPECT_TRUE(
+          BitIdenticalSorted(merged->relation, recomputed->relation))
+          << "seed=" << seed << " ast=" << ast.name << "\nincremental:\n"
+          << merged->relation.ToString(30) << "recompute:\n"
+          << recomputed->relation.ToString(30);
+    } else {
+      EXPECT_TRUE(
+          engine::SameRowMultiset(merged->relation, recomputed->relation))
+          << "seed=" << seed << " ast=" << ast.name << "\nincremental:\n"
+          << merged->relation.ToString(30) << "recompute:\n"
+          << recomputed->relation.ToString(30);
+    }
+  }
+}
+
 // 160 card + 80 tpcd queries per seed = 240 >= the 200 the oracle promises.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values<uint64_t>(1, 77, 4242));

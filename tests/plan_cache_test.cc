@@ -53,6 +53,44 @@ TEST_F(PlanCacheTest, NormalizeSqlText) {
   EXPECT_EQ(NormalizeSqlText("a"), NormalizeSqlText("  A  "));
 }
 
+TEST_F(PlanCacheTest, CaseFoldSharesOneEntry) {
+  // Keyword/identifier case must not fragment the cache: SELECT vs select
+  // is the same plan. (Regression guard for the key normalization.)
+  QueryResult upper = MustQuery(
+      "SELECT FAID, COUNT(*) AS CNT FROM TRANS GROUP BY FAID");
+  EXPECT_FALSE(upper.plan_cache_hit);
+  QueryResult lower = MustQuery(kQuery);
+  EXPECT_TRUE(lower.plan_cache_hit);
+  QueryResult mixed = MustQuery(
+      "Select faid, Count(*) As cnt From trans Group By faid");
+  EXPECT_TRUE(mixed.plan_cache_hit);
+  DatabaseStats stats = db_->Stats();
+  EXPECT_EQ(stats.plan_cache_entries, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_EQ(stats.plan_cache_hits, 2);
+  EXPECT_TRUE(engine::SameRowMultiset(upper.relation, mixed.relation));
+}
+
+TEST_F(PlanCacheTest, QuotedLiteralsStayCaseSensitive) {
+  // String literals are data, not syntax: 'Gold' and 'GOLD' are different
+  // queries and must not collide in the cache.
+  constexpr char kGold[] =
+      "select count(*) as c from acct where status = 'Gold'";
+  constexpr char kUpper[] =
+      "select count(*) as c from acct where status = 'GOLD'";
+  QueryResult gold = MustQuery(kGold);
+  EXPECT_FALSE(gold.plan_cache_hit);
+  QueryResult upper = MustQuery(kUpper);
+  EXPECT_FALSE(upper.plan_cache_hit);  // distinct literal => distinct entry
+  EXPECT_TRUE(MustQuery(kGold).plan_cache_hit);
+  EXPECT_TRUE(MustQuery(kUpper).plan_cache_hit);
+  EXPECT_EQ(db_->Stats().plan_cache_entries, 2);
+  // Folding the SQL around the literal still hits the same entry.
+  EXPECT_TRUE(MustQuery(
+                  "SELECT count(*) AS c FROM acct WHERE status = 'Gold'")
+                  .plan_cache_hit);
+}
+
 TEST_F(PlanCacheTest, HitAfterIdenticalQuery) {
   QueryResult first = MustQuery(kQuery);
   EXPECT_FALSE(first.plan_cache_hit);
