@@ -1,4 +1,4 @@
-// Unified PR-3 bench driver: runs the figure workloads (card schema) and the
+// Unified bench driver: runs the figure workloads (card schema) and the
 // TPC-D workload through the full configuration matrix
 //
 //     threads in {1, hardware} x plan cache in {off, on}
@@ -10,9 +10,16 @@
 // recorded in the JSON: on a single-core runner the parallel column is a
 // no-regression check, not a speedup claim.
 //
-// Usage: bench_runner [--quick] [--out PATH]
-//   --quick  small data sizes + fewer reps (CI smoke mode)
-//   --out    output JSON path (default BENCH_pr3.json)
+// A second leg compares the columnar batch engine against the row-at-a-time
+// interpreter on aggregation-heavy queries with summary-table rewriting
+// DISABLED — so both engines scan the fact table — at threads=1, and emits
+// BENCH_pr5.json with per-query row/vec latencies and the speedup. Answers
+// are cross-checked between the engines on every query.
+//
+// Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
+//   --quick    small data sizes + fewer reps (CI smoke mode)
+//   --out      matrix-leg JSON path (default BENCH_pr3.json)
+//   --out-vec  vectorized-leg JSON path (default BENCH_pr5.json)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -45,10 +52,19 @@ struct QueryRow {
   bool valid = true;
 };
 
+struct VecRow {
+  std::string label;
+  std::string sql;
+  size_t result_rows = 0;
+  double row_ms = 0;  // row interpreter, threads=1, rewrite off
+  double vec_ms = 0;  // columnar engine, threads=1, rewrite off
+};
+
 struct SuiteResult {
   std::string name;
   int64_t fact_rows = 0;
   std::vector<QueryRow> queries;
+  std::vector<VecRow> vec_queries;
   DatabaseStats stats;
 };
 
@@ -130,6 +146,43 @@ QueryRow RunMatrix(Database* db, const BenchQuery& q, int reps) {
   return row;
 }
 
+// Row interpreter vs columnar engine, apples to apples: rewrite disabled so
+// both sides scan the fact table, plan cache on so neither side pays compile
+// after the warmup rep, threads=1 so the comparison isolates the execution
+// model rather than parallelism. Best-of-reps on both sides.
+VecRow RunVecLeg(Database* db, const BenchQuery& q, int reps) {
+  VecRow row;
+  row.label = q.label;
+  row.sql = q.sql;
+
+  QueryOptions row_opts;
+  row_opts.enable_rewrite = false;
+  row_opts.max_threads = 1;
+  row_opts.vectorized = false;
+  QueryOptions vec_opts = row_opts;
+  vec_opts.vectorized = true;
+
+  QueryResult by_rows;
+  OnceMs(db, q.sql, row_opts, nullptr);  // warm the shared plan cache
+  row.row_ms = BestMs(db, q.sql, row_opts, reps, &by_rows);
+  QueryResult by_batch;
+  row.vec_ms = BestMs(db, q.sql, vec_opts, reps, &by_batch);
+  row.result_rows = by_rows.relation.NumRows();
+  if (by_rows.used_summary_table || by_batch.used_summary_table) {
+    std::fprintf(stderr, "vec leg unexpectedly rewritten: %s\n", q.sql);
+    std::exit(1);
+  }
+  if (!engine::SameRowMultiset(by_rows.relation, by_batch.relation)) {
+    std::fprintf(stderr, "BENCH FAILURE: engines disagree on %s\n", q.sql);
+    std::exit(1);
+  }
+  std::printf("%-22s row %8.2f ms | vec %8.2f ms | %5.2fx | %zu rows\n",
+              row.label.c_str(), row.row_ms, row.vec_ms,
+              row.vec_ms > 0 ? row.row_ms / row.vec_ms : 0.0,
+              row.result_rows);
+  return row;
+}
+
 SuiteResult RunCardSuite(bool quick, int reps) {
   bench::PrintHeader("card schema: figure workloads (fig2-fig14 shapes)");
   Database db;
@@ -205,6 +258,25 @@ SuiteResult RunCardSuite(bool quick, int reps) {
   for (const BenchQuery& q : queries) {
     suite.queries.push_back(RunMatrix(&db, q, reps));
   }
+
+  bench::PrintHeader("card schema: columnar vs row engine (rewrite off)");
+  const BenchQuery vec_queries[] = {
+      {"vg1 scan agg",
+       "select flid, year(date) as year, count(*) as cnt, "
+       "sum(qty * price) as value from trans group by flid, year(date)"},
+      {"vg2 filter agg",
+       "select faid, sum(qty) as q, avg(price) as p from trans "
+       "where month(date) >= 6 group by faid"},
+      {"vg3 join agg",
+       "select state, sum(qty * price) as value from trans, loc "
+       "where flid = lid group by state"},
+      {"vg4 global agg",
+       "select count(*) as cnt, sum(qty * price) as value, "
+       "avg(price) as p from trans where qty > 2"},
+  };
+  for (const BenchQuery& q : vec_queries) {
+    suite.vec_queries.push_back(RunVecLeg(&db, q, reps));
+  }
   suite.stats = db.Stats();
   return suite;
 }
@@ -276,6 +348,26 @@ SuiteResult RunTpcdSuite(bool quick, int reps) {
   for (const BenchQuery& q : queries) {
     suite.queries.push_back(RunMatrix(&db, q, reps));
   }
+
+  bench::PrintHeader("tpcd schema: columnar vs row engine (rewrite off)");
+  const BenchQuery vec_queries[] = {
+      {"vt1 lineitem agg",
+       "select year(shipdate) as y, sum(lprice * (1 - ldisc)) as rev, "
+       "count(*) as cnt from lineitem group by year(shipdate)"},
+      {"vt2 filter agg",
+       "select pkey, avg(ldisc) as d, sum(lqty) as q from lineitem "
+       "where lqty > 10 group by pkey"},
+      {"vt3 join agg",
+       "select pbrand, sum(lqty) as vol from lineitem, part "
+       "where lineitem.pkey = part.pkey group by pbrand"},
+      {"vt4 ship month",
+       "select year(shipdate) as y, month(shipdate) as m, "
+       "sum(lprice * (1 - ldisc)) as rev from lineitem "
+       "group by year(shipdate), month(shipdate)"},
+  };
+  for (const BenchQuery& q : vec_queries) {
+    suite.vec_queries.push_back(RunVecLeg(&db, q, reps));
+  }
   suite.stats = db.Stats();
   return suite;
 }
@@ -346,6 +438,54 @@ void WriteJson(const std::string& path, bool quick,
   std::printf("\nwrote %s\n", path.c_str());
 }
 
+void WriteVecJson(const std::string& path, bool quick,
+                  const std::vector<SuiteResult>& suites) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr5\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               ThreadPool::HardwareParallelism());
+  std::fprintf(f, "  \"threads\": 1,\n  \"rewrite\": false,\n");
+  double row_total = 0, vec_total = 0, min_speedup = 1e18;
+  std::fprintf(f, "  \"suites\": [\n");
+  for (size_t s = 0; s < suites.size(); ++s) {
+    const SuiteResult& suite = suites[s];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", suite.name.c_str());
+    std::fprintf(f, "      \"fact_rows\": %lld,\n",
+                 static_cast<long long>(suite.fact_rows));
+    std::fprintf(f, "      \"queries\": [\n");
+    for (size_t i = 0; i < suite.vec_queries.size(); ++i) {
+      const VecRow& q = suite.vec_queries[i];
+      double speedup = q.vec_ms > 0 ? q.row_ms / q.vec_ms : 0.0;
+      row_total += q.row_ms;
+      vec_total += q.vec_ms;
+      if (speedup < min_speedup) min_speedup = speedup;
+      std::fprintf(f,
+                   "        {\"label\": \"%s\", \"sql\": \"%s\", "
+                   "\"result_rows\": %zu, \"row_ms\": %.4f, "
+                   "\"vec_ms\": %.4f, \"vec_speedup\": %.3f}%s\n",
+                   JsonEscape(q.label).c_str(), JsonEscape(q.sql).c_str(),
+                   q.result_rows, q.row_ms, q.vec_ms, speedup,
+                   i + 1 < suite.vec_queries.size() ? "," : "");
+    }
+    std::fprintf(f, "      ]\n    }%s\n", s + 1 < suites.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"row_total_ms\": %.4f,\n  \"vec_total_ms\": %.4f,\n"
+               "  \"overall_vec_speedup\": %.3f,\n  \"min_vec_speedup\": "
+               "%.3f\n}\n",
+               row_total, vec_total,
+               vec_total > 0 ? row_total / vec_total : 0.0,
+               min_speedup == 1e18 ? 0.0 : min_speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace sumtab
 
@@ -353,13 +493,17 @@ int main(int argc, char** argv) {
   using namespace sumtab;
   bool quick = false;
   std::string out = "BENCH_pr3.json";
+  std::string out_vec = "BENCH_pr5.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-vec") == 0 && i + 1 < argc) {
+      out_vec = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--out-vec PATH]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -370,8 +514,9 @@ int main(int argc, char** argv) {
   suites.push_back(RunCardSuite(quick, reps));
   suites.push_back(RunTpcdSuite(quick, reps));
   WriteJson(out, quick, suites);
+  WriteVecJson(out_vec, quick, suites);
 
-  double cold = 0, warm = 0, t1 = 0, tn = 0;
+  double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {
     for (const QueryRow& q : suite.queries) {
       cold += q.t1_cold_ms;
@@ -379,11 +524,17 @@ int main(int argc, char** argv) {
       t1 += q.t1_nocache_ms;
       tn += q.tn_nocache_ms;
     }
+    for (const VecRow& q : suite.vec_queries) {
+      row_ms += q.row_ms;
+      vec_ms += q.vec_ms;
+    }
   }
   std::printf(
       "TOTALS: serial %.2f ms | parallel %.2f ms (%.2fx) | "
       "cache cold %.2f ms | cache warm %.2f ms (%.2fx)\n",
       t1, tn, tn > 0 ? t1 / tn : 0.0, cold, warm,
       warm > 0 ? cold / warm : 0.0);
+  std::printf("VEC LEG: row %.2f ms | columnar %.2f ms (%.2fx, threads=1)\n",
+              row_ms, vec_ms, vec_ms > 0 ? row_ms / vec_ms : 0.0);
   return 0;
 }

@@ -59,16 +59,36 @@ bool Value::operator==(const Value& other) const {
   return false;
 }
 
-bool Value::operator<(const Value& other) const {
-  if (is_null() || other.is_null()) return is_null() && !other.is_null();
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
   if (IsNumeric() && other.IsNumeric()) {
-    return ToDouble() < other.ToDouble();
+    double a = ToDouble();
+    double b = other.ToDouble();
+    if (a < b) return -1;
+    if (b < a) return 1;
+    return 0;
   }
   if (kind() == Kind::kString && other.kind() == Kind::kString) {
-    return AsString() < other.AsString();
+    int c = AsString().compare(other.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
   }
   // Heterogeneous non-numeric comparison: order by kind tag.
-  return kind() < other.kind();
+  if (kind() != other.kind()) return kind() < other.kind() ? -1 : 1;
+  return 0;
+}
+
+int Value::CompareRows(const std::vector<Value>& a,
+                       const std::vector<Value>& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  return 0;
 }
 
 size_t Value::Hash() const {

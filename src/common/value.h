@@ -63,9 +63,23 @@ class Value {
   bool operator==(const Value& other) const;
   bool operator!=(const Value& other) const { return !(*this == other); }
 
-  /// Total order for sorting results: NULL first, then by numeric/string
-  /// value; distinct kinds that are both numeric compare by value.
-  bool operator<(const Value& other) const;
+  /// THE total order on runtime values (-1 / 0 / +1): NULL sorts first
+  /// (data-NULLs and grouping-set padding-NULLs are indistinguishable at
+  /// runtime, so both land in the same position), numerics compare by value
+  /// across int/double/date/bool, strings lexicographically, and remaining
+  /// heterogeneous pairs by kind tag. Every row comparator in the engine —
+  /// SortRows, SameRowMultiset, the columnar null bitmap's ordering — must
+  /// go through this single definition so NULL placement never diverges
+  /// between the row and batch representations.
+  int Compare(const Value& other) const;
+
+  /// Total order for sorting results; delegates to Compare().
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Lexicographic row comparison under Compare() — shorter rows first on a
+  /// common prefix. The shared comparator for SortRows / SameRowMultiset.
+  static int CompareRows(const std::vector<Value>& a,
+                         const std::vector<Value>& b);
 
   size_t Hash() const;
 

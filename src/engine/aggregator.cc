@@ -62,6 +62,29 @@ struct Accum {
     }
   }
 
+  // Typed adds for the columnar fast path: exactly the SUM/AVG branch of
+  // AddValue with the kind test hoisted out of the loop (the column tag
+  // already fixes it), so the sticky int->double promotion order — and thus
+  // every floating-point sum — is identical.
+  void AddSumInt(int64_t v) {
+    ++count;
+    saw_value = true;
+    if (!saw_double) {
+      sum_int += v;
+    } else {
+      sum_double += static_cast<double>(v);
+    }
+  }
+  void AddSumDouble(double v) {
+    ++count;
+    saw_value = true;
+    if (!saw_double) {
+      sum_double = static_cast<double>(sum_int);
+      saw_double = true;
+    }
+    sum_double += v;
+  }
+
   Value Finish(const AggSpec& spec) const {
     if (spec.distinct) {
       switch (spec.func) {
@@ -162,6 +185,177 @@ void EmitGroups(
 /// Rows per lane below which partitioning overhead beats the win.
 constexpr int64_t kMinParallelRowsPerLane = 4096;
 
+/// Accumulates batch row i into its group (generic columnar path: Values are
+/// reconstructed per row and funnel through the same Accum::AddValue as the
+/// row path).
+void AccumulateBatchRow(
+    const Batch& input, int64_t i, const std::vector<int>& set,
+    const std::vector<int>& grouping_cols, const std::vector<AggSpec>& aggs,
+    std::unordered_map<Row, std::vector<Accum>, RowHash>* groups) {
+  Row key;
+  key.reserve(set.size());
+  for (int g : set) key.push_back(input.columns[grouping_cols[g]].ValueAt(i));
+  auto [it, inserted] = groups->try_emplace(std::move(key));
+  if (inserted) it->second.resize(aggs.size());
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const AggSpec& spec = aggs[a];
+    it->second[a].AddValue(
+        spec, spec.star ? Value::Null() : input.columns[spec.arg_col].ValueAt(i));
+  }
+}
+
+/// Per-aggregate dispatch for the int-keyed fast path. kGeneric reconstructs
+/// the argument Value and calls AddValue (distinct, MIN/MAX, string/variant
+/// arguments); the others run typed loops.
+enum class FastOp { kStar, kCount, kSumInt, kSumDouble, kGeneric };
+
+struct FastAggPlan {
+  FastOp op = FastOp::kGeneric;
+  const ColumnVector* arg = nullptr;  // null only for kStar
+};
+
+std::vector<FastAggPlan> BuildFastAggPlans(const Batch& input,
+                                           const std::vector<AggSpec>& aggs) {
+  std::vector<FastAggPlan> plans;
+  plans.reserve(aggs.size());
+  for (const AggSpec& spec : aggs) {
+    FastAggPlan plan;
+    if (spec.star) {
+      plan.op = FastOp::kStar;
+      plans.push_back(plan);
+      continue;
+    }
+    plan.arg = &input.columns[spec.arg_col];
+    ColumnVector::Tag tag = plan.arg->tag();
+    if (spec.distinct) {
+      plan.op = FastOp::kGeneric;
+    } else if (spec.func == AggFunc::kCount) {
+      plan.op = FastOp::kCount;
+    } else if (spec.func == AggFunc::kSum || spec.func == AggFunc::kAvg) {
+      if (tag == ColumnVector::Tag::kInt) {
+        plan.op = FastOp::kSumInt;
+      } else if (plan.arg->IsNumericTag()) {
+        // double/date/bool all take the scalar AddValue's double branch.
+        plan.op = FastOp::kSumDouble;
+      } else {
+        plan.op = FastOp::kGeneric;
+      }
+    } else {
+      plan.op = FastOp::kGeneric;  // MIN/MAX compare Values either way
+    }
+    plans.push_back(plan);
+  }
+  return plans;
+}
+
+/// One cuboid over a single int-like grouping column: flat int64-keyed hash
+/// table (plus one slot for the NULL group) and typed accumulate loops.
+/// `lanes` > 1 hash-partitions rows by key so each group lands wholly in one
+/// partition and is still visited in input order.
+void FastAggregateSet(const Batch& input, size_t num_grouping_cols,
+                      const std::vector<int>& set,
+                      const std::vector<int>& grouping_cols,
+                      const std::vector<AggSpec>& aggs, int lanes,
+                      std::vector<Row>* output) {
+  const ColumnVector& keycol = input.columns[grouping_cols[set[0]]];
+  const bool date_key = keycol.tag() == ColumnVector::Tag::kDate;
+  const std::vector<FastAggPlan> plans = BuildFastAggPlans(input, aggs);
+  const int64_t n = input.num_rows;
+
+  auto key_at = [&](int64_t i) -> int64_t {
+    return date_key ? keycol.dates()[i] : keycol.ints()[i];
+  };
+  auto accumulate = [&](int64_t i, std::vector<Accum>* accums) {
+    for (size_t a = 0; a < plans.size(); ++a) {
+      Accum& acc = (*accums)[a];
+      const FastAggPlan& plan = plans[a];
+      switch (plan.op) {
+        case FastOp::kStar:
+          ++acc.count;
+          break;
+        case FastOp::kCount:
+          if (!plan.arg->IsNull(i)) ++acc.count;
+          break;
+        case FastOp::kSumInt:
+          if (!plan.arg->IsNull(i)) acc.AddSumInt(plan.arg->ints()[i]);
+          break;
+        case FastOp::kSumDouble:
+          if (!plan.arg->IsNull(i)) acc.AddSumDouble(plan.arg->NumericAt(i));
+          break;
+        case FastOp::kGeneric:
+          acc.AddValue(aggs[a], plan.arg->ValueAt(i));
+          break;
+      }
+    }
+  };
+  auto emit = [&](int64_t key, bool key_null,
+                  const std::vector<Accum>& accums,
+                  std::vector<Row>* out_rows) {
+    Row out;
+    out.reserve(num_grouping_cols + aggs.size());
+    for (size_t g = 0; g < num_grouping_cols; ++g) {
+      if (static_cast<int>(g) != set[0] || key_null) {
+        out.push_back(Value::Null());
+      } else {
+        out.push_back(date_key ? Value::Date(static_cast<int32_t>(key))
+                               : Value::Int(key));
+      }
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out.push_back(accums[a].Finish(aggs[a]));
+    }
+    out_rows->push_back(std::move(out));
+  };
+  // Scans [0, n) keeping rows whose partition matches (partition < 0 keeps
+  // all — the serial path); NULL keys live in partition 0.
+  auto run_partition = [&](int partition, std::vector<Row>* out_rows) {
+    std::unordered_map<int64_t, std::vector<Accum>> groups;
+    std::vector<Accum> null_group;
+    bool has_null_group = false;
+    for (int64_t i = 0; i < n; ++i) {
+      const bool key_null = keycol.IsNull(i);
+      if (partition >= 0) {
+        const int p =
+            key_null ? 0
+                     : static_cast<int>(static_cast<uint64_t>(key_at(i)) %
+                                        static_cast<uint64_t>(lanes));
+        if (p != partition) continue;
+      }
+      std::vector<Accum>* accums;
+      if (key_null) {
+        if (!has_null_group) {
+          null_group.resize(aggs.size());
+          has_null_group = true;
+        }
+        accums = &null_group;
+      } else {
+        auto [it, inserted] = groups.try_emplace(key_at(i));
+        if (inserted) it->second.resize(aggs.size());
+        accums = &it->second;
+      }
+      accumulate(i, accums);
+    }
+    for (const auto& [key, accums] : groups) {
+      emit(key, /*key_null=*/false, accums, out_rows);
+    }
+    if (has_null_group) emit(0, /*key_null=*/true, null_group, out_rows);
+  };
+
+  if (lanes <= 1) {
+    run_partition(-1, output);
+    return;
+  }
+  std::vector<std::vector<Row>> lane_output(lanes);
+  ParallelFor(lanes, lanes, [&](int, int64_t begin, int64_t end) {
+    for (int64_t p = begin; p < end; ++p) {
+      run_partition(static_cast<int>(p), &lane_output[p]);
+    }
+  }, /*min_chunk=*/1);
+  for (std::vector<Row>& part : lane_output) {
+    for (Row& row : part) output->push_back(std::move(row));
+  }
+}
+
 }  // namespace
 
 StatusOr<std::vector<Row>> Aggregate(
@@ -215,6 +409,75 @@ StatusOr<std::vector<Row>> Aggregate(
     std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
     for (const Row& row : input) {
       AccumulateRow(row, set, grouping_cols, aggs, &groups);
+    }
+    if (groups.empty() && set.empty()) {
+      // Global aggregation over an empty input produces one row.
+      groups.try_emplace(Row{}).first->second.resize(aggs.size());
+    }
+    EmitGroups(groups, set, grouping_cols.size(), aggs, &output);
+  }
+  return output;
+}
+
+StatusOr<std::vector<Row>> AggregateBatch(
+    const Batch& input, const std::vector<int>& grouping_cols,
+    const std::vector<std::vector<int>>& grouping_sets,
+    const std::vector<AggSpec>& aggs, int max_threads) {
+  for (const AggSpec& spec : aggs) {
+    if (!spec.star && spec.arg_col < 0) {
+      return Status::Internal("aggregate argument column missing");
+    }
+  }
+  const int64_t n = input.num_rows;
+  std::vector<Row> output;
+  for (const std::vector<int>& set : grouping_sets) {
+    const int lanes =
+        set.empty() ? 1 : ParallelLanes(n, max_threads, kMinParallelRowsPerLane);
+    // Single int-like grouping key: flat int64 hash table + typed loops.
+    // (A kVariant key column would break int64 equality == Value equality,
+    // so only plain kInt/kDate tags qualify.)
+    if (set.size() == 1) {
+      ColumnVector::Tag key_tag = input.columns[grouping_cols[set[0]]].tag();
+      if (key_tag == ColumnVector::Tag::kInt ||
+          key_tag == ColumnVector::Tag::kDate) {
+        FastAggregateSet(input, grouping_cols.size(), set, grouping_cols,
+                         aggs, lanes, &output);
+        continue;
+      }
+    }
+    // Generic path: identical structure to the row-store Aggregate, with
+    // per-row Values reconstructed from the columns.
+    if (lanes > 1) {
+      std::vector<uint8_t> partition_of(n);
+      ParallelFor(n, lanes, [&](int, int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          size_t h = 0;
+          for (int g : set) {
+            h = h * 1000003u + input.columns[grouping_cols[g]].ValueAt(i).Hash();
+          }
+          partition_of[i] = static_cast<uint8_t>(h % lanes);
+        }
+      });
+      std::vector<std::vector<Row>> lane_output(lanes);
+      ParallelFor(lanes, lanes, [&](int, int64_t begin, int64_t end) {
+        for (int64_t p = begin; p < end; ++p) {
+          std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
+          for (int64_t i = 0; i < n; ++i) {
+            if (partition_of[i] != p) continue;
+            AccumulateBatchRow(input, i, set, grouping_cols, aggs, &groups);
+          }
+          EmitGroups(groups, set, grouping_cols.size(), aggs,
+                     &lane_output[p]);
+        }
+      }, /*min_chunk=*/1);
+      for (std::vector<Row>& part : lane_output) {
+        for (Row& row : part) output.push_back(std::move(row));
+      }
+      continue;
+    }
+    std::unordered_map<Row, std::vector<Accum>, RowHash> groups;
+    for (int64_t i = 0; i < n; ++i) {
+      AccumulateBatchRow(input, i, set, grouping_cols, aggs, &groups);
     }
     if (groups.empty() && set.empty()) {
       // Global aggregation over an empty input produces one row.

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "engine/column_vector.h"
 #include "expr/expr.h"
 
 namespace sumtab {
@@ -38,6 +39,18 @@ struct AggSpec {
 /// as multisets). max_threads <= 1 is the serial reference.
 StatusOr<std::vector<Row>> Aggregate(
     const std::vector<Row>& input, const std::vector<int>& grouping_cols,
+    const std::vector<std::vector<int>>& grouping_sets,
+    const std::vector<AggSpec>& aggs, int max_threads = 1);
+
+/// Columnar twin of Aggregate: same grouping/padding/parallelism semantics
+/// over a Batch input. Per-group accumulation still walks the input in row
+/// order, so every result value — including sticky int/double SUM promotion
+/// — is bit-identical to running Aggregate on the row form of the batch.
+/// Single-column grouping keys over int-like columns take a flat int64 hash
+/// table and typed accumulate loops; everything else reconstructs per-row
+/// Values and funnels through the very same Accum code as the row path.
+StatusOr<std::vector<Row>> AggregateBatch(
+    const Batch& input, const std::vector<int>& grouping_cols,
     const std::vector<std::vector<int>>& grouping_sets,
     const std::vector<AggSpec>& aggs, int max_threads = 1);
 

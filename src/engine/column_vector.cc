@@ -1,0 +1,325 @@
+#include "engine/column_vector.h"
+
+#include "engine/relation.h"
+
+namespace sumtab {
+namespace engine {
+
+namespace {
+
+ColumnVector::Tag TagForKind(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kInt:
+      return ColumnVector::Tag::kInt;
+    case Value::Kind::kDouble:
+      return ColumnVector::Tag::kDouble;
+    case Value::Kind::kString:
+      return ColumnVector::Tag::kString;
+    case Value::Kind::kDate:
+      return ColumnVector::Tag::kDate;
+    case Value::Kind::kBool:
+      return ColumnVector::Tag::kBool;
+    case Value::Kind::kNull:
+      break;
+  }
+  return ColumnVector::Tag::kVariant;  // unreachable for non-null kinds
+}
+
+}  // namespace
+
+Value ColumnVector::ValueAt(int64_t i) const {
+  if (nulls_[i] != 0) return Value::Null();
+  switch (tag_) {
+    case Tag::kInt:
+      return Value::Int(ints_[i]);
+    case Tag::kDouble:
+      return Value::Double(doubles_[i]);
+    case Tag::kString:
+      return Value::String(strings_[i]);
+    case Tag::kDate:
+      return Value::Date(dates_[i]);
+    case Tag::kBool:
+      return Value::Bool(bools_[i] != 0);
+    case Tag::kVariant:
+      return variants_[i];
+  }
+  return Value::Null();
+}
+
+double ColumnVector::NumericAt(int64_t i) const {
+  switch (tag_) {
+    case Tag::kInt:
+      return static_cast<double>(ints_[i]);
+    case Tag::kDouble:
+      return doubles_[i];
+    case Tag::kDate:
+      return static_cast<double>(dates_[i]);
+    case Tag::kBool:
+      return bools_[i] != 0 ? 1.0 : 0.0;
+    default:
+      return 0.0;
+  }
+}
+
+void ColumnVector::Reserve(int64_t n) {
+  nulls_.reserve(n);
+  switch (tag_) {
+    case Tag::kInt:
+      ints_.reserve(n);
+      break;
+    case Tag::kDouble:
+      doubles_.reserve(n);
+      break;
+    case Tag::kString:
+      strings_.reserve(n);
+      break;
+    case Tag::kDate:
+      dates_.reserve(n);
+      break;
+    case Tag::kBool:
+      bools_.reserve(n);
+      break;
+    case Tag::kVariant:
+      variants_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::AppendPlaceholder() {
+  switch (tag_) {
+    case Tag::kInt:
+      ints_.push_back(0);
+      break;
+    case Tag::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case Tag::kString:
+      strings_.emplace_back();
+      break;
+    case Tag::kDate:
+      dates_.push_back(0);
+      break;
+    case Tag::kBool:
+      bools_.push_back(0);
+      break;
+    case Tag::kVariant:
+      variants_.push_back(Value::Null());
+      break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  nulls_.push_back(1);
+  AppendPlaceholder();
+}
+
+void ColumnVector::PromoteToVariant() {
+  if (tag_ == Tag::kVariant) return;
+  variants_.clear();
+  variants_.reserve(nulls_.size());
+  for (int64_t i = 0; i < size(); ++i) variants_.push_back(ValueAt(i));
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+  dates_.clear();
+  bools_.clear();
+  tag_ = Tag::kVariant;
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  Tag want = TagForKind(v.kind());
+  if (tag_ != want) {
+    if (!saw_value_ && tag_ != Tag::kVariant) {
+      // Only nulls so far: the column's tag is still free. Re-tag and refill
+      // the placeholder payload at the new type.
+      size_t n = nulls_.size();
+      ints_.clear();
+      doubles_.clear();
+      strings_.clear();
+      dates_.clear();
+      bools_.clear();
+      variants_.clear();
+      tag_ = want;
+      for (size_t i = 0; i < n; ++i) AppendPlaceholder();
+    } else if (tag_ != Tag::kVariant) {
+      PromoteToVariant();
+    }
+  }
+  saw_value_ = true;
+  nulls_.push_back(0);
+  switch (tag_) {
+    case Tag::kInt:
+      ints_.push_back(v.AsInt());
+      break;
+    case Tag::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case Tag::kString:
+      strings_.push_back(v.AsString());
+      break;
+    case Tag::kDate:
+      dates_.push_back(v.AsDate());
+      break;
+    case Tag::kBool:
+      bools_.push_back(v.AsBool() ? 1 : 0);
+      break;
+    case Tag::kVariant:
+      variants_.push_back(v);
+      break;
+  }
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& src, int64_t i) {
+  if (src.nulls_[i] != 0) {
+    AppendNull();
+    return;
+  }
+  if (tag_ == src.tag_ && tag_ != Tag::kVariant) {
+    saw_value_ = true;
+    nulls_.push_back(0);
+    switch (tag_) {
+      case Tag::kInt:
+        ints_.push_back(src.ints_[i]);
+        return;
+      case Tag::kDouble:
+        doubles_.push_back(src.doubles_[i]);
+        return;
+      case Tag::kString:
+        strings_.push_back(src.strings_[i]);
+        return;
+      case Tag::kDate:
+        dates_.push_back(src.dates_[i]);
+        return;
+      case Tag::kBool:
+        bools_.push_back(src.bools_[i]);
+        return;
+      case Tag::kVariant:
+        break;
+    }
+  }
+  AppendValue(src.ValueAt(i));
+}
+
+void ColumnVector::AppendColumn(const ColumnVector& src) {
+  if (size() == 0 && tag_ != Tag::kVariant && !saw_value_) {
+    *this = src;
+    return;
+  }
+  if (tag_ == src.tag_ && tag_ != Tag::kVariant) {
+    nulls_.insert(nulls_.end(), src.nulls_.begin(), src.nulls_.end());
+    saw_value_ = saw_value_ || src.saw_value_;
+    switch (tag_) {
+      case Tag::kInt:
+        ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
+        return;
+      case Tag::kDouble:
+        doubles_.insert(doubles_.end(), src.doubles_.begin(),
+                        src.doubles_.end());
+        return;
+      case Tag::kString:
+        strings_.insert(strings_.end(), src.strings_.begin(),
+                        src.strings_.end());
+        return;
+      case Tag::kDate:
+        dates_.insert(dates_.end(), src.dates_.begin(), src.dates_.end());
+        return;
+      case Tag::kBool:
+        bools_.insert(bools_.end(), src.bools_.begin(), src.bools_.end());
+        return;
+      case Tag::kVariant:
+        break;
+    }
+  }
+  Reserve(size() + src.size());
+  for (int64_t i = 0; i < src.size(); ++i) AppendFrom(src, i);
+}
+
+ColumnVector ColumnVector::Gather(const ColumnVector& src,
+                                  const std::vector<int64_t>& indexes) {
+  ColumnVector out(src.tag_);
+  out.Reserve(static_cast<int64_t>(indexes.size()));
+  for (int64_t i : indexes) out.AppendFrom(src, i);
+  return out;
+}
+
+ColumnVector ColumnVector::Slice(const ColumnVector& src, int64_t begin,
+                                 int64_t n) {
+  if (begin == 0 && n == src.size()) return src;
+  ColumnVector out(src.tag_);
+  out.saw_value_ = src.saw_value_;
+  out.nulls_.assign(src.nulls_.begin() + begin, src.nulls_.begin() + begin + n);
+  switch (src.tag_) {
+    case Tag::kInt:
+      out.ints_.assign(src.ints_.begin() + begin, src.ints_.begin() + begin + n);
+      break;
+    case Tag::kDouble:
+      out.doubles_.assign(src.doubles_.begin() + begin,
+                          src.doubles_.begin() + begin + n);
+      break;
+    case Tag::kString:
+      out.strings_.assign(src.strings_.begin() + begin,
+                          src.strings_.begin() + begin + n);
+      break;
+    case Tag::kDate:
+      out.dates_.assign(src.dates_.begin() + begin,
+                        src.dates_.begin() + begin + n);
+      break;
+    case Tag::kBool:
+      out.bools_.assign(src.bools_.begin() + begin,
+                        src.bools_.begin() + begin + n);
+      break;
+    case Tag::kVariant:
+      out.variants_.assign(src.variants_.begin() + begin,
+                           src.variants_.begin() + begin + n);
+      break;
+  }
+  return out;
+}
+
+Row Batch::RowAt(int64_t i) const {
+  Row row;
+  row.reserve(columns.size());
+  for (const ColumnVector& col : columns) row.push_back(col.ValueAt(i));
+  return row;
+}
+
+Batch BatchFromRows(const std::vector<Row>& rows, int num_columns) {
+  Batch batch;
+  batch.num_rows = static_cast<int64_t>(rows.size());
+  batch.columns.resize(num_columns);
+  for (ColumnVector& col : batch.columns) col.Reserve(batch.num_rows);
+  for (const Row& row : rows) {
+    for (int c = 0; c < num_columns; ++c) {
+      batch.columns[c].AppendValue(row[c]);
+    }
+  }
+  return batch;
+}
+
+Relation BatchToRelation(const Batch& batch,
+                         std::vector<std::string> column_names) {
+  Relation rel;
+  rel.column_names = std::move(column_names);
+  rel.rows.reserve(batch.num_rows);
+  for (int64_t i = 0; i < batch.num_rows; ++i) {
+    rel.rows.push_back(batch.RowAt(i));
+  }
+  return rel;
+}
+
+Batch GatherBatch(const Batch& batch, const std::vector<int64_t>& indexes) {
+  Batch out;
+  out.num_rows = static_cast<int64_t>(indexes.size());
+  out.columns.reserve(batch.columns.size());
+  for (const ColumnVector& col : batch.columns) {
+    out.columns.push_back(ColumnVector::Gather(col, indexes));
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace sumtab

@@ -1,0 +1,141 @@
+// Columnar batch representation for the vectorized execution core.
+//
+// A ColumnVector is one column of a batch: a null bitmap plus a typed
+// payload. The tag is chosen per column at build time — when every non-null
+// value shares one Value::Kind the payload is a flat typed vector
+// (int64/double/string/date/bool); columns that genuinely mix kinds (e.g. a
+// SUM output whose groups split between Int and Double under the
+// sticky-double rule) degrade to kVariant, a vector of Values. Conversion is
+// loss-free in both directions: ValueAt(i) reconstructs the exact Value that
+// was appended, so the row interpreter and the vectorized engine see
+// bit-identical data.
+//
+// NULL handling: the bitmap is authoritative. Typed payloads store a zero
+// placeholder in null slots; a NULL appended into a column never constrains
+// its tag (an all-NULL column keeps whatever tag it started with). Ordering
+// of NULLs — data-NULLs and grouping-set padding-NULLs alike — is defined by
+// Value::Compare (NULL first), the single total order shared with the row
+// side's SortRows/SameRowMultiset.
+#ifndef SUMTAB_ENGINE_COLUMN_VECTOR_H_
+#define SUMTAB_ENGINE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sumtab {
+namespace engine {
+
+class ColumnVector {
+ public:
+  /// Payload representation. The first five mirror Value kinds; kVariant is
+  /// the mixed-kind fallback.
+  enum class Tag { kInt, kDouble, kString, kDate, kBool, kVariant };
+
+  ColumnVector() = default;
+  explicit ColumnVector(Tag tag) : tag_(tag) {}
+
+  Tag tag() const { return tag_; }
+  int64_t size() const { return static_cast<int64_t>(nulls_.size()); }
+  bool IsNull(int64_t i) const { return nulls_[i] != 0; }
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+
+  // Typed accessors; valid only for the matching tag (null slots hold a zero
+  // placeholder, so reading them is defined but meaningless).
+  int64_t IntAt(int64_t i) const { return ints_[i]; }
+  double DoubleAt(int64_t i) const { return doubles_[i]; }
+  const std::string& StringAt(int64_t i) const { return strings_[i]; }
+  int32_t DateAt(int64_t i) const { return dates_[i]; }
+  bool BoolAt(int64_t i) const { return bools_[i] != 0; }
+  const Value& VariantAt(int64_t i) const { return variants_[i]; }
+
+  // Raw payload access for tight evaluator loops.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& dates() const { return dates_; }
+  const std::vector<uint8_t>& bools() const { return bools_; }
+
+  /// Reconstructs the Value at i exactly as appended (NULL when the bitmap
+  /// says so, regardless of payload).
+  Value ValueAt(int64_t i) const;
+
+  /// Numeric widening of slot i (same as Value::ToDouble); callers must
+  /// ensure the slot is non-null and the tag numeric.
+  double NumericAt(int64_t i) const;
+
+  /// True when the tag is int/double/date/bool (kVariant is not, even if
+  /// every stored Value happens to be numeric).
+  bool IsNumericTag() const {
+    return tag_ == Tag::kInt || tag_ == Tag::kDouble || tag_ == Tag::kDate ||
+           tag_ == Tag::kBool;
+  }
+
+  void Reserve(int64_t n);
+  void AppendNull();
+  /// Appends v; a kind that disagrees with the current tag (over the
+  /// non-null values seen so far) promotes the column to kVariant.
+  void AppendValue(const Value& v);
+  /// Appends slot i of src (fast path when tags match; promotes otherwise).
+  void AppendFrom(const ColumnVector& src, int64_t i);
+  /// Appends all of src (concatenation; promotes on tag mismatch).
+  void AppendColumn(const ColumnVector& src);
+
+  // Typed appends for evaluator fast paths; only valid while the column's
+  // tag matches (fresh columns constructed with ColumnVector(tag)).
+  void AppendInt(int64_t v) { nulls_.push_back(0); ints_.push_back(v); }
+  void AppendDouble(double v) { nulls_.push_back(0); doubles_.push_back(v); }
+  void AppendBool(bool v) { nulls_.push_back(0); bools_.push_back(v ? 1 : 0); }
+  void AppendDate(int32_t v) { nulls_.push_back(0); dates_.push_back(v); }
+
+  /// New column holding src rows at `indexes`, in order (filter/join gather).
+  static ColumnVector Gather(const ColumnVector& src,
+                             const std::vector<int64_t>& indexes);
+
+  /// New column holding src rows [begin, begin + n) — bulk payload copies,
+  /// used to materialize borrowed column refs in projections.
+  static ColumnVector Slice(const ColumnVector& src, int64_t begin, int64_t n);
+
+ private:
+  void PromoteToVariant();
+  void AppendPlaceholder();
+
+  Tag tag_ = Tag::kInt;
+  bool saw_value_ = false;  // any non-null appended yet (tag still free)
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<int32_t> dates_;
+  std::vector<uint8_t> bools_;
+  std::vector<Value> variants_;
+};
+
+/// A batch: equal-length columns. The unit the vectorized executor passes
+/// between operators (one morsel = one batch on the parallel lanes).
+struct Batch {
+  std::vector<ColumnVector> columns;
+  int64_t num_rows = 0;
+
+  int NumColumns() const { return static_cast<int>(columns.size()); }
+  /// Materializes row i (adapter boundary and hash-key construction).
+  Row RowAt(int64_t i) const;
+};
+
+struct Relation;  // engine/relation.h
+
+/// Row-store -> columnar conversion (tags inferred per column).
+Batch BatchFromRows(const std::vector<Row>& rows, int num_columns);
+
+/// Columnar -> row-store conversion; `column_names` become the relation's.
+Relation BatchToRelation(const Batch& batch,
+                         std::vector<std::string> column_names);
+
+/// Keeps the rows whose indexes are listed, in order, across all columns.
+Batch GatherBatch(const Batch& batch, const std::vector<int64_t>& indexes);
+
+}  // namespace engine
+}  // namespace sumtab
+
+#endif  // SUMTAB_ENGINE_COLUMN_VECTOR_H_

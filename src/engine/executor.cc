@@ -7,34 +7,29 @@
 #include "common/fault_injection.h"
 #include "common/thread_pool.h"
 #include "engine/aggregator.h"
+#include "engine/exec_shared.h"
 #include "expr/expr_eval.h"
 #include "expr/expr_rewrite.h"
 
 namespace sumtab {
 namespace engine {
 
-namespace {
+namespace exec_internal {
 
-using expr::ExprPtr;
-using qgm::Box;
-using qgm::BoxId;
-using qgm::Quantifier;
-
-/// Quantifier indexes referenced by a predicate.
-std::vector<int> PredQuantifiers(const ExprPtr& pred) {
+std::vector<int> PredQuantifiers(const expr::ExprPtr& pred) {
   std::vector<int> qs;
   expr::CollectQuantifiers(pred, &qs);
   return qs;
 }
 
-/// True for `ColRef{qa,*} = ColRef{qb,*}` with qa != qb.
-bool IsEquiJoin(const ExprPtr& pred, int* qa, int* ca, int* qb, int* cb) {
+bool IsEquiJoin(const expr::ExprPtr& pred, int* qa, int* ca, int* qb,
+                int* cb) {
   if (pred->kind != expr::Expr::Kind::kBinary ||
       pred->binary_op != expr::BinaryOp::kEq) {
     return false;
   }
-  const ExprPtr& l = pred->children[0];
-  const ExprPtr& r = pred->children[1];
+  const expr::ExprPtr& l = pred->children[0];
+  const expr::ExprPtr& r = pred->children[1];
   if (l->kind != expr::Expr::Kind::kColumnRef ||
       r->kind != expr::Expr::Kind::kColumnRef) {
     return false;
@@ -47,8 +42,63 @@ bool IsEquiJoin(const ExprPtr& pred, int* qa, int* ca, int* qb, int* cb) {
   return true;
 }
 
-/// Rows per morsel for parallel filter/probe/project loops.
-constexpr int64_t kMorselRows = 4096;
+Status BuildGroupBySpec(const qgm::Box& box, GroupBySpec* spec) {
+  spec->grouping_ordinal.assign(box.NumOutputs(), -1);
+  spec->agg_ordinal.assign(box.NumOutputs(), -1);
+  for (int i = 0; i < box.NumOutputs(); ++i) {
+    const expr::ExprPtr& e = box.outputs[i].expr;
+    if (box.IsGroupingOutput(i)) {
+      int col = -1;
+      if (!expr::IsSimpleColumnRef(e, 0, &col)) {
+        return Status::Internal("grouping output is not a simple column");
+      }
+      spec->grouping_ordinal[i] =
+          static_cast<int>(spec->grouping_cols.size());
+      spec->grouping_cols.push_back(col);
+    } else {
+      if (e->kind != expr::Expr::Kind::kAggregate) {
+        return Status::Internal("GROUPBY output is neither grouping column "
+                                "nor aggregate");
+      }
+      AggSpec agg;
+      agg.func = e->agg;
+      agg.distinct = e->agg_distinct;
+      agg.star = e->agg_star;
+      if (!agg.star) {
+        if (!expr::IsSimpleColumnRef(e->children[0], 0, &agg.arg_col)) {
+          return Status::Internal("aggregate argument is not a simple column");
+        }
+      }
+      spec->agg_ordinal[i] = static_cast<int>(spec->aggs.size());
+      spec->aggs.push_back(agg);
+    }
+  }
+  // Translate grouping sets from output indexes to grouping ordinals.
+  for (const auto& set : box.grouping_sets) {
+    std::vector<int> ordinals;
+    for (int output_idx : set) {
+      if (output_idx < 0 || output_idx >= box.NumOutputs() ||
+          spec->grouping_ordinal[output_idx] < 0) {
+        return Status::Internal("grouping set entry is not a grouping output");
+      }
+      ordinals.push_back(spec->grouping_ordinal[output_idx]);
+    }
+    spec->sets.push_back(std::move(ordinals));
+  }
+  return Status::OK();
+}
+
+}  // namespace exec_internal
+
+namespace {
+
+using exec_internal::IsEquiJoin;
+using exec_internal::kMorselRows;
+using exec_internal::PredQuantifiers;
+using expr::ExprPtr;
+using qgm::Box;
+using qgm::BoxId;
+using qgm::Quantifier;
 
 }  // namespace
 
@@ -419,69 +469,20 @@ StatusOr<Executor::RelPtr> Executor::ExecGroupBy(const qgm::Graph& graph,
                                                  const Box& box) {
   SUMTAB_ASSIGN_OR_RETURN(RelPtr child,
                           ExecBox(graph, box.quantifiers[0].child));
-  // Grouping outputs and aggregates may be interleaved in compensation
-  // boxes: map output positions to aggregator ordinals and back.
-  std::vector<int> grouping_cols;      // per grouping ordinal: child column
-  std::vector<int> grouping_ordinal(box.NumOutputs(), -1);
-  std::vector<AggSpec> aggs;
-  std::vector<int> agg_ordinal(box.NumOutputs(), -1);
-  for (int i = 0; i < box.NumOutputs(); ++i) {
-    const ExprPtr& e = box.outputs[i].expr;
-    if (box.IsGroupingOutput(i)) {
-      int col = -1;
-      if (!expr::IsSimpleColumnRef(e, 0, &col)) {
-        return Status::Internal("grouping output is not a simple column");
-      }
-      grouping_ordinal[i] = static_cast<int>(grouping_cols.size());
-      grouping_cols.push_back(col);
-    } else {
-      if (e->kind != expr::Expr::Kind::kAggregate) {
-        return Status::Internal("GROUPBY output is neither grouping column "
-                                "nor aggregate");
-      }
-      AggSpec spec;
-      spec.func = e->agg;
-      spec.distinct = e->agg_distinct;
-      spec.star = e->agg_star;
-      if (!spec.star) {
-        if (!expr::IsSimpleColumnRef(e->children[0], 0, &spec.arg_col)) {
-          return Status::Internal("aggregate argument is not a simple column");
-        }
-      }
-      agg_ordinal[i] = static_cast<int>(aggs.size());
-      aggs.push_back(spec);
-    }
-  }
-  // Translate grouping sets from output indexes to grouping ordinals.
-  std::vector<std::vector<int>> sets;
-  for (const auto& set : box.grouping_sets) {
-    std::vector<int> ordinals;
-    for (int output_idx : set) {
-      if (output_idx < 0 || output_idx >= box.NumOutputs() ||
-          grouping_ordinal[output_idx] < 0) {
-        return Status::Internal("grouping set entry is not a grouping output");
-      }
-      ordinals.push_back(grouping_ordinal[output_idx]);
-    }
-    sets.push_back(std::move(ordinals));
-  }
+  exec_internal::GroupBySpec spec;
+  SUMTAB_RETURN_NOT_OK(exec_internal::BuildGroupBySpec(box, &spec));
   SUMTAB_ASSIGN_OR_RETURN(
       std::vector<Row> rows,
-      Aggregate(child->rows, grouping_cols, sets, aggs,
+      Aggregate(child->rows, spec.grouping_cols, spec.sets, spec.aggs,
                 options_.max_threads));
   SUMTAB_RETURN_NOT_OK(Charge(static_cast<int64_t>(rows.size())));
   auto result = std::make_shared<Relation>();
   for (const auto& out : box.outputs) result->column_names.push_back(out.name);
   result->rows.reserve(rows.size());
-  const int ng = static_cast<int>(grouping_cols.size());
   for (Row& packed : rows) {
-    Row out(box.NumOutputs());
-    for (int i = 0; i < box.NumOutputs(); ++i) {
-      out[i] = grouping_ordinal[i] >= 0
-                   ? std::move(packed[grouping_ordinal[i]])
-                   : std::move(packed[ng + agg_ordinal[i]]);
-    }
-    result->rows.push_back(std::move(out));
+    result->rows.push_back(
+        exec_internal::PackedToOutput(std::move(packed), spec,
+                                      box.NumOutputs()));
   }
   return RelPtr(result);
 }
@@ -497,8 +498,14 @@ StatusOr<Relation> Executor::Execute(const qgm::Graph& graph) {
                     std::chrono::duration<double, std::milli>(
                         options_.timeout_millis));
   }
-  SUMTAB_ASSIGN_OR_RETURN(RelPtr root, ExecBox(graph, graph.root()));
-  Relation result = *root;  // copy; root may alias storage
+  Relation result;
+  if (options_.vectorized) {
+    SUMTAB_ASSIGN_OR_RETURN(BatchPtr root, ExecBoxVec(graph, graph.root()));
+    result = BatchToRelation(*root, RootColumnNames(graph));
+  } else {
+    SUMTAB_ASSIGN_OR_RETURN(RelPtr root, ExecBox(graph, graph.root()));
+    result = *root;  // copy; root may alias storage
+  }
   if (!graph.order_by().empty()) {
     const std::vector<qgm::OrderSpec>& spec = graph.order_by();
     std::stable_sort(result.rows.begin(), result.rows.end(),

@@ -59,6 +59,13 @@ struct ExecOptions {
   /// same (possibly parallel) lanes that charge the row budget. Null on the
   /// untraced path — one pointer test per Charge call.
   QueryTrace* trace = nullptr;
+  /// Executes on the columnar batch engine instead of the row-at-a-time
+  /// interpreter. Both paths take identical plan decisions and charge
+  /// identical row counts; results are bit-identical up to output row order
+  /// (machine-checked by the differential oracle's columnar legs). Default
+  /// false so internal callers (incremental maintenance) keep the semantic
+  /// reference path; Database maps QueryOptions::vectorized onto this.
+  bool vectorized = false;
 };
 
 class Executor {
@@ -71,10 +78,23 @@ class Executor {
 
  private:
   using RelPtr = std::shared_ptr<const Relation>;
+  using BatchPtr = std::shared_ptr<const Batch>;
 
   StatusOr<RelPtr> ExecBox(const qgm::Graph& graph, qgm::BoxId id);
   StatusOr<RelPtr> ExecSelect(const qgm::Graph& graph, const qgm::Box& box);
   StatusOr<RelPtr> ExecGroupBy(const qgm::Graph& graph, const qgm::Box& box);
+
+  // Columnar twins of the interpreter (executor_vec.cc). Same recursion
+  // structure, same greedy join order, same Charge points; operators consume
+  // and produce batches and evaluate expressions morsel-at-a-time.
+  StatusOr<BatchPtr> ExecBoxVec(const qgm::Graph& graph, qgm::BoxId id);
+  StatusOr<BatchPtr> ExecSelectVec(const qgm::Graph& graph,
+                                   const qgm::Box& box);
+  StatusOr<BatchPtr> ExecGroupByVec(const qgm::Graph& graph,
+                                    const qgm::Box& box);
+  /// Column names of the root box's result (outputs, or the base table's
+  /// schema when the root is a bare scan).
+  std::vector<std::string> RootColumnNames(const qgm::Graph& graph) const;
 
   /// Filters `rows` in place by `pred` (which references only quantifier
   /// `q`), morsel-parallel when the input is large. Surviving rows keep

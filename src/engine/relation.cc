@@ -69,8 +69,11 @@ bool SameRowMultiset(const Relation& a, const Relation& b) {
   if (a.rows.size() != b.rows.size()) return false;
   std::vector<Row> left = a.rows;
   std::vector<Row> right = b.rows;
+  // Both sides sort under the one engine-wide total order (Value::CompareRows,
+  // NULL first): rows that differ only in where their NULLs came from — data
+  // vs grouping-set padding — land at identical positions on both sides.
   auto cmp = [](const Row& x, const Row& y) {
-    return std::lexicographical_compare(x.begin(), x.end(), y.begin(), y.end());
+    return Value::CompareRows(x, y) < 0;
   };
   std::sort(left.begin(), left.end(), cmp);
   std::sort(right.begin(), right.end(), cmp);
@@ -86,44 +89,65 @@ bool SameRowMultiset(const Relation& a, const Relation& b) {
 void SortRows(Relation* relation) {
   std::sort(relation->rows.begin(), relation->rows.end(),
             [](const Row& x, const Row& y) {
-              return std::lexicographical_compare(x.begin(), x.end(),
-                                                  y.begin(), y.end());
+              return Value::CompareRows(x, y) < 0;
             });
 }
 
+std::string Storage::Key(const std::string& name) { return ToLower(name); }
+
 Status Storage::AddTable(const std::string& name, Relation relation) {
-  std::string key = ToLower(name);
+  std::string key = Key(name);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table data for '" + key + "'");
   }
-  tables_.emplace(key, std::move(relation));
+  Entry entry;
+  entry.relation = std::move(relation);
+  tables_.emplace(std::move(key), std::move(entry));
   return Status::OK();
 }
 
 Status Storage::DropTable(const std::string& name) {
-  if (tables_.erase(ToLower(name)) == 0) {
+  if (tables_.erase(Key(name)) == 0) {
     return Status::NotFound("table data for '" + name + "'");
   }
   return Status::OK();
 }
 
 const Relation* Storage::FindTable(const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
-  return it == tables_.end() ? nullptr : &it->second;
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : &it->second.relation;
 }
 
 Relation* Storage::FindTableMutable(const std::string& name) {
-  auto it = tables_.find(ToLower(name));
-  return it == tables_.end() ? nullptr : &it->second;
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) return nullptr;
+  // Caller may rewrite rows in place (Append merge, refresh): the columnar
+  // twin no longer reflects the row store, so drop it.
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  it->second.columnar = nullptr;
+  return &it->second.relation;
+}
+
+std::shared_ptr<const Batch> Storage::FindColumnar(
+    const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) return nullptr;
+  const Entry& entry = it->second;
+  std::lock_guard<std::mutex> lock(columnar_mu_);
+  if (entry.columnar == nullptr) {
+    entry.columnar = std::make_shared<const Batch>(BatchFromRows(
+        entry.relation.rows, entry.relation.NumColumns()));
+  }
+  return entry.columnar;
 }
 
 int64_t Storage::Epoch(const std::string& name) const {
-  auto it = epochs_.find(ToLower(name));
+  auto it = epochs_.find(Key(name));
   return it == epochs_.end() ? 0 : it->second;
 }
 
 int64_t Storage::BumpEpoch(const std::string& name) {
-  return ++epochs_[ToLower(name)];
+  return ++epochs_[Key(name)];
 }
 
 }  // namespace engine

@@ -1,13 +1,17 @@
-// In-memory relations (row store) and the table storage the engine scans.
+// In-memory relations (row store), their columnar twins, and the table
+// storage the engine scans.
 #ifndef SUMTAB_ENGINE_RELATION_H_
 #define SUMTAB_ENGINE_RELATION_H_
 
-#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
+#include "engine/column_vector.h"
 
 namespace sumtab {
 namespace engine {
@@ -26,13 +30,21 @@ struct Relation {
 };
 
 /// Multiset equality of rows (column names ignored); the canonical check
-/// that a rewritten query computed the same answer as the original.
+/// that a rewritten query computed the same answer as the original. Rows are
+/// ordered by Value::CompareRows (the engine-wide total order, NULL first)
+/// and values compared with a relative fp tolerance.
 bool SameRowMultiset(const Relation& a, const Relation& b);
 
-/// Sorts rows lexicographically in place (stable display order).
+/// Sorts rows in place by Value::CompareRows (stable display order; NULLs —
+/// data or grouping-set padding — always sort first).
 void SortRows(Relation* relation);
 
 /// Named table storage.
+///
+/// Tables live in two representations: the row-store Relation (the source
+/// of truth and the existing API surface) and a lazily-built columnar Batch
+/// the vectorized executor scans. Any mutable access invalidates the
+/// columnar twin; FindColumnar rebuilds it on demand.
 ///
 /// Every table additionally carries a monotonic *version epoch*, bumped by
 /// the facade on each data change (BulkLoad / Append). Summary tables record
@@ -45,8 +57,14 @@ class Storage {
   Status AddTable(const std::string& name, Relation relation);
   Status DropTable(const std::string& name);
   const Relation* FindTable(const std::string& name) const;
-  /// Mutable access for appends and incremental maintenance.
+  /// Mutable access for appends and incremental maintenance; invalidates the
+  /// table's columnar twin.
   Relation* FindTableMutable(const std::string& name);
+
+  /// Columnar view of `name` (nullptr for unknown tables). Built lazily from
+  /// the row store and cached until the next mutable access; the returned
+  /// batch stays valid until the table is dropped or mutated.
+  std::shared_ptr<const Batch> FindColumnar(const std::string& name) const;
 
   /// Current version epoch of `name` (0 for never-modified / unknown tables).
   int64_t Epoch(const std::string& name) const;
@@ -54,8 +72,21 @@ class Storage {
   int64_t BumpEpoch(const std::string& name);
 
  private:
-  std::map<std::string, Relation> tables_;  // keyed by lower-cased name
-  std::map<std::string, int64_t> epochs_;   // keyed by lower-cased name
+  struct Entry {
+    Relation relation;
+    /// Columnar twin; null until first FindColumnar after a (re)build.
+    mutable std::shared_ptr<const Batch> columnar;
+  };
+
+  /// The single lower-casing point for table lookups (hit per scan and per
+  /// freshness check — names are case-insensitive everywhere).
+  static std::string Key(const std::string& name);
+
+  std::unordered_map<std::string, Entry> tables_;    // keyed by Key(name)
+  std::unordered_map<std::string, int64_t> epochs_;  // keyed by Key(name)
+  /// Guards lazy columnar builds (parallel lanes of one query may scan
+  /// concurrently); the row store itself follows Database's threading rules.
+  mutable std::mutex columnar_mu_;
 };
 
 }  // namespace engine

@@ -86,6 +86,25 @@ Value CompareValues(BinaryOp op, const Value& left, const Value& right) {
   }
 }
 
+StatusOr<Value> EvalBinaryScalar(BinaryOp op, const Value& left,
+                                 const Value& right) {
+  if (left.is_null() || right.is_null()) return Value::Null();
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return CompareValues(op, left, right);
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      return Status::Internal("EvalBinaryScalar: AND/OR need 3VL handling");
+    default:
+      return EvalArith(op, left, right);
+  }
+}
+
 StatusOr<Value> Eval(const ExprPtr& e, const EvalContext& ctx) {
   switch (e->kind) {
     case Expr::Kind::kLiteral:
@@ -144,18 +163,7 @@ StatusOr<Value> Eval(const ExprPtr& e, const EvalContext& ctx) {
       }
       SUMTAB_ASSIGN_OR_RETURN(Value l, Eval(e->children[0], ctx));
       SUMTAB_ASSIGN_OR_RETURN(Value r, Eval(e->children[1], ctx));
-      if (l.is_null() || r.is_null()) return Value::Null();
-      switch (op) {
-        case BinaryOp::kEq:
-        case BinaryOp::kNe:
-        case BinaryOp::kLt:
-        case BinaryOp::kLe:
-        case BinaryOp::kGt:
-        case BinaryOp::kGe:
-          return CompareValues(op, l, r);
-        default:
-          return EvalArith(op, l, r);
-      }
+      return EvalBinaryScalar(op, l, r);
     }
 
     case Expr::Kind::kFunction: {

@@ -36,6 +36,15 @@ StatusOr<bool> EvalPredicate(const ExprPtr& e, const EvalContext& ctx);
 /// SQL comparison semantics on two non-null values for the given operator.
 Value CompareValues(BinaryOp op, const Value& left, const Value& right);
 
+/// One non-AND/OR binary operator applied to two already-evaluated operands:
+/// NULL operands propagate NULL *before* any type checking (NULL + 'x' is
+/// NULL, not an error), then comparisons go through CompareValues and
+/// arithmetic through the shared arithmetic core (division by zero -> NULL).
+/// Both the scalar tree-walker and the vectorized evaluator's mixed-kind
+/// fallback call this, so their semantics cannot drift apart.
+StatusOr<Value> EvalBinaryScalar(BinaryOp op, const Value& left,
+                                 const Value& right);
+
 }  // namespace expr
 }  // namespace sumtab
 

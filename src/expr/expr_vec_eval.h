@@ -1,0 +1,57 @@
+// Vectorized expression evaluation: each operator computes over a whole
+// batch (or a morsel-sized row range of one) instead of a per-row tree walk.
+// Semantics are bit-identical to the scalar Eval in expr_eval.h — the same
+// three-valued logic, NULL propagation before type checks, division by
+// zero -> NULL, sticky int/double arithmetic promotion — machine-checked by
+// the differential oracle's columnar leg. The mixed-kind fallback literally
+// calls the scalar EvalBinaryScalar core, so the two paths share one
+// definition of every operator.
+//
+// Fast paths run tight typed loops (int64/double/bool payloads, no Value
+// construction); columns whose tag is kVariant, string comparisons against
+// heterogeneous operands, and rare operators fall back to a per-row loop
+// that still walks the expression tree only once per batch.
+#ifndef SUMTAB_EXPR_EXPR_VEC_EVAL_H_
+#define SUMTAB_EXPR_EXPR_VEC_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/column_vector.h"
+#include "expr/expr.h"
+
+namespace sumtab {
+namespace expr {
+
+/// Evaluation context: the combined batch of a box (child columns
+/// concatenated, offsets[q] = first slot of quantifier q, exactly as the
+/// scalar EvalContext lays out its combined row) plus the [begin, end) row
+/// range to evaluate — one morsel = one range.
+struct VecEvalContext {
+  const std::vector<int>* offsets = nullptr;
+  const engine::Batch* batch = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;  // exclusive
+
+  int64_t NumRows() const { return end - begin; }
+};
+
+/// Evaluates e over every row of the range; returns a column of
+/// ctx.NumRows() values. Row i of the result equals the scalar
+/// Eval(e, row begin+i) bit-for-bit; an error any scalar evaluation would
+/// raise is raised here too (possibly attributed to a different row — the
+/// whole statement fails either way).
+StatusOr<engine::ColumnVector> EvalVec(const ExprPtr& e,
+                                       const VecEvalContext& ctx);
+
+/// Evaluates a predicate over the range into mask (resized to
+/// ctx.NumRows()): mask[i] = 1 iff the row passes (BOOL true; NULL and
+/// false both reject, as in the scalar EvalPredicate).
+Status EvalPredicateVec(const ExprPtr& e, const VecEvalContext& ctx,
+                        std::vector<uint8_t>* mask);
+
+}  // namespace expr
+}  // namespace sumtab
+
+#endif  // SUMTAB_EXPR_EXPR_VEC_EVAL_H_

@@ -629,6 +629,7 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
           ? ThreadPool::HardwareParallelism()
           : std::min(options.max_threads, 128);
   exec_options.trace = trace;
+  exec_options.vectorized = options.vectorized;
   int64_t exec_start = MonotonicNanos();
   engine::Executor executor(storage_, exec_options);
   StatusOr<engine::Relation> data = executor.Execute(*plan);

@@ -71,6 +71,13 @@ struct QueryOptions {
   /// fate, and rows processed. Off by default — the untraced path pays only
   /// null-pointer checks.
   bool collect_trace = false;
+  /// Execute on the columnar batch engine (the default). false falls back to
+  /// the row-at-a-time interpreter, kept as the semantic reference — results
+  /// are bit-identical up to row order (see DESIGN.md, "Columnar batches and
+  /// vectorized evaluation"). Execution knob only: like max_threads, it is
+  /// deliberately NOT part of the plan-cache key, so both engines share one
+  /// cached plan.
+  bool vectorized = true;
 };
 
 /// Diagnostic attached to a QueryResult when something on the rewrite path

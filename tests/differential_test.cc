@@ -1,15 +1,23 @@
 // Differential rewrite-equivalence oracle: a seeded random query generator
-// over the card and TPC-D schemas executes every query three ways —
-//   A: rewriting disabled, threads=1   (the semantic reference)
-//   B: rewriting enabled,  threads=1
-//   C: rewriting enabled,  threads=4   (morsel-parallel + plan cache)
+// over the card and TPC-D schemas executes every query six ways — the
+// {no-rewrite, rewrite, rewrite+parallel} plan matrix crossed with the two
+// execution engines:
+//   A: rewriting disabled, threads=1, row interpreter (semantic reference)
+//   B: rewriting enabled,  threads=1, row interpreter
+//   C: rewriting enabled,  threads=4, row interpreter (morsels + plan cache)
+//   D/E/F: the same three on the columnar vectorized engine
 // and asserts equivalence. B vs A uses the repo's canonical multiset check
 // (a rewrite re-aggregates partial sums, so floating-point results may
 // differ in the last bits — that tolerance is the paper's own equivalence
 // notion). C vs B must be BIT-IDENTICAL after sorting: the parallel engine
 // hash-partitions rows by group key and concatenates morsels in chunk
 // order, so per-group accumulation order is exactly the serial one and any
-// fp difference is a real bug.
+// fp difference is a real bug. Each vectorized leg must likewise be
+// BIT-IDENTICAL to its row-engine twin (D≡A, E≡B, F≡C): the columnar
+// evaluator and aggregator reproduce the scalar semantics — sticky
+// int/double SUM promotion, 3VL, division by zero — exactly, and since
+// `vectorized` is not part of the plan-cache key, both engines provably run
+// the same plan.
 //
 // Any mismatch prints the seed, query ordinal, SQL, the Explain() plan
 // (which names the chosen AST), and both result sets — replay by running
@@ -204,16 +212,20 @@ class QueryGen {
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
  protected:
-  /// Runs one generated query three ways and cross-checks.
+  /// Runs one generated query through the full plan x engine matrix and
+  /// cross-checks.
   void CheckQuery(Database* db, const std::string& sql, int ordinal,
                   uint64_t seed) {
     QueryOptions no_rewrite;
     no_rewrite.enable_rewrite = false;
     no_rewrite.max_threads = 1;
+    no_rewrite.vectorized = false;
     QueryOptions rewrite;
     rewrite.max_threads = 1;
+    rewrite.vectorized = false;
     QueryOptions parallel;
     parallel.max_threads = 4;
+    parallel.vectorized = false;
 
     StatusOr<QueryResult> a = db->Query(sql, no_rewrite);
     ASSERT_TRUE(a.ok()) << Diag(db, sql, ordinal, seed)
@@ -242,6 +254,31 @@ class DifferentialTest : public ::testing::TestWithParam<uint64_t> {
         << "\nrewritten: " << c->rewritten_sql << "\nthreads=1:\n"
         << b->relation.ToString(30) << "threads=4:\n"
         << c->relation.ToString(30);
+
+    // Columnar legs: the vectorized engine re-runs each plan-matrix cell
+    // and must match the row interpreter bit-for-bit (same plan — the
+    // `vectorized` knob is excluded from the plan-cache key — and machine-
+    // identical arithmetic).
+    const struct {
+      const char* name;
+      const QueryOptions* row_options;
+      const QueryResult* row_result;
+    } legs[] = {{"no-rewrite", &no_rewrite, &*a},
+                {"rewrite", &rewrite, &*b},
+                {"rewrite+parallel", &parallel, &*c}};
+    for (const auto& leg : legs) {
+      QueryOptions vec = *leg.row_options;
+      vec.vectorized = true;
+      StatusOr<QueryResult> v = db->Query(sql, vec);
+      ASSERT_TRUE(v.ok()) << Diag(db, sql, ordinal, seed) << "\nvectorized "
+                          << leg.name
+                          << " failed: " << v.status().ToString();
+      EXPECT_TRUE(BitIdenticalSorted(leg.row_result->relation, v->relation))
+          << Diag(db, sql, ordinal, seed) << "\nleg: " << leg.name
+          << "\nAST: " << v->summary_table << "\nrow engine:\n"
+          << leg.row_result->relation.ToString(30) << "vectorized:\n"
+          << v->relation.ToString(30);
+    }
   }
 
   std::string Diag(Database* db, const std::string& sql, int ordinal,
