@@ -16,13 +16,28 @@
 // BENCH_pr5.json with per-query row/vec latencies and the speedup. Answers
 // are cross-checked between the engines on every query.
 //
+// A third leg exercises the serving layer under a mixed workload: an
+// open-loop stream of cheap warm-cache queries (fixed arrival schedule, so
+// queueing delay is charged to latency — no coordinated omission), a heavy
+// closed-loop analytical query, and a background appender, all through
+// serving::Server sessions over the TPC-D schema. A solo baseline for the
+// cheap query is measured first; BENCH_pr7.json reports QPS/p50/p99 per
+// stream and the headline p99_vs_solo_ratio (how much the heavy+append
+// traffic inflates cheap-query tail latency).
+//
 // Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
-//   --quick    small data sizes + fewer reps (CI smoke mode)
-//   --out      matrix-leg JSON path (default BENCH_pr3.json)
-//   --out-vec  vectorized-leg JSON path (default BENCH_pr5.json)
+//                     [--out-serving PATH]
+//   --quick        small data sizes + fewer reps (CI smoke mode)
+//   --out          matrix-leg JSON path (default BENCH_pr3.json)
+//   --out-vec      vectorized-leg JSON path (default BENCH_pr5.json)
+//   --out-serving  serving-leg JSON path (default BENCH_pr7.json)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -30,6 +45,7 @@
 #include "common/thread_pool.h"
 #include "data/card_schema.h"
 #include "data/tpcd_schema.h"
+#include "serving/session.h"
 
 namespace sumtab {
 namespace {
@@ -372,6 +388,255 @@ SuiteResult RunTpcdSuite(bool quick, int reps) {
   return suite;
 }
 
+// ---- serving leg: mixed workload through Server/Session ----
+
+using BenchClock = std::chrono::steady_clock;
+
+/// One latency stream's summary. Latencies are milliseconds; for the
+/// open-loop stream they are measured from the SCHEDULED arrival, so time
+/// spent queued behind heavy work counts against the tail.
+struct StreamStats {
+  int64_t count = 0;
+  int64_t rejected = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+};
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+StreamStats Summarize(const std::vector<double>& latencies, int64_t rejected,
+                      double wall_seconds) {
+  StreamStats s;
+  s.count = static_cast<int64_t>(latencies.size());
+  s.rejected = rejected;
+  s.qps = wall_seconds > 0 ? static_cast<double>(s.count) / wall_seconds : 0;
+  s.p50_ms = Percentile(latencies, 0.50);
+  s.p99_ms = Percentile(latencies, 0.99);
+  s.max_ms = latencies.empty()
+                 ? 0
+                 : *std::max_element(latencies.begin(), latencies.end());
+  return s;
+}
+
+std::vector<Row> MakeLineitemRows(int64_t start_lkey, int n, int num_orders,
+                                  int num_parts) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int(start_lkey + i), Value::Int(i % num_orders),
+                       Value::Int(i % num_parts), Value::Int(1 + i % 50),
+                       Value::Double(900.0 + (i % 1000)),
+                       Value::Double((i % 11) / 100.0),
+                       Value::Date(19940101 + (i % 28))});
+  }
+  return rows;
+}
+
+void RunServingLeg(bool quick, const std::string& path) {
+  bench::PrintHeader("serving: mixed workload (open-loop cheap + heavy + appends)");
+  Database db;
+  data::TpcdParams params;
+  params.num_lineitems = quick ? 20000 : 100000;
+  params.num_orders = quick ? 2000 : 10000;
+  if (!data::SetupTpcdSchema(&db, params).ok()) std::exit(1);
+  // The cheap stream's AST: W5 collapses to a handful of (year, priority)
+  // groups, so a warm-cache rewritten run is microseconds.
+  auto ast = db.DefineSummaryTable(
+      "ast_order_year",
+      "select year(odate) as y, opriority, count(*) as cnt from orders "
+      "group by year(odate), opriority");
+  if (!ast.ok()) {
+    std::fprintf(stderr, "serving leg AST failed: %s\n",
+                 ast.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  const std::string cheap_sql =
+      "select year(odate) as y, count(*) as cnt from orders "
+      "group by year(odate)";
+  const std::string heavy_sql =
+      "select rname, sum(lprice) as rev "
+      "from lineitem, orders, customer, nation "
+      "where lineitem.okey = orders.okey and orders.ckey = customer.ckey "
+      "and customer.nkey = nation.nkey group by rname";
+
+  serving::AdmissionOptions admission;
+  admission.max_concurrent = 16;
+  admission.max_queued = 64;
+  admission.max_wait_millis = 30000;
+  serving::Server server(&db, admission);
+
+  // ---- solo baseline: the cheap query alone, warm cache ----
+  const int solo_reps = quick ? 300 : 1000;
+  auto cheap_session = server.CreateSession();
+  for (int i = 0; i < 3; ++i) {  // warm the plan cache + any lazy state
+    if (!cheap_session->Query(cheap_sql).ok()) std::exit(1);
+  }
+  std::vector<double> solo_lat;
+  solo_lat.reserve(static_cast<size_t>(solo_reps));
+  auto solo_start = BenchClock::now();
+  for (int i = 0; i < solo_reps; ++i) {
+    auto t0 = BenchClock::now();
+    if (!cheap_session->Query(cheap_sql).ok()) std::exit(1);
+    solo_lat.push_back(
+        std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+            .count());
+  }
+  double solo_seconds =
+      std::chrono::duration<double>(BenchClock::now() - solo_start).count();
+  StreamStats solo = Summarize(solo_lat, 0, solo_seconds);
+
+  // ---- mixed phase ----
+  const auto duration =
+      std::chrono::milliseconds(quick ? 1500 : 4000);
+  const auto cheap_interval = std::chrono::microseconds(quick ? 4000 : 2000);
+  const auto append_interval = std::chrono::milliseconds(50);
+  const int append_batch = quick ? 100 : 200;
+
+  std::vector<double> cheap_lat, heavy_lat;
+  std::atomic<int64_t> cheap_rejected{0}, heavy_rejected{0};
+  std::atomic<int64_t> appends_done{0};
+  std::atomic<bool> append_failed{false};
+
+  auto mixed_start = BenchClock::now();
+  auto deadline = mixed_start + duration;
+
+  // Open-loop cheap stream: arrivals happen on schedule whether or not the
+  // previous query finished; a late finish eats into the next slot and the
+  // delay shows up in the measured latency.
+  std::thread cheap_thread([&] {
+    auto session = server.CreateSession({.max_in_flight = 64, .weight = 2});
+    for (int64_t i = 0;; ++i) {
+      auto scheduled = mixed_start + i * cheap_interval;
+      if (scheduled >= deadline) break;
+      std::this_thread::sleep_until(scheduled);
+      StatusOr<QueryResult> result = session->Query(cheap_sql);
+      if (!result.ok()) {
+        cheap_rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      cheap_lat.push_back(
+          std::chrono::duration<double, std::milli>(BenchClock::now() -
+                                                    scheduled)
+              .count());
+    }
+  });
+
+  // Heavy closed-loop stream: back-to-back four-way joins.
+  std::thread heavy_thread([&] {
+    auto session = server.CreateSession({.weight = 1});
+    while (BenchClock::now() < deadline) {
+      auto t0 = BenchClock::now();
+      StatusOr<QueryResult> result = session->Query(heavy_sql);
+      if (!result.ok()) {
+        heavy_rejected.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      heavy_lat.push_back(
+          std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+              .count());
+    }
+  });
+
+  // Background appender: periodic batches into the fact table, exercising
+  // the exclusive-lock maintenance path (incremental AST upkeep included)
+  // while both query streams run.
+  std::thread append_thread([&] {
+    int64_t next_lkey = params.num_lineitems + 1000000;
+    for (int64_t k = 0;; ++k) {
+      auto scheduled = mixed_start + k * append_interval;
+      if (scheduled >= deadline) break;
+      std::this_thread::sleep_until(scheduled);
+      auto report = db.Append(
+          "lineitem", MakeLineitemRows(next_lkey, append_batch,
+                                       params.num_orders, params.num_parts));
+      if (!report.ok()) {
+        std::fprintf(stderr, "serving leg append failed: %s\n",
+                     report.status().ToString().c_str());
+        append_failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+      next_lkey += append_batch;
+      appends_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  cheap_thread.join();
+  heavy_thread.join();
+  append_thread.join();
+  if (append_failed.load(std::memory_order_relaxed)) std::exit(1);
+  double mixed_seconds =
+      std::chrono::duration<double>(BenchClock::now() - mixed_start).count();
+
+  StreamStats cheap = Summarize(
+      cheap_lat, cheap_rejected.load(std::memory_order_relaxed),
+      mixed_seconds);
+  StreamStats heavy = Summarize(
+      heavy_lat, heavy_rejected.load(std::memory_order_relaxed),
+      mixed_seconds);
+  int64_t appends = appends_done.load(std::memory_order_relaxed);
+  double ratio = solo.p99_ms > 0 ? cheap.p99_ms / solo.p99_ms : 0;
+
+  std::printf("solo cheap : %6lld q  %8.1f qps  p50 %7.3f ms  p99 %7.3f ms\n",
+              static_cast<long long>(solo.count), solo.qps, solo.p50_ms,
+              solo.p99_ms);
+  std::printf("mixed cheap: %6lld q  %8.1f qps  p50 %7.3f ms  p99 %7.3f ms"
+              "  (%lld rejected)\n",
+              static_cast<long long>(cheap.count), cheap.qps, cheap.p50_ms,
+              cheap.p99_ms, static_cast<long long>(cheap.rejected));
+  std::printf("mixed heavy: %6lld q  %8.1f qps  p50 %7.3f ms  p99 %7.3f ms"
+              "  (%lld rejected)\n",
+              static_cast<long long>(heavy.count), heavy.qps, heavy.p50_ms,
+              heavy.p99_ms, static_cast<long long>(heavy.rejected));
+  std::printf("appends    : %6lld batches x %d rows\n",
+              static_cast<long long>(appends), append_batch);
+  std::printf("cheap p99 under load vs solo: %.2fx\n", ratio);
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  auto stream_json = [&](const char* name, const StreamStats& s,
+                         const char* trailing) {
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %lld, \"rejected\": %lld, "
+                 "\"qps\": %.2f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"max_ms\": %.4f}%s\n",
+                 name, static_cast<long long>(s.count),
+                 static_cast<long long>(s.rejected), s.qps, s.p50_ms, s.p99_ms,
+                 s.max_ms, trailing);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"pr7\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               ThreadPool::HardwareParallelism());
+  std::fprintf(f, "  \"fact_rows\": %lld,\n",
+               static_cast<long long>(params.num_lineitems));
+  std::fprintf(f, "  \"mixed_duration_s\": %.3f,\n", mixed_seconds);
+  std::fprintf(f, "  \"solo\": {\n");
+  stream_json("cheap", solo, "");
+  std::fprintf(f, "  },\n  \"mixed\": {\n");
+  stream_json("cheap", cheap, ",");
+  stream_json("heavy", heavy, ",");
+  std::fprintf(f,
+               "    \"appends\": {\"count\": %lld, \"batch_rows\": %d, "
+               "\"qps\": %.2f}\n",
+               static_cast<long long>(appends), append_batch,
+               mixed_seconds > 0 ? static_cast<double>(appends) / mixed_seconds
+                                 : 0);
+  std::fprintf(f, "  },\n  \"p99_vs_solo_ratio\": %.3f\n}\n", ratio);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -494,6 +759,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out = "BENCH_pr3.json";
   std::string out_vec = "BENCH_pr5.json";
+  std::string out_serving = "BENCH_pr7.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -501,8 +767,12 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (std::strcmp(argv[i], "--out-vec") == 0 && i + 1 < argc) {
       out_vec = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-serving") == 0 && i + 1 < argc) {
+      out_serving = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out PATH] [--out-vec PATH]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--out-vec PATH] "
+                   "[--out-serving PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -515,6 +785,9 @@ int main(int argc, char** argv) {
   suites.push_back(RunTpcdSuite(quick, reps));
   WriteJson(out, quick, suites);
   WriteVecJson(out_vec, quick, suites);
+  // After the JSON writes so the pr3 metrics block reflects only the matrix
+  // legs (the serving leg runs its own database + server).
+  RunServingLeg(quick, out_serving);
 
   double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {

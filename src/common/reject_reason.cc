@@ -106,6 +106,16 @@ const char* RejectReasonToken(RejectReason reason) {
       return "maint_partial_group_key";
     case RejectReason::kMaintNonForeachQuantifier:
       return "maint_non_foreach_quantifier";
+    case RejectReason::kAdmissionQueueFull:
+      return "admission_queue_full";
+    case RejectReason::kAdmissionTimeout:
+      return "admission_timeout";
+    case RejectReason::kSessionInFlightLimit:
+      return "session_in_flight_limit";
+    case RejectReason::kSessionClosed:
+      return "session_closed";
+    case RejectReason::kServerShuttingDown:
+      return "server_shutting_down";
   }
   return "unknown";
 }

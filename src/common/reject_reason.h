@@ -78,6 +78,13 @@ enum class RejectReason : uint16_t {
   kMaintMultiGroupingSet = 113,
   kMaintPartialGroupKey = 114,
   kMaintNonForeachQuantifier = 115,
+
+  // ---- serving: admission control + sessions (src/serving/) ----
+  kAdmissionQueueFull = 130,
+  kAdmissionTimeout = 131,
+  kSessionInFlightLimit = 132,
+  kSessionClosed = 133,
+  kServerShuttingDown = 134,
 };
 
 /// Stable snake_case token for a reason, e.g. "distinct_mismatch".

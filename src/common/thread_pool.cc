@@ -8,8 +8,22 @@ namespace sumtab {
 namespace {
 
 thread_local bool t_on_worker = false;
+thread_local QueryScheduleHook* t_schedule_hook = nullptr;
 
 }  // namespace
+
+QueryScheduleHook* CurrentScheduleHook() { return t_schedule_hook; }
+
+ScopedScheduleHook::ScopedScheduleHook(QueryScheduleHook* hook)
+    : previous_(t_schedule_hook) {
+  t_schedule_hook = hook;
+}
+
+ScopedScheduleHook::~ScopedScheduleHook() { t_schedule_hook = previous_; }
+
+void SchedulerCheckpoint() {
+  if (t_schedule_hook != nullptr) t_schedule_hook->Checkpoint();
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(0, num_threads);
@@ -86,16 +100,24 @@ void ParallelFor(int64_t n, int max_parallel,
   std::atomic<int> pending{lanes - 1};
   std::mutex done_mu;
   std::condition_variable done_cv;
+  QueryScheduleHook* hook = CurrentScheduleHook();
   for (int lane = 1; lane < lanes; ++lane) {
     int64_t begin = n * lane / lanes;
     int64_t end = n * (lane + 1) / lanes;
-    ThreadPool::Shared().Schedule([&, lane, begin, end] {
+    auto task = [&, lane, begin, end] {
       body(lane, begin, end);
       if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(done_mu);
         done_cv.notify_one();
       }
-    });
+    };
+    // With a serving hook installed, the scheduler decides which query's
+    // lane runs next; otherwise lanes go straight at the shared pool.
+    if (hook != nullptr) {
+      hook->Submit(std::move(task));
+    } else {
+      ThreadPool::Shared().Schedule(std::move(task));
+    }
   }
   body(0, 0, n / lanes);
   std::unique_lock<std::mutex> lock(done_mu);

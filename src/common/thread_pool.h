@@ -61,6 +61,47 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Inter-query scheduling seam (implemented by serving::FairScheduler).
+///
+/// The engine is oblivious to other queries: ParallelFor pushes lane tasks
+/// straight at the shared pool, and a long scan never pauses. When a hook is
+/// installed on the current thread (the serving layer does this around
+/// Database::Query), the engine routes through it instead:
+///  - ParallelFor hands lane tasks to Submit(), so the scheduler — not FIFO
+///    arrival order — decides which query's morsels run next;
+///  - Executor::Charge calls SchedulerCheckpoint() at its existing poll
+///    cadence, giving the scheduler a cooperative yield point inside long
+///    operator loops (the only fairness lever when lanes run inline).
+/// Without a hook both calls cost one thread-local read.
+class QueryScheduleHook {
+ public:
+  virtual ~QueryScheduleHook() = default;
+  /// Runs `fn` eventually on some thread; the hook re-installs itself around
+  /// the run so nested engine code sees the same scheduling context.
+  virtual void Submit(std::function<void()> fn) = 0;
+  /// Called from tight loops; may yield the OS slice to a further-behind
+  /// query. Must be cheap — every ~1024 processed rows.
+  virtual void Checkpoint() = 0;
+};
+
+/// The hook installed on this thread (null when serving is not involved).
+QueryScheduleHook* CurrentScheduleHook();
+
+/// Installs `hook` for the current scope; restores the previous one on exit.
+class ScopedScheduleHook {
+ public:
+  explicit ScopedScheduleHook(QueryScheduleHook* hook);
+  ~ScopedScheduleHook();
+  ScopedScheduleHook(const ScopedScheduleHook&) = delete;
+  ScopedScheduleHook& operator=(const ScopedScheduleHook&) = delete;
+
+ private:
+  QueryScheduleHook* previous_;
+};
+
+/// Checkpoint() on the installed hook; no-op (one thread-local read) without.
+void SchedulerCheckpoint();
+
 /// Splits [0, n) into `lanes` contiguous chunks and runs
 /// `body(lane, begin, end)` for each, using up to `max_parallel` concurrent
 /// lanes (the calling thread is one of them; the rest come from

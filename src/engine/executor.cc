@@ -113,9 +113,13 @@ Status Executor::Charge(int64_t rows) {
   }
   int64_t polled =
       deadline_poll_.fetch_add(rows, std::memory_order_relaxed) + rows;
-  if (has_deadline_ && polled >= 1024) {
+  if (polled >= 1024) {
     deadline_poll_.store(0, std::memory_order_relaxed);
-    return CheckDeadline();
+    // Cooperative yield point for the inter-query scheduler: a heavy query
+    // deep in a join loop lets a further-behind query take the core here.
+    // No-op (one thread-local read) outside the serving layer.
+    SchedulerCheckpoint();
+    if (has_deadline_) return CheckDeadline();
   }
   return Status::OK();
 }
@@ -187,7 +191,7 @@ StatusOr<Executor::RelPtr> Executor::ExecBox(const qgm::Graph& graph,
           return RelPtr(RelPtr{}, it->second);
         }
       }
-      const Relation* table = storage_.FindTable(box.table_name);
+      const Relation* table = snapshot_.FindTable(box.table_name);
       if (table == nullptr) {
         return Status::NotFound("no data for table '" + box.table_name + "'");
       }

@@ -70,8 +70,16 @@ struct ExecOptions {
 
 class Executor {
  public:
+  /// Snapshots `storage` at construction: the whole plan executes against
+  /// that one consistent version set, so concurrent BulkLoad/Append/refresh
+  /// commits never tear a running query.
   explicit Executor(const Storage& storage, ExecOptions options = {})
-      : storage_(storage), options_(options) {}
+      : snapshot_(storage.Snap()), options_(options) {}
+
+  /// Executes against an already-pinned snapshot (the serving path pins one
+  /// snapshot per query and shares it between planning and execution).
+  explicit Executor(Storage::Snapshot snapshot, ExecOptions options = {})
+      : snapshot_(std::move(snapshot)), options_(options) {}
 
   /// Executes the graph; applies the graph's ORDER BY to the final result.
   StatusOr<Relation> Execute(const qgm::Graph& graph);
@@ -108,7 +116,7 @@ class Executor {
   Status Charge(int64_t rows);
   Status CheckDeadline();
 
-  const Storage& storage_;
+  Storage::Snapshot snapshot_;
   ExecOptions options_;
   std::atomic<int64_t> rows_charged_{0};
   std::atomic<int64_t> deadline_poll_{0};

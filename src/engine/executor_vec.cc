@@ -103,7 +103,7 @@ std::vector<std::string> Executor::RootColumnNames(
     auto it = options_.table_overrides->find(root.table_name);
     if (it != options_.table_overrides->end()) table = it->second;
   }
-  if (table == nullptr) table = storage_.FindTable(root.table_name);
+  if (table == nullptr) table = snapshot_.FindTable(root.table_name);
   if (table != nullptr) names = table->column_names;
   return names;
 }
@@ -124,7 +124,7 @@ StatusOr<Executor::BatchPtr> Executor::ExecBoxVec(const qgm::Graph& graph,
       }
       // Storage hands out (and lazily builds) the shared columnar twin of
       // the row store; scans borrow it without copying.
-      BatchPtr batch = storage_.FindColumnar(box.table_name);
+      BatchPtr batch = snapshot_.FindColumnar(box.table_name);
       if (batch == nullptr) {
         return Status::NotFound("no data for table '" + box.table_name + "'");
       }

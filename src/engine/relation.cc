@@ -95,59 +95,100 @@ void SortRows(Relation* relation) {
 
 std::string Storage::Key(const std::string& name) { return ToLower(name); }
 
+std::shared_ptr<const Batch> Storage::ColumnarOf(const Version& version) {
+  std::lock_guard<std::mutex> lock(version.columnar_mu);
+  if (version.columnar == nullptr) {
+    version.columnar = std::make_shared<const Batch>(BatchFromRows(
+        version.relation.rows, version.relation.NumColumns()));
+  }
+  return version.columnar;
+}
+
 Status Storage::AddTable(const std::string& name, Relation relation) {
   std::string key = Key(name);
+  auto version = std::make_shared<Version>();
+  version->relation = std::move(relation);
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table data for '" + key + "'");
   }
-  Entry entry;
-  entry.relation = std::move(relation);
-  tables_.emplace(std::move(key), std::move(entry));
+  tables_.emplace(std::move(key), std::move(version));
   return Status::OK();
 }
 
 Status Storage::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.erase(Key(name)) == 0) {
     return Status::NotFound("table data for '" + name + "'");
   }
   return Status::OK();
 }
 
-const Relation* Storage::FindTable(const std::string& name) const {
-  auto it = tables_.find(Key(name));
-  return it == tables_.end() ? nullptr : &it->second.relation;
+Status Storage::Replace(const std::string& name, Relation relation) {
+  std::string key = Key(name);
+  auto version = std::make_shared<Version>();
+  version->relation = std::move(relation);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table data for '" + name + "'");
+  }
+  // Swap in the new version; snapshots holding the old one keep it alive.
+  it->second = std::move(version);
+  return Status::OK();
 }
 
-Relation* Storage::FindTableMutable(const std::string& name) {
+const Relation* Storage::FindTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(Key(name));
-  if (it == tables_.end()) return nullptr;
-  // Caller may rewrite rows in place (Append merge, refresh): the columnar
-  // twin no longer reflects the row store, so drop it.
-  std::lock_guard<std::mutex> lock(columnar_mu_);
-  it->second.columnar = nullptr;
-  return &it->second.relation;
+  return it == tables_.end() ? nullptr : &it->second->relation;
 }
 
 std::shared_ptr<const Batch> Storage::FindColumnar(
     const std::string& name) const {
-  auto it = tables_.find(Key(name));
-  if (it == tables_.end()) return nullptr;
-  const Entry& entry = it->second;
-  std::lock_guard<std::mutex> lock(columnar_mu_);
-  if (entry.columnar == nullptr) {
-    entry.columnar = std::make_shared<const Batch>(BatchFromRows(
-        entry.relation.rows, entry.relation.NumColumns()));
+  VersionPtr version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(Key(name));
+    if (it == tables_.end()) return nullptr;
+    version = it->second;
   }
-  return entry.columnar;
+  return ColumnarOf(*version);
 }
 
 int64_t Storage::Epoch(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = epochs_.find(Key(name));
   return it == epochs_.end() ? 0 : it->second;
 }
 
 int64_t Storage::BumpEpoch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return ++epochs_[Key(name)];
+}
+
+Storage::Snapshot Storage::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.tables_ = tables_;
+  snap.epochs_ = epochs_;
+  return snap;
+}
+
+const Relation* Storage::Snapshot::FindTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : &it->second->relation;
+}
+
+std::shared_ptr<const Batch> Storage::Snapshot::FindColumnar(
+    const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : ColumnarOf(*it->second);
+}
+
+int64_t Storage::Snapshot::Epoch(const std::string& name) const {
+  auto it = epochs_.find(Key(name));
+  return it == epochs_.end() ? 0 : it->second;
 }
 
 }  // namespace engine

@@ -39,31 +39,78 @@ bool SameRowMultiset(const Relation& a, const Relation& b);
 /// data or grouping-set padding — always sort first).
 void SortRows(Relation* relation);
 
-/// Named table storage.
+/// Named table storage, copy-on-write.
 ///
 /// Tables live in two representations: the row-store Relation (the source
 /// of truth and the existing API surface) and a lazily-built columnar Batch
-/// the vectorized executor scans. Any mutable access invalidates the
-/// columnar twin; FindColumnar rebuilds it on demand.
+/// the vectorized executor scans. Each table name maps to an immutable
+/// *version*: writers never mutate a published Relation in place — they
+/// build the next version offline and commit it with Replace(), so any
+/// reader holding a Snapshot keeps a consistent view for the whole query
+/// (BulkLoad/Append/refresh can never torn-read a serving scan). The
+/// columnar twin is built lazily per version and shared by every snapshot
+/// pinning that version.
 ///
 /// Every table additionally carries a monotonic *version epoch*, bumped by
 /// the facade on each data change (BulkLoad / Append). Summary tables record
 /// the epochs of their base tables at materialization time; comparing those
 /// against the current epochs is how freshness is decided. Epochs survive
-/// DropTable + AddTable cycles on purpose: replacing a table's contents is a
-/// data change, not a reset.
+/// Replace() and DropTable + AddTable cycles on purpose: replacing a table's
+/// contents is a data change, not a reset.
+///
+/// Thread-safety: the name -> version maps are guarded by an internal mutex;
+/// versions themselves are immutable (except the lazily built columnar twin,
+/// which has its own per-version lock). Concurrent Snap() / Replace() /
+/// lookups are safe. Raw pointers returned by FindTable stay valid only
+/// until the table's next Replace/DropTable — concurrent readers must pin a
+/// Snapshot instead.
 class Storage {
+ private:
+  /// One immutable published version of a table.
+  struct Version {
+    Relation relation;
+    /// Columnar twin of this version; built on first FindColumnar and shared
+    /// by every snapshot holding the version.
+    mutable std::mutex columnar_mu;
+    mutable std::shared_ptr<const Batch> columnar;
+  };
+  using VersionPtr = std::shared_ptr<const Version>;
+
  public:
+  /// An immutable view of every table pinned at Snap() time: the epoch
+  /// vector plus a reference to each table's then-current version. Cheap to
+  /// copy (shared_ptr per table); keeps the pinned versions (and their
+  /// columnar twins) alive for as long as any holder exists.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    const Relation* FindTable(const std::string& name) const;
+    std::shared_ptr<const Batch> FindColumnar(const std::string& name) const;
+    int64_t Epoch(const std::string& name) const;
+    /// Epochs of every table in the snapshot (keyed by lower-cased name).
+    const std::unordered_map<std::string, int64_t>& epochs() const {
+      return epochs_;
+    }
+
+   private:
+    friend class Storage;
+    std::unordered_map<std::string, VersionPtr> tables_;
+    std::unordered_map<std::string, int64_t> epochs_;
+  };
+
   Status AddTable(const std::string& name, Relation relation);
   Status DropTable(const std::string& name);
+  /// Commits a new version of an existing table (copy-on-write): snapshots
+  /// taken before the call keep serving the prior version.
+  Status Replace(const std::string& name, Relation relation);
+
+  /// Current version of `name` (nullptr for unknown tables). The pointer is
+  /// valid until the table's next Replace/DropTable; concurrent readers use
+  /// Snap() instead.
   const Relation* FindTable(const std::string& name) const;
-  /// Mutable access for appends and incremental maintenance; invalidates the
-  /// table's columnar twin.
-  Relation* FindTableMutable(const std::string& name);
 
   /// Columnar view of `name` (nullptr for unknown tables). Built lazily from
-  /// the row store and cached until the next mutable access; the returned
-  /// batch stays valid until the table is dropped or mutated.
+  /// the row store of the current version and cached with it.
   std::shared_ptr<const Batch> FindColumnar(const std::string& name) const;
 
   /// Current version epoch of `name` (0 for never-modified / unknown tables).
@@ -71,22 +118,21 @@ class Storage {
   /// Marks a data change; returns the new epoch.
   int64_t BumpEpoch(const std::string& name);
 
- private:
-  struct Entry {
-    Relation relation;
-    /// Columnar twin; null until first FindColumnar after a (re)build.
-    mutable std::shared_ptr<const Batch> columnar;
-  };
+  /// Pins the current version of every table + the epoch vector.
+  Snapshot Snap() const;
 
+ private:
   /// The single lower-casing point for table lookups (hit per scan and per
   /// freshness check — names are case-insensitive everywhere).
   static std::string Key(const std::string& name);
 
-  std::unordered_map<std::string, Entry> tables_;    // keyed by Key(name)
-  std::unordered_map<std::string, int64_t> epochs_;  // keyed by Key(name)
-  /// Guards lazy columnar builds (parallel lanes of one query may scan
-  /// concurrently); the row store itself follows Database's threading rules.
-  mutable std::mutex columnar_mu_;
+  /// Builds/returns the columnar twin of one version.
+  static std::shared_ptr<const Batch> ColumnarOf(const Version& version);
+
+  /// Guards the maps; pinned versions are immutable so holders never need it.
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, VersionPtr> tables_;  // keyed by Key(name)
+  std::unordered_map<std::string, int64_t> epochs_;     // keyed by Key(name)
 };
 
 }  // namespace engine

@@ -1,0 +1,108 @@
+#include "serving/admission.h"
+
+#include <chrono>
+
+#include "common/fault_injection.h"
+#include "common/reject_reason.h"
+#include "common/trace.h"
+
+namespace sumtab {
+namespace serving {
+
+namespace {
+
+Status Reject(RejectReason reason, const std::string& detail) {
+  return Status::ResourceExhausted(std::string("[") +
+                                   RejectReasonToken(reason) + "] " + detail)
+      .WithSubcode(static_cast<uint16_t>(reason));
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  admitted_counter_ = registry.counter("serving.admission.admitted");
+  reject_queue_full_counter_ =
+      registry.counter("serving.admission.rejected_queue_full");
+  reject_timeout_counter_ =
+      registry.counter("serving.admission.rejected_timeout");
+  wait_hist_ = registry.histogram("serving.admission.wait");
+}
+
+AdmissionController::Permit& AdmissionController::Permit::operator=(
+    Permit&& other) noexcept {
+  if (this != &other) {
+    if (controller_ != nullptr) controller_->Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionController::Permit::~Permit() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+StatusOr<AdmissionController::Permit> AdmissionController::Admit() {
+  // Resilience seam: tests arm this to exercise the reject path without
+  // needing to saturate the server for real.
+  SUMTAB_FAULT_POINT("serving/admission");
+
+  int64_t wait_start = MonotonicNanos();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (in_flight_ < options_.max_concurrent) {
+    ++in_flight_;
+    ++admitted_;
+    admitted_counter_->Increment();
+    wait_hist_->Record(0);
+    return Permit(this);
+  }
+  if (queued_ >= options_.max_queued) {
+    ++rejected_queue_full_;
+    reject_queue_full_counter_->Increment();
+    return Reject(RejectReason::kAdmissionQueueFull,
+                  std::to_string(options_.max_queued) +
+                      " queries already queued for admission");
+  }
+  ++queued_;
+  bool got_slot = cv_.wait_for(
+      lock,
+      std::chrono::duration<double, std::milli>(options_.max_wait_millis),
+      [this] { return in_flight_ < options_.max_concurrent; });
+  --queued_;
+  wait_hist_->Record((MonotonicNanos() - wait_start) / 1000);
+  if (!got_slot) {
+    ++rejected_timeout_;
+    reject_timeout_counter_->Increment();
+    return Reject(RejectReason::kAdmissionTimeout,
+                  "no admission slot within " +
+                      std::to_string(options_.max_wait_millis) + " ms");
+  }
+  ++in_flight_;
+  ++admitted_;
+  admitted_counter_->Increment();
+  return Permit(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.admitted = admitted_;
+  stats.rejected_queue_full = rejected_queue_full_;
+  stats.rejected_timeout = rejected_timeout_;
+  stats.in_flight = in_flight_;
+  stats.queued = queued_;
+  return stats;
+}
+
+}  // namespace serving
+}  // namespace sumtab

@@ -1,0 +1,96 @@
+// Admission control for the concurrent serving layer (DESIGN.md,
+// "Concurrent serving: sessions, snapshots, admission").
+//
+// A fixed number of queries run at once; a bounded number more may wait, for
+// a bounded time. Everything beyond that is rejected *before* it pins a
+// snapshot or touches the planner — under overload the server sheds work at
+// the door with a structured kResourceExhausted (RejectReason subcode
+// admission_queue_full / admission_timeout) instead of letting every query
+// get slower together.
+#ifndef SUMTAB_SERVING_ADMISSION_H_
+#define SUMTAB_SERVING_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace sumtab {
+namespace serving {
+
+struct AdmissionOptions {
+  /// Queries allowed to run concurrently.
+  int max_concurrent = 8;
+  /// Queries allowed to wait for a slot; the next one is turned away
+  /// immediately (admission_queue_full).
+  int max_queued = 16;
+  /// Longest a queued query waits before giving up (admission_timeout).
+  double max_wait_millis = 200;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII slot: returning it (destruction) frees the slot and wakes one
+  /// queued query. Move-only; a default-constructed Permit holds nothing.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept;
+    ~Permit();
+    bool holds_slot() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Blocks up to max_wait_millis for a slot. Failure is always
+  /// kResourceExhausted with a RejectReason subcode:
+  ///   admission_queue_full — max_queued waiters already ahead;
+  ///   admission_timeout    — waited max_wait_millis without a slot.
+  /// Fault point "serving/admission" fires first (resilience tests inject
+  /// synthetic rejects here).
+  StatusOr<Permit> Admit();
+
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t rejected_queue_full = 0;
+    int64_t rejected_timeout = 0;
+    int in_flight = 0;  // slots held right now
+    int queued = 0;     // waiting right now
+  };
+  Stats GetStats() const;
+
+ private:
+  void Release();
+
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int in_flight_ = 0;
+  int queued_ = 0;
+  int64_t admitted_ = 0;
+  int64_t rejected_queue_full_ = 0;
+  int64_t rejected_timeout_ = 0;
+  // Registered once; increments are lock-free.
+  Counter* admitted_counter_;
+  Counter* reject_queue_full_counter_;
+  Counter* reject_timeout_counter_;
+  Histogram* wait_hist_;  // admission wait, microseconds
+};
+
+}  // namespace serving
+}  // namespace sumtab
+
+#endif  // SUMTAB_SERVING_ADMISSION_H_

@@ -1,0 +1,129 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace sumtab {
+namespace serving {
+
+FairScheduler::FairScheduler(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Shared()) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  submitted_counter_ = registry.counter("serving.scheduler.submitted");
+  executed_counter_ = registry.counter("serving.scheduler.executed");
+  yields_counter_ = registry.counter("serving.scheduler.yields");
+}
+
+std::shared_ptr<Ticket> FairScheduler::Register(int weight) {
+  weight = std::max(1, weight);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Plain new: Ticket's constructor is private (friend access), which
+  // make_shared's internal allocator can't reach.
+  auto ticket = std::shared_ptr<Ticket>(
+      new Ticket(this, std::max<int64_t>(1, kStrideScale / weight),
+                 MinVtimeLocked()));
+  tickets_.push_back(ticket);
+  return ticket;
+}
+
+void FairScheduler::Unregister(const std::shared_ptr<Ticket>& ticket) {
+  std::deque<std::function<void()>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans = std::move(ticket->queue_);
+    ticket->queue_.clear();
+    tickets_.erase(std::remove(tickets_.begin(), tickets_.end(), ticket),
+                   tickets_.end());
+  }
+  // Defensive: a finished query has drained its queue (ParallelFor joins all
+  // lanes), but never drop work on the floor.
+  for (std::function<void()>& fn : orphans) pool_->Schedule(std::move(fn));
+}
+
+int64_t FairScheduler::MinVtimeLocked() const {
+  int64_t min_vtime = 0;
+  bool any = false;
+  for (const auto& t : tickets_) {
+    int64_t v = t->vtime();
+    if (!any || v < min_vtime) {
+      min_vtime = v;
+      any = true;
+    }
+  }
+  return any ? min_vtime : 0;
+}
+
+void FairScheduler::Enqueue(Ticket* ticket, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ticket->queue_.push_back(std::move(fn));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_counter_->Increment();
+  // One pump per task: every submission is matched by exactly one execution,
+  // but WHICH task a pump runs is decided at pop time by virtual time.
+  pool_->Schedule([this] { Pump(); });
+}
+
+void FairScheduler::Pump() {
+  std::function<void()> fn;
+  std::shared_ptr<Ticket> chosen;  // keeps the ticket alive across fn()
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& t : tickets_) {
+      if (t->queue_.empty()) continue;
+      if (chosen == nullptr || t->vtime() < chosen->vtime()) chosen = t;
+    }
+    if (chosen == nullptr) return;  // task drained by Unregister
+    fn = std::move(chosen->queue_.front());
+    chosen->queue_.pop_front();
+    // A whole lane task is a bigger work unit than one checkpoint slice.
+    chosen->vtime_.fetch_add(16 * chosen->stride_, std::memory_order_relaxed);
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  executed_counter_->Increment();
+  // Re-install the query's scheduling context so nested ParallelFor /
+  // Charge calls inside the lane see the same ticket.
+  ScopedScheduleHook scoped(chosen.get());
+  fn();
+}
+
+bool FairScheduler::ShouldYield(const Ticket& ticket) {
+  // try_lock: the fairness probe must never become a contention point — if
+  // someone else holds the registry, skip this round and check again in a
+  // few thousand rows.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  if (tickets_.size() < 2) return false;  // alone: nothing to be fair to
+  return ticket.vtime() > MinVtimeLocked() + kYieldSlack;
+}
+
+FairScheduler::Stats FairScheduler::GetStats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.yields = yields_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.active = static_cast<int>(tickets_.size());
+  return stats;
+}
+
+void Ticket::Submit(std::function<void()> fn) {
+  scheduler_->Enqueue(this, std::move(fn));
+}
+
+void Ticket::Checkpoint() {
+  vtime_.fetch_add(stride_, std::memory_order_relaxed);
+  uint32_t n = checkpoints_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Probe every other checkpoint (~2k rows): a try_lock every couple of
+  // thousand rows is noise in the solo profile, and on a saturated core it
+  // bounds how long a heavy scan can run between chances to hand over.
+  if ((n & 1u) == 0 && scheduler_->ShouldYield(*this)) {
+    scheduler_->yields_.fetch_add(1, std::memory_order_relaxed);
+    scheduler_->yields_counter_->Increment();
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace serving
+}  // namespace sumtab

@@ -1,0 +1,120 @@
+// Inter-query fair scheduler (stride scheduling) for the serving layer.
+//
+// Problem: a 40 ms W7-style aggregation and a 20 µs warm-cache lookup share
+// one worker pool. FIFO at the pool means the heavy query's lane tasks camp
+// on every worker and the cheap query's p99 explodes to the heavy query's
+// runtime. Fairness needs two levers, both reached through the
+// QueryScheduleHook seam in common/thread_pool.h:
+//
+//  1. Task ordering — ParallelFor lane tasks are queued per query (Ticket)
+//     and a pump drains them lowest-virtual-time-first, so a backlogged
+//     heavy query cannot starve a newly arrived cheap one.
+//  2. Cooperative yields — inside long operator loops the executor calls
+//     Checkpoint() every ~1024 rows; a query that is far ahead of the
+//     furthest-behind active query donates its OS slice. This is the only
+//     lever when lanes run inline (max_threads=1, or a single-core host).
+//
+// Virtual time is classic stride scheduling: each ticket advances by
+// kStrideScale / weight per unit of work, so a weight-2 query ages half as
+// fast and receives twice the share.
+#ifndef SUMTAB_SERVING_SCHEDULER_H_
+#define SUMTAB_SERVING_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace sumtab {
+namespace serving {
+
+class FairScheduler;
+
+/// One query's scheduling identity. Install it as the thread's
+/// QueryScheduleHook (ScopedScheduleHook) for the duration of the query;
+/// the engine then routes lane tasks and checkpoints through it.
+class Ticket : public QueryScheduleHook {
+ public:
+  /// Queues `fn` under this ticket and kicks a pump on the pool. Called by
+  /// ParallelFor through the hook seam.
+  void Submit(std::function<void()> fn) override;
+
+  /// Advances virtual time; every few calls, yields the OS slice if this
+  /// query is far ahead of the furthest-behind active query.
+  void Checkpoint() override;
+
+  int64_t vtime() const { return vtime_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class FairScheduler;
+  Ticket(FairScheduler* scheduler, int64_t stride, int64_t start_vtime)
+      : scheduler_(scheduler), stride_(stride), vtime_(start_vtime) {}
+
+  FairScheduler* scheduler_;
+  const int64_t stride_;  // kStrideScale / weight
+  std::atomic<int64_t> vtime_;
+  std::atomic<uint32_t> checkpoints_{0};
+  std::deque<std::function<void()>> queue_;  // guarded by scheduler mu_
+};
+
+class FairScheduler {
+ public:
+  /// Virtual-time advance per unit of work for weight 1.
+  static constexpr int64_t kStrideScale = 1024;
+  /// A query may run ahead of the minimum by this much before Checkpoint()
+  /// starts yielding.
+  static constexpr int64_t kYieldSlack = 8 * kStrideScale;
+
+  /// `pool` = nullptr uses ThreadPool::Shared().
+  explicit FairScheduler(ThreadPool* pool = nullptr);
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Registers a query. Its virtual time starts at the current active
+  /// minimum, so a newcomer is immediately the most deserving without
+  /// getting credit for time it never waited.
+  std::shared_ptr<Ticket> Register(int weight = 1);
+
+  /// Removes the ticket; any still-queued tasks are handed straight to the
+  /// pool (ParallelFor has a completion barrier, so in practice the queue is
+  /// already drained when a query finishes).
+  void Unregister(const std::shared_ptr<Ticket>& ticket);
+
+  struct Stats {
+    int64_t submitted = 0;  // lane tasks routed through tickets
+    int64_t executed = 0;   // lane tasks run by pumps
+    int64_t yields = 0;     // checkpoint yields taken
+    int active = 0;         // registered tickets right now
+  };
+  Stats GetStats() const;
+
+ private:
+  friend class Ticket;
+
+  void Enqueue(Ticket* ticket, std::function<void()> fn);
+  /// Runs one task from the lowest-vtime ticket with queued work.
+  void Pump();
+  bool ShouldYield(const Ticket& ticket);
+  int64_t MinVtimeLocked() const;
+
+  ThreadPool* pool_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Ticket>> tickets_;
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<int64_t> yields_{0};
+  Counter* submitted_counter_;
+  Counter* executed_counter_;
+  Counter* yields_counter_;
+};
+
+}  // namespace serving
+}  // namespace sumtab
+
+#endif  // SUMTAB_SERVING_SCHEDULER_H_

@@ -1,0 +1,153 @@
+#include "serving/session.h"
+
+#include "common/fault_injection.h"
+#include "common/reject_reason.h"
+
+namespace sumtab {
+namespace serving {
+
+namespace {
+
+Status Reject(RejectReason reason, const std::string& detail) {
+  return Status::ResourceExhausted(std::string("[") +
+                                   RejectReasonToken(reason) + "] " + detail)
+      .WithSubcode(static_cast<uint16_t>(reason));
+}
+
+/// Decrements a counter on scope exit (in-flight accounting across the many
+/// early-return reject paths).
+class ScopedDecrement {
+ public:
+  explicit ScopedDecrement(std::atomic<int>* counter) : counter_(counter) {}
+  ~ScopedDecrement() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedDecrement(const ScopedDecrement&) = delete;
+  ScopedDecrement& operator=(const ScopedDecrement&) = delete;
+
+ private:
+  std::atomic<int>* counter_;
+};
+
+}  // namespace
+
+Server::Server(Database* db, AdmissionOptions admission)
+    : db_(db), admission_(admission) {}
+
+std::shared_ptr<Session> Server::CreateSession(SessionOptions options) {
+  int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  return std::shared_ptr<Session>(new Session(this, id, options));
+}
+
+StatusOr<QueryResult> Session::Query(const std::string& sql,
+                                     QueryOptions options) {
+  static Counter* served =
+      MetricsRegistry::Global().counter("serving.queries");
+  static Counter* rejected =
+      MetricsRegistry::Global().counter("serving.rejected");
+  static Counter* stale_retries =
+      MetricsRegistry::Global().counter("serving.snapshot_stale");
+
+  auto reject = [&](RejectReason reason, const std::string& detail) {
+    rejected->Increment();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    return Reject(reason, detail);
+  };
+
+  if (closed()) {
+    return reject(RejectReason::kSessionClosed,
+                  "session " + std::to_string(id_) + " is closed");
+  }
+  if (server_->shutting_down()) {
+    return reject(RejectReason::kServerShuttingDown,
+                  "server is shutting down");
+  }
+
+  // The per-session cap is charged before the admission queue, so a client
+  // hammering one session hits its own wall instead of crowding the shared
+  // waiting room.
+  int in_flight = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ScopedDecrement in_flight_guard(&in_flight_);
+  if (in_flight > options_.max_in_flight) {
+    return reject(RejectReason::kSessionInFlightLimit,
+                  "session " + std::to_string(id_) + " already has " +
+                      std::to_string(options_.max_in_flight) +
+                      " queries in flight");
+  }
+
+  // Session ceilings clamp the per-query asks: a query requesting no budget
+  // (0 = unlimited) or more than the ceiling gets the ceiling.
+  if (options_.max_rows > 0 &&
+      (options.max_rows == 0 || options.max_rows > options_.max_rows)) {
+    options.max_rows = options_.max_rows;
+  }
+  if (options_.timeout_millis > 0 &&
+      (options.timeout_millis == 0 ||
+       options.timeout_millis > options_.timeout_millis)) {
+    options.timeout_millis = options_.timeout_millis;
+  }
+
+  StatusOr<AdmissionController::Permit> permit = server_->admission().Admit();
+  if (!permit.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected;
+    }
+    rejected->Increment();
+    return permit.status();
+  }
+
+  std::shared_ptr<Ticket> ticket =
+      server_->scheduler().Register(options_.weight);
+  // The hook rides thread-local state: lane submissions and charge
+  // checkpoints from anywhere inside this query resolve to this ticket.
+  ScopedScheduleHook hook(ticket.get());
+
+  for (int attempt = 0;; ++attempt) {
+    // Resilience seam: a "stale snapshot" here models storage telling the
+    // session its pinned read point is no longer servable (tests arm it);
+    // the session transparently re-pins by re-issuing the query, which takes
+    // a fresh snapshot inside Database::Query.
+    Status stale = FaultInjector::Instance().Check("serving/snapshot");
+    if (!stale.ok()) {
+      stale_retries->Increment();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.snapshot_retries;
+      }
+      if (attempt + 1 >= kMaxSnapshotRetries) {
+        server_->scheduler().Unregister(ticket);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.rejected;
+        }
+        rejected->Increment();
+        return stale;
+      }
+      continue;
+    }
+    StatusOr<QueryResult> result = server_->db().Query(sql, options);
+    server_->scheduler().Unregister(ticket);
+    if (result.ok()) {
+      served->Increment();
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries;
+      if (result->degradation.degraded) ++stats_.degraded;
+      if (result->plan_cache_hit) ++stats_.plan_cache_hits;
+      stats_.rows_returned += static_cast<int64_t>(result->relation.NumRows());
+    } else {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.queries;  // it ran; failure is its verdict, not shed load
+    }
+    return result;
+  }
+}
+
+SessionStats Session::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serving
+}  // namespace sumtab

@@ -1,0 +1,133 @@
+// Sessions and the server facade for concurrent serving (DESIGN.md,
+// "Concurrent serving: sessions, snapshots, admission").
+//
+// A Server wraps one Database with the two serving policies — admission
+// control and inter-query fair scheduling — and hands out Session handles.
+// A Session is one client's view: its queries carry the session's resource
+// ceilings (row budget, timeout), count against its in-flight limit, and are
+// scheduled under its fairness weight. Snapshot isolation itself lives in
+// Database/Storage (every query executes against the storage snapshot
+// pinned at its planning instant); the session layer adds the multi-tenant
+// envelope around it.
+//
+//   sumtab::Database db;            // ... tables, ASTs, data ...
+//   sumtab::serving::Server server(&db);
+//   auto analyst = server.CreateSession();
+//   auto dashboard = server.CreateSession({.max_in_flight = 2,
+//                                          .max_rows = 100'000,
+//                                          .timeout_millis = 50});
+//   auto result = dashboard->Query("select ...");   // thread-safe
+//
+// Every rejection is kResourceExhausted with a RejectReason subcode
+// (admission_queue_full, admission_timeout, session_in_flight_limit,
+// session_closed, server_shutting_down), so callers and tests can
+// distinguish shed load from real failures without string matching.
+#ifndef SUMTAB_SERVING_SESSION_H_
+#define SUMTAB_SERVING_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "serving/admission.h"
+#include "serving/scheduler.h"
+#include "sumtab/database.h"
+
+namespace sumtab {
+namespace serving {
+
+struct SessionOptions {
+  /// Concurrent queries this session may have running/queued; the next one
+  /// is rejected (session_in_flight_limit) without consuming an admission
+  /// slot, so one runaway client can't occupy the whole admission queue.
+  int max_in_flight = 4;
+  /// Ceiling on QueryOptions::max_rows for this session's queries; 0 = no
+  /// session ceiling. A query asking for more (or for unlimited) is clamped.
+  int64_t max_rows = 0;
+  /// Ceiling on QueryOptions::timeout_millis, same clamping rule.
+  double timeout_millis = 0;
+  /// Fair-share weight: a weight-2 session receives twice the scheduler
+  /// share of a weight-1 session under contention.
+  int weight = 1;
+};
+
+struct SessionStats {
+  int64_t queries = 0;           // accepted (ran to a verdict)
+  int64_t rejected = 0;          // shed before execution
+  int64_t degraded = 0;          // recovered through the fallback path
+  int64_t plan_cache_hits = 0;
+  int64_t rows_returned = 0;
+  int64_t snapshot_retries = 0;  // "serving/snapshot" fault re-pins
+};
+
+class Server;
+
+class Session {
+ public:
+  /// Thread-safe; may be called concurrently with other sessions' queries
+  /// and with Database mutators. Applies the session ceilings, takes an
+  /// admission slot, registers with the fair scheduler, and runs the query
+  /// against a pinned snapshot (via Database::Query).
+  StatusOr<QueryResult> Query(const std::string& sql,
+                              QueryOptions options = {});
+
+  /// Subsequent queries are rejected (session_closed); in-flight ones
+  /// finish normally.
+  void Close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  int64_t id() const { return id_; }
+  SessionStats GetStats() const;
+
+ private:
+  friend class Server;
+  Session(Server* server, int64_t id, SessionOptions options)
+      : server_(server), id_(id), options_(options) {}
+
+  /// Re-pin attempts when the "serving/snapshot" fault point reports the
+  /// pinned snapshot unusable before the ceiling is surfaced to the caller.
+  static constexpr int kMaxSnapshotRetries = 3;
+
+  Server* server_;
+  const int64_t id_;
+  const SessionOptions options_;
+  std::atomic<bool> closed_{false};
+  std::atomic<int> in_flight_{0};
+  mutable std::mutex stats_mu_;
+  SessionStats stats_;
+};
+
+class Server {
+ public:
+  /// `db` must outlive the server and every session. The server does not
+  /// own it: DDL/loads keep going straight to the Database API.
+  explicit Server(Database* db, AdmissionOptions admission = {});
+
+  std::shared_ptr<Session> CreateSession(SessionOptions options = {});
+
+  /// New queries on every session are rejected (server_shutting_down);
+  /// in-flight queries finish normally.
+  void Shutdown() { shutting_down_.store(true, std::memory_order_release); }
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
+  Database& db() { return *db_; }
+  AdmissionController& admission() { return admission_; }
+  FairScheduler& scheduler() { return scheduler_; }
+
+ private:
+  Database* db_;
+  AdmissionController admission_;
+  FairScheduler scheduler_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<int64_t> next_session_id_{1};
+};
+
+}  // namespace serving
+}  // namespace sumtab
+
+#endif  // SUMTAB_SERVING_SESSION_H_

@@ -33,7 +33,7 @@ std::vector<std::string> LeafTables(const qgm::Graph& graph) {
 
 }  // namespace
 
-Database::Database() = default;
+Database::Database() : plan_cache_(kPlanCacheCapacity) {}
 Database::~Database() = default;
 
 // ---- rewrite-plan cache ----
@@ -46,103 +46,47 @@ std::string Database::PlanCacheKey(const std::string& sql,
          "#stale=" + (options.allow_stale_reads ? "1" : "0");
 }
 
-Database::CacheLookup Database::LookupPlan(const std::string& key,
-                                           const QueryOptions& options,
-                                           CachedPlan* out,
-                                           std::string* invalidation_cause) {
-  static Counter* hits = MetricsRegistry::Global().counter("plan_cache.hits");
-  static Counter* misses =
-      MetricsRegistry::Global().counter("plan_cache.misses");
-  static Counter* invalidations =
-      MetricsRegistry::Global().counter("plan_cache.invalidations");
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = plan_cache_.find(key);
-  if (it == plan_cache_.end()) {
-    ++cache_misses_;
-    misses->Increment();
-    return CacheLookup::kMiss;
-  }
-  const CachedPlan& entry = it->second;
-  std::string cause;
-  // Any epoch bump of a base table the original query scans invalidates:
-  // a spliced-in AST may now be stale, and even the relative costs that
-  // picked this plan have changed.
-  if (entry.generation != catalog_generation_) {
-    cause = "generation";
-  }
-  for (const auto& [table, epoch] : entry.base_epochs) {
-    if (cause.empty() && storage_.Epoch(table) != epoch) {
-      cause = "epoch:" + table;
+ShardedPlanCache::Validator Database::PlanValidator(
+    const engine::Storage::Snapshot& snap, int64_t generation,
+    const QueryOptions& options) const {
+  // The captured references outlive the synchronous lookup only; the
+  // validator must not be stored. Caller holds ddl_mu_, so the registry and
+  // the epochs it consults cannot change mid-validation.
+  return [this, &snap, generation, &options](
+             const CachedPlan& entry) -> std::string {
+    // Generation captures DDL / AST-lifecycle changes since planning.
+    if (entry.generation != generation) return "generation";
+    // Any epoch bump of a base table the original query scans invalidates:
+    // a spliced-in AST may now be stale, and even the relative costs that
+    // picked this plan have changed.
+    for (const auto& [table, epoch] : entry.base_epochs) {
+      if (snap.Epoch(table) != epoch) return "epoch:" + table;
     }
-  }
-  // The ASTs this plan reads must still be serviceable under the *current*
-  // options — a quarantined or newly-stale AST must not be served from
-  // cache when a fresh search would have skipped it.
-  for (const std::string& name : entry.used_asts) {
-    const SummaryTable* st = FindSummaryTable(name);
-    if (cause.empty() &&
-        (st == nullptr || !UsableForRewrite(*st, options.allow_stale_reads))) {
-      cause = "ast:" + name;
+    // The ASTs this plan reads must still be serviceable under the *current*
+    // options — a quarantined or newly-stale AST must not be served from
+    // cache when a fresh search would have skipped it.
+    for (const std::string& name : entry.used_asts) {
+      SummaryTablePtr st = FindSummaryTable(name);
+      if (st == nullptr || !UsableForRewrite(*st, options.allow_stale_reads)) {
+        return "ast:" + name;
+      }
     }
-  }
-  if (!cause.empty()) {
-    ++cache_invalidations_;
-    invalidations->Increment();
-    if (invalidation_cause != nullptr) *invalidation_cause = cause;
-    plan_lru_.erase(it->second.lru_pos);
-    plan_cache_.erase(it);
-    return CacheLookup::kInvalidated;
-  }
-  ++cache_hits_;
-  hits->Increment();
-  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
-  out->plan = qgm::Graph::CloneGraph(entry.plan);
-  out->used_summary_table = entry.used_summary_table;
-  out->summary_table = entry.summary_table;
-  out->rewritten_sql = entry.rewritten_sql;
-  out->candidate_rewrites = entry.candidate_rewrites;
-  out->used_asts = entry.used_asts;
-  return CacheLookup::kHit;
-}
-
-void Database::InsertPlan(const std::string& key, CachedPlan entry) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  entry.generation = catalog_generation_;
-  auto it = plan_cache_.find(key);
-  if (it != plan_cache_.end()) {
-    plan_lru_.erase(it->second.lru_pos);
-    plan_cache_.erase(it);
-  }
-  plan_lru_.push_front(key);
-  entry.lru_pos = plan_lru_.begin();
-  plan_cache_.emplace(key, std::move(entry));
-  while (plan_cache_.size() > kPlanCacheCapacity) {
-    plan_cache_.erase(plan_lru_.back());
-    plan_lru_.pop_back();
-  }
-}
-
-void Database::ForgetPlan(const std::string& key) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  auto it = plan_cache_.find(key);
-  if (it == plan_cache_.end()) return;
-  plan_lru_.erase(it->second.lru_pos);
-  plan_cache_.erase(it);
+    return "";
+  };
 }
 
 void Database::BumpGeneration() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  ++catalog_generation_;
+  catalog_generation_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 DatabaseStats Database::Stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  ShardedPlanCache::Stats cache = plan_cache_.TotalStats();
   DatabaseStats stats;
-  stats.plan_cache_hits = cache_hits_;
-  stats.plan_cache_misses = cache_misses_;
-  stats.plan_cache_invalidations = cache_invalidations_;
-  stats.plan_cache_entries = static_cast<int64_t>(plan_cache_.size());
-  stats.catalog_generation = catalog_generation_;
+  stats.plan_cache_hits = cache.hits;
+  stats.plan_cache_misses = cache.misses;
+  stats.plan_cache_invalidations = cache.invalidations;
+  stats.plan_cache_entries = cache.entries;
+  stats.catalog_generation = catalog_generation_.load(std::memory_order_acquire);
   stats.metrics = MetricsRegistry::Global().Snap();
   return stats;
 }
@@ -150,6 +94,8 @@ DatabaseStats Database::Stats() const {
 Status Database::CreateTable(const std::string& name,
                              const std::vector<catalog::Column>& columns,
                              const std::vector<std::string>& primary_key) {
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   catalog::Table table;
   table.name = name;
   table.columns = columns;
@@ -168,6 +114,8 @@ Status Database::AddForeignKey(const std::string& child_table,
                                const std::string& child_column,
                                const std::string& parent_table,
                                const std::string& parent_column) {
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   SUMTAB_RETURN_NOT_OK(catalog_.AddForeignKey(child_table, child_column,
                                               parent_table, parent_column));
   BumpGeneration();  // RI constraints feed the matcher's rejoin reasoning
@@ -175,6 +123,10 @@ Status Database::AddForeignKey(const std::string& child_table,
 }
 
 Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
+  // maint_mu_ (not ddl_mu_) covers the copy-on-write build: no other mutator
+  // can touch storage/catalog meanwhile, and readers only read, so the
+  // full-table copy runs without stalling query planning.
+  std::lock_guard<std::mutex> maint(maint_mu_);
   const engine::Relation* existing = storage_.FindTable(table);
   if (existing == nullptr) {
     return Status::NotFound("table '" + table + "'");
@@ -187,8 +139,11 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
   }
   engine::Relation updated = *existing;
   for (Row& row : rows) updated.rows.push_back(std::move(row));
-  SUMTAB_RETURN_NOT_OK(storage_.DropTable(table));
-  SUMTAB_RETURN_NOT_OK(storage_.AddTable(table, std::move(updated)));
+  // Commit: publish the new version and bump the epoch in one exclusive
+  // window. Queries that pinned a snapshot before this point keep reading
+  // the pre-load rows.
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  SUMTAB_RETURN_NOT_OK(storage_.Replace(table, std::move(updated)));
   // BulkLoad deliberately does not maintain summary tables; bumping the
   // epoch is what flips dependent ASTs to kStale so the rewriter stops
   // serving pre-load answers through them.
@@ -198,6 +153,9 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
 
 StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
                                                const std::string& sql) {
+  // Parse + materialize under maint_mu_ alone (catalog/storage are stable:
+  // no other mutator can run); only the registration commits under ddl_mu_.
+  std::lock_guard<std::mutex> maint(maint_mu_);
   if (catalog_.FindTable(name) != nullptr) {
     return Status::AlreadyExists("table '" + name + "'");
   }
@@ -210,6 +168,7 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
   SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(graph));
   int64_t rows = static_cast<int64_t>(data.NumRows());
 
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   // Register in the catalog with inferred column types.
   const qgm::Box* root = graph.box(graph.root());
   catalog::Table table;
@@ -225,7 +184,7 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
   SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
   SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(data)));
 
-  auto st = std::make_unique<SummaryTable>();
+  auto st = std::make_shared<SummaryTable>();
   st->name = ToLower(name);
   st->sql = sql;
   st->graph = std::move(graph);
@@ -235,9 +194,13 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
 }
 
 Status Database::DropSummaryTable(const std::string& name) {
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   std::string key = ToLower(name);
   for (size_t i = 0; i < summary_tables_.size(); ++i) {
     if (summary_tables_[i]->name == key) {
+      // In-flight queries that spliced this AST in keep it alive through
+      // their shared_ptr refs; only the registry entry goes away.
       summary_tables_.erase(summary_tables_.begin() + i);
       BumpGeneration();
       return storage_.DropTable(key);
@@ -249,29 +212,28 @@ Status Database::DropSummaryTable(const std::string& name) {
 }
 
 std::vector<std::string> Database::SummaryTableNames() const {
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
   std::vector<std::string> names;
   for (const auto& st : summary_tables_) names.push_back(st->name);
   return names;
 }
 
 int64_t Database::TableRows(const std::string& name) const {
-  const engine::Relation* rel = storage_.FindTable(name);
+  // Pin a snapshot so a concurrent Replace can't free the version mid-read.
+  engine::Storage::Snapshot snap = storage_.Snap();
+  const engine::Relation* rel = snap.FindTable(name);
   return rel == nullptr ? 0 : static_cast<int64_t>(rel->NumRows());
 }
 
 // ---- freshness bookkeeping ----
 
-Database::SummaryTable* Database::FindSummaryTable(const std::string& name) {
+Database::SummaryTablePtr Database::FindSummaryTable(
+    const std::string& name) const {
   std::string key = ToLower(name);
   for (const auto& st : summary_tables_) {
-    if (st->name == key) return st.get();
+    if (st->name == key) return st;
   }
   return nullptr;
-}
-
-const Database::SummaryTable* Database::FindSummaryTable(
-    const std::string& name) const {
-  return const_cast<Database*>(this)->FindSummaryTable(name);
 }
 
 int64_t Database::StalenessOf(const SummaryTable& st) const {
@@ -284,20 +246,26 @@ int64_t Database::StalenessOf(const SummaryTable& st) const {
 }
 
 AstState Database::StateOf(const SummaryTable& st) const {
-  if (st.disabled) return AstState::kDisabled;
+  if (st.disabled.load(std::memory_order_acquire)) return AstState::kDisabled;
   return StalenessOf(st) > 0 ? AstState::kStale : AstState::kFresh;
 }
 
 bool Database::UsableForRewrite(const SummaryTable& st,
                                 bool allow_stale) const {
-  if (st.disabled) return false;  // quarantine overrides everything
+  if (st.disabled.load(std::memory_order_acquire)) {
+    return false;  // quarantine overrides everything
+  }
   int64_t lag = StalenessOf(st);
   return lag == 0 || lag <= st.max_staleness || allow_stale;
 }
 
 void Database::RecordAstFailure(SummaryTable* st) {
-  if (++st->consecutive_failures >= kQuarantineThreshold) {
-    st->disabled = true;
+  // Called from concurrent queries' post-execution paths without ddl_mu_;
+  // fetch_add keeps the streak exact under racing failures.
+  int streak =
+      st->consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (streak >= kQuarantineThreshold) {
+    st->disabled.store(true, std::memory_order_release);
   }
 }
 
@@ -306,8 +274,8 @@ void Database::MarkRefreshed(SummaryTable* st) {
   for (const std::string& table : LeafTables(st->graph)) {
     st->materialized_epochs[ToLower(table)] = storage_.Epoch(table);
   }
-  st->consecutive_failures = 0;
-  st->disabled = false;
+  st->consecutive_failures.store(0, std::memory_order_release);
+  st->disabled.store(false, std::memory_order_release);
   // A define/refresh/revival changes which rewrites a fresh search would
   // pick, so cached plans from before it must be re-searched.
   BumpGeneration();
@@ -315,7 +283,8 @@ void Database::MarkRefreshed(SummaryTable* st) {
 
 StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
     const std::string& name) const {
-  const SummaryTable* st = FindSummaryTable(name);
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+  SummaryTablePtr st = FindSummaryTable(name);
   if (st == nullptr) {
     return Status::NotFound("summary table '" + name + "'");
   }
@@ -324,7 +293,8 @@ StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
   info.state = StateOf(*st);
   info.staleness = StalenessOf(*st);
   info.max_staleness = st->max_staleness;
-  info.consecutive_failures = st->consecutive_failures;
+  info.consecutive_failures =
+      st->consecutive_failures.load(std::memory_order_acquire);
   return info;
 }
 
@@ -333,7 +303,9 @@ Status Database::SetMaxStaleness(const std::string& name,
   if (max_epoch_lag < 0) {
     return Status::InvalidArgument("max staleness must be >= 0");
   }
-  SummaryTable* st = FindSummaryTable(name);
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  SummaryTablePtr st = FindSummaryTable(name);
   if (st == nullptr) {
     return Status::NotFound("summary table '" + name + "'");
   }
@@ -343,9 +315,10 @@ Status Database::SetMaxStaleness(const std::string& name,
 }
 
 std::unique_ptr<qgm::Graph> Database::TryRewrite(
-    const qgm::Graph& query, const QueryOptions& options, std::string* chosen,
-    int* candidates, std::vector<std::string>* used_asts,
-    QueryDegradation* degradation, QueryTrace* trace) {
+    const qgm::Graph& query, const engine::Storage::Snapshot& snap,
+    const QueryOptions& options, std::string* chosen, int* candidates,
+    std::vector<SummaryTablePtr>* used_refs, QueryDegradation* degradation,
+    QueryTrace* trace) {
   *candidates = 0;
   // EXPLAIN REWRITE also reports, per AST, whether an append to each of its
   // base tables would merge incrementally — computed once (round 0) and only
@@ -366,13 +339,15 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
     }
     return verdict;
   };
-  // Cost heuristic: total rows scanned at the leaves.
-  auto leaf_cost = [this](const qgm::Graph& graph) {
+  // Cost heuristic: total rows scanned at the leaves, counted against the
+  // query's pinned snapshot so concurrent loads don't skew the comparison.
+  auto leaf_cost = [&snap](const qgm::Graph& graph) {
     int64_t cost = 0;
     for (int id = 0; id < graph.size(); ++id) {
       const qgm::Box* box = graph.box(id);
       if (box->kind == qgm::Box::Kind::kBase) {
-        cost += TableRows(box->table_name);
+        const engine::Relation* rel = snap.FindTable(box->table_name);
+        if (rel != nullptr) cost += static_cast<int64_t>(rel->NumRows());
       }
     }
     return cost;
@@ -384,19 +359,21 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
   // summary table.
   std::unique_ptr<qgm::Graph> current;
   int64_t current_cost = leaf_cost(query);
-  std::vector<std::string> used;
+  std::vector<SummaryTablePtr> used;
   constexpr int kMaxRounds = 4;
   for (int round = 0; round < kMaxRounds; ++round) {
     std::unique_ptr<qgm::Graph> best;
     int64_t best_cost = current_cost;
-    std::string best_name;
+    SummaryTablePtr best_st;
     std::vector<AstAttemptTrace> attempts;  // this round's, when tracing
     int best_attempt = -1;                  // index into `attempts`
     for (const auto& st : summary_tables_) {
       if (!UsableForRewrite(*st, options.allow_stale_reads)) {
         if (trace != nullptr && round == 0) {
-          trace->AddNote("ast '" + st->name + "' skipped: " +
-                         (st->disabled ? "quarantined" : "stale"));
+          trace->AddNote(
+              "ast '" + st->name + "' skipped: " +
+              (st->disabled.load(std::memory_order_acquire) ? "quarantined"
+                                                            : "stale"));
         }
         continue;
       }
@@ -458,7 +435,7 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
       if (acceptable) {
         best = std::make_unique<qgm::Graph>(std::move(rewrite->graph));
         best_cost = cost;
-        best_name = st->name;
+        best_st = st;
         if (trace != nullptr) best_attempt = static_cast<int>(attempts.size());
       }
       if (trace != nullptr) attempts.push_back(std::move(attempt));
@@ -472,13 +449,15 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
     if (best == nullptr) break;
     current = std::move(best);
     current_cost = best_cost;
-    if (used.empty() || used.back() != best_name) used.push_back(best_name);
+    if (used.empty() || used.back() != best_st) used.push_back(best_st);
   }
   if (current != nullptr) {
     MetricsRegistry::Global().counter("rewrite.rewritten")->Increment();
   }
-  *chosen = Join(used, "+");
-  *used_asts = std::move(used);
+  std::vector<std::string> names;
+  for (const SummaryTablePtr& st : used) names.push_back(st->name);
+  *chosen = Join(names, "+");
+  *used_refs = std::move(used);
   return current;
 }
 
@@ -529,95 +508,115 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   std::string cache_key;
   std::unique_ptr<qgm::Graph> plan;      // the graph to execute (owned)
   std::unique_ptr<qgm::Graph> original;  // base-table form, for fallback
-  std::vector<std::string> used;
+  std::vector<SummaryTablePtr> used;     // ASTs the plan splices in (pinned)
   bool was_rewritten = false;
+  engine::Storage::Snapshot snap;
+  int64_t plan_generation = 0;
 
-  // 1. Plan-cache lookup: a hit skips parse -> QGM build -> match search.
-  if (options.enable_plan_cache) {
-    cache_key = PlanCacheKey(sql, options);
-    CachedPlan cached;
-    std::string cause;
-    CacheLookup lookup = LookupPlan(cache_key, options, &cached, &cause);
-    if (trace != nullptr) {
-      switch (lookup) {
-        case CacheLookup::kHit:
-          trace->SetPlanCache(PlanCacheOutcome::kHit, "");
-          break;
-        case CacheLookup::kMiss:
-          trace->SetPlanCache(PlanCacheOutcome::kMiss, "");
-          break;
-        case CacheLookup::kInvalidated:
-          trace->SetPlanCache(PlanCacheOutcome::kInvalidated, cause);
-          break;
-      }
-    }
-    if (lookup == CacheLookup::kHit) {
-      result.plan_cache_hit = true;
-      result.used_summary_table = cached.used_summary_table;
-      result.summary_table = cached.summary_table;
-      result.rewritten_sql = cached.rewritten_sql;
-      result.candidate_rewrites = cached.candidate_rewrites;
-      used = cached.used_asts;
-      was_rewritten = cached.used_summary_table;
-      plan = std::make_unique<qgm::Graph>(std::move(cached.plan));
-    }
-  }
+  // Planning happens under the shared catalog lock: pin the storage
+  // snapshot every later step reads, capture the generation, consult the
+  // cache, and (on a miss) run parse -> QGM build -> match search. Loads and
+  // DDL (exclusive holders) are ordered entirely before or after this block.
+  {
+    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+    snap = storage_.Snap();
+    plan_generation = catalog_generation_.load(std::memory_order_acquire);
 
-  // 2. Compile path (miss / invalidated / cache disabled).
-  if (plan == nullptr) {
-    int64_t t0 = MonotonicNanos();
-    SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
-                            sql::Parse(sql));
-    int64_t t1 = MonotonicNanos();
-    SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
-    int64_t t2 = MonotonicNanos();
-    parse_hist->Record((t1 - t0) / 1000);
-    build_hist->Record((t2 - t1) / 1000);
-    if (trace != nullptr) {
-      trace->RecordPhaseMicros(QueryTrace::kPhaseParse, (t1 - t0) / 1000);
-      trace->RecordPhaseMicros(QueryTrace::kPhaseQgmBuild, (t2 - t1) / 1000);
-    }
-    original = std::make_unique<qgm::Graph>(std::move(graph));
-    if (options.enable_rewrite) {
-      std::string chosen;
-      int64_t rw0 = MonotonicNanos();
-      std::unique_ptr<qgm::Graph> rewritten =
-          TryRewrite(*original, options, &chosen, &result.candidate_rewrites,
-                     &used, &result.degradation, trace);
-      int64_t rw_micros = (MonotonicNanos() - rw0) / 1000;
-      rewrite_hist->Record(rw_micros);
+    // 1. Plan-cache lookup: a hit skips parse -> QGM build -> match search.
+    if (options.enable_plan_cache) {
+      cache_key = PlanCacheKey(sql, options);
+      CachedPlan cached;
+      std::string cause;
+      ShardedPlanCache::Lookup lookup = plan_cache_.LookupAndValidate(
+          cache_key, PlanValidator(snap, plan_generation, options), &cached,
+          &cause);
       if (trace != nullptr) {
-        trace->RecordPhaseMicros(QueryTrace::kPhaseRewrite, rw_micros);
-      }
-      if (rewritten != nullptr) {
-        StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
-        if (new_sql.ok()) {
-          result.used_summary_table = true;
-          result.summary_table = chosen;
-          result.rewritten_sql = std::move(*new_sql);
-          was_rewritten = true;
-          plan = std::move(rewritten);
-        } else {
-          // The rewrite can't be rendered/executed: degrade to base tables.
-          for (const std::string& name : used) {
-            if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
-          }
-          result.degradation.degraded = true;
-          result.degradation.stage = "rewrite";
-          result.degradation.summary_table = chosen;
-          if (!result.degradation.message.empty()) {
-            result.degradation.message += "; ";
-          }
-          result.degradation.message += new_sql.status().ToString();
-          used.clear();
+        switch (lookup) {
+          case ShardedPlanCache::Lookup::kHit:
+            trace->SetPlanCache(PlanCacheOutcome::kHit, "");
+            break;
+          case ShardedPlanCache::Lookup::kMiss:
+            trace->SetPlanCache(PlanCacheOutcome::kMiss, "");
+            break;
+          case ShardedPlanCache::Lookup::kInvalidated:
+            trace->SetPlanCache(PlanCacheOutcome::kInvalidated, cause);
+            break;
         }
       }
+      if (lookup == ShardedPlanCache::Lookup::kHit) {
+        result.plan_cache_hit = true;
+        result.used_summary_table = cached.used_summary_table;
+        result.summary_table = cached.summary_table;
+        result.rewritten_sql = cached.rewritten_sql;
+        result.candidate_rewrites = cached.candidate_rewrites;
+        // The validator just vouched for these ASTs under this same lock, so
+        // the lookups cannot miss; pin them for post-execution bookkeeping.
+        for (const std::string& name : cached.used_asts) {
+          if (SummaryTablePtr st = FindSummaryTable(name)) {
+            used.push_back(std::move(st));
+          }
+        }
+        was_rewritten = cached.used_summary_table;
+        plan = std::make_unique<qgm::Graph>(std::move(cached.plan));
+      }
     }
+
+    // 2. Compile path (miss / invalidated / cache disabled).
     if (plan == nullptr) {
-      plan = std::make_unique<qgm::Graph>(qgm::Graph::CloneGraph(*original));
-      used.clear();
+      int64_t t0 = MonotonicNanos();
+      SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
+                              sql::Parse(sql));
+      int64_t t1 = MonotonicNanos();
+      SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph,
+                              qgm::BuildGraph(*stmt, catalog_));
+      int64_t t2 = MonotonicNanos();
+      parse_hist->Record((t1 - t0) / 1000);
+      build_hist->Record((t2 - t1) / 1000);
+      if (trace != nullptr) {
+        trace->RecordPhaseMicros(QueryTrace::kPhaseParse, (t1 - t0) / 1000);
+        trace->RecordPhaseMicros(QueryTrace::kPhaseQgmBuild, (t2 - t1) / 1000);
+      }
+      original = std::make_unique<qgm::Graph>(std::move(graph));
+      if (options.enable_rewrite) {
+        std::string chosen;
+        int64_t rw0 = MonotonicNanos();
+        std::unique_ptr<qgm::Graph> rewritten =
+            TryRewrite(*original, snap, options, &chosen,
+                       &result.candidate_rewrites, &used, &result.degradation,
+                       trace);
+        int64_t rw_micros = (MonotonicNanos() - rw0) / 1000;
+        rewrite_hist->Record(rw_micros);
+        if (trace != nullptr) {
+          trace->RecordPhaseMicros(QueryTrace::kPhaseRewrite, rw_micros);
+        }
+        if (rewritten != nullptr) {
+          StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
+          if (new_sql.ok()) {
+            result.used_summary_table = true;
+            result.summary_table = chosen;
+            result.rewritten_sql = std::move(*new_sql);
+            was_rewritten = true;
+            plan = std::move(rewritten);
+          } else {
+            // The rewrite can't be rendered/executed: degrade to base tables.
+            for (const SummaryTablePtr& st : used) RecordAstFailure(st.get());
+            result.degradation.degraded = true;
+            result.degradation.stage = "rewrite";
+            result.degradation.summary_table = chosen;
+            if (!result.degradation.message.empty()) {
+              result.degradation.message += "; ";
+            }
+            result.degradation.message += new_sql.status().ToString();
+            used.clear();
+          }
+        }
+      }
+      if (plan == nullptr) {
+        plan = std::make_unique<qgm::Graph>(qgm::Graph::CloneGraph(*original));
+        used.clear();
+      }
     }
-  }
+  }  // ddl_mu_ released — execution must not hold the catalog lock.
 
   engine::ExecOptions exec_options;
   exec_options.disable_hash_join = options.disable_hash_join;
@@ -631,15 +630,15 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   exec_options.trace = trace;
   exec_options.vectorized = options.vectorized;
   int64_t exec_start = MonotonicNanos();
-  engine::Executor executor(storage_, exec_options);
+  engine::Executor executor(snap, exec_options);
   StatusOr<engine::Relation> data = executor.Execute(*plan);
   if (!data.ok() && was_rewritten) {
     // Graceful degradation: the rewritten plan failed, so fall back to the
     // base tables — a summary table is an optimization, never a requirement.
-    for (const std::string& name : used) {
-      if (SummaryTable* st = FindSummaryTable(name)) RecordAstFailure(st);
-    }
-    if (result.plan_cache_hit) ForgetPlan(cache_key);  // entry is broken
+    // The retry runs against the SAME pinned snapshot, so the answer still
+    // reflects one consistent point in time.
+    for (const SummaryTablePtr& st : used) RecordAstFailure(st.get());
+    if (result.plan_cache_hit) plan_cache_.Forget(cache_key);  // broken entry
     result.degradation.degraded = true;
     result.degradation.stage = "execute";
     result.degradation.summary_table = result.summary_table;
@@ -649,14 +648,17 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
     result.summary_table.clear();
     result.rewritten_sql.clear();
     if (original == nullptr) {
-      // Cache hit: the base-table form was never built this call.
+      // Cache hit: the base-table form was never built this call. Re-parse
+      // under the shared lock (the catalog may be newer than the snapshot;
+      // for the table/column facts parsing needs, that is compatible).
+      std::shared_lock<std::shared_mutex> lock(ddl_mu_);
       SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                               sql::Parse(sql));
       SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph,
                               qgm::BuildGraph(*stmt, catalog_));
       original = std::make_unique<qgm::Graph>(std::move(graph));
     }
-    engine::Executor retry(storage_, exec_options);
+    engine::Executor retry(snap, exec_options);
     data = retry.Execute(*original);
   }
   {
@@ -676,14 +678,15 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   if (result.degradation.degraded) degraded_queries->Increment();
   if (result.used_summary_table) {
     // Serving through the AST(s) worked: clear their failure streaks.
-    for (const std::string& name : used) {
-      if (SummaryTable* st = FindSummaryTable(name)) {
-        st->consecutive_failures = 0;
-      }
+    for (const SummaryTablePtr& st : used) {
+      st->consecutive_failures.store(0, std::memory_order_release);
     }
   }
   // 3. Memoize the decision — only a plan that parsed, matched, and executed
-  //    cleanly this call (a fallback plan is not the search's answer).
+  //    cleanly this call (a fallback plan is not the search's answer). The
+  //    entry is stamped with the generation and epochs observed at planning
+  //    time, so a load/DDL that raced past us invalidates it on next lookup
+  //    instead of serving a stale decision as current.
   if (options.enable_plan_cache && !result.plan_cache_hit &&
       !result.degradation.degraded && original != nullptr) {
     CachedPlan entry;
@@ -692,31 +695,34 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
     entry.summary_table = result.summary_table;
     entry.rewritten_sql = result.rewritten_sql;
     entry.candidate_rewrites = result.candidate_rewrites;
-    entry.used_asts = used;
+    for (const SummaryTablePtr& st : used) entry.used_asts.push_back(st->name);
+    entry.generation = plan_generation;
     for (const std::string& table : LeafTables(*original)) {
-      entry.base_epochs[ToLower(table)] = storage_.Epoch(table);
+      entry.base_epochs[ToLower(table)] = snap.Epoch(ToLower(table));
     }
-    InsertPlan(cache_key, std::move(entry));
+    plan_cache_.Insert(cache_key, std::move(entry));
   }
   result.relation = std::move(*data);
   return result;
 }
 
 StatusOr<std::string> Database::Explain(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+  engine::Storage::Snapshot snap = storage_.Snap();
   SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                           sql::Parse(sql));
   SUMTAB_ASSIGN_OR_RETURN(qgm::Graph graph, qgm::BuildGraph(*stmt, catalog_));
   std::string out = "-- original QGM --\n" + qgm::ToString(graph);
   std::string chosen;
   int candidates = 0;
-  std::vector<std::string> used;
+  std::vector<SummaryTablePtr> used;
   QueryDegradation degradation;
   int skipped = 0;
   for (const auto& st : summary_tables_) {
     if (!UsableForRewrite(*st, /*allow_stale=*/false)) ++skipped;
   }
   std::unique_ptr<qgm::Graph> rewritten = TryRewrite(
-      graph, QueryOptions{}, &chosen, &candidates, &used, &degradation);
+      graph, snap, QueryOptions{}, &chosen, &candidates, &used, &degradation);
   out += "-- candidate rewrites: " + std::to_string(candidates) + "\n";
   if (skipped > 0) {
     out += "-- skipped " + std::to_string(skipped) +
@@ -740,6 +746,9 @@ StatusOr<std::string> Database::Explain(const std::string& sql) {
 StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
                                                const QueryOptions& options) {
   QueryTrace trace;
+  std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+  engine::Storage::Snapshot snap = storage_.Snap();
+  int64_t generation = catalog_generation_.load(std::memory_order_acquire);
 
   // Plan-cache fate first, exactly as Query() would see it. This is a real
   // lookup — a hit refreshes the LRU, a stale entry is dropped — but EXPLAIN
@@ -748,14 +757,16 @@ StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
   if (options.enable_plan_cache) {
     CachedPlan cached;
     std::string cause;
-    switch (LookupPlan(PlanCacheKey(sql, options), options, &cached, &cause)) {
-      case CacheLookup::kHit:
+    switch (plan_cache_.LookupAndValidate(
+        PlanCacheKey(sql, options), PlanValidator(snap, generation, options),
+        &cached, &cause)) {
+      case ShardedPlanCache::Lookup::kHit:
         trace.SetPlanCache(PlanCacheOutcome::kHit, "");
         break;
-      case CacheLookup::kMiss:
+      case ShardedPlanCache::Lookup::kMiss:
         trace.SetPlanCache(PlanCacheOutcome::kMiss, "");
         break;
-      case CacheLookup::kInvalidated:
+      case ShardedPlanCache::Lookup::kInvalidated:
         trace.SetPlanCache(PlanCacheOutcome::kInvalidated, cause);
         break;
     }
@@ -772,12 +783,12 @@ StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
 
   std::string chosen;
   int candidates = 0;
-  std::vector<std::string> used;
+  std::vector<SummaryTablePtr> used;
   QueryDegradation degradation;
   int64_t rw0 = MonotonicNanos();
   std::unique_ptr<qgm::Graph> rewritten;
   if (options.enable_rewrite) {
-    rewritten = TryRewrite(graph, options, &chosen, &candidates, &used,
+    rewritten = TryRewrite(graph, snap, options, &chosen, &candidates, &used,
                            &degradation, &trace);
   } else {
     trace.AddNote("rewriting disabled by options");

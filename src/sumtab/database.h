@@ -13,14 +13,25 @@
 //       "from trans group by faid, flid, year(date)");
 //   auto result = db.Query("select ... from trans ... group by ...");
 //   // result->used_summary_table == true when rerouted.
+//
+// Thread-safety (DESIGN.md, "Concurrent serving"): Query / Explain /
+// ExplainRewrite / Stats may be called from any number of threads
+// concurrently with each other and with the mutators (BulkLoad / Append /
+// DefineSummaryTable / RefreshSummaryTable / DDL). Each query plans under a
+// shared catalog lock and executes against a storage snapshot pinned at
+// query start, so a concurrent load or maintenance pass never torn-reads a
+// serving query — it either sees the whole change or none of it. The
+// serving::Server / serving::Session layer adds admission control and
+// inter-query scheduling on top of this class.
 #ifndef SUMTAB_SUMTAB_DATABASE_H_
 #define SUMTAB_SUMTAB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +42,7 @@
 #include "engine/executor.h"
 #include "engine/relation.h"
 #include "qgm/qgm.h"
+#include "sumtab/plan_cache.h"
 
 namespace sumtab {
 
@@ -233,11 +245,18 @@ class Database {
     qgm::Graph graph;  // definition over base tables
     /// Base-table epochs captured when the materialization last matched the
     /// base data (define / refresh / successful incremental maintenance).
+    /// Written under the exclusive DDL lock; read under the shared lock.
     std::map<std::string, int64_t> materialized_epochs;
     int64_t max_staleness = 0;
-    int consecutive_failures = 0;
-    bool disabled = false;  // quarantined until the next successful refresh
+    /// Failure/quarantine streaks are written from the post-execution path
+    /// of concurrent queries (no lock held), so they are atomics.
+    std::atomic<int> consecutive_failures{0};
+    std::atomic<bool> disabled{false};  // quarantined until next refresh
   };
+  /// Queries keep shared_ptr copies of the ASTs their plan spliced in, so a
+  /// concurrent DropSummaryTable cannot free an AST out from under the
+  /// post-execution bookkeeping.
+  using SummaryTablePtr = std::shared_ptr<SummaryTable>;
 
   /// Consecutive rewrite-path failures before an AST is quarantined.
   static constexpr int kQuarantineThreshold = 3;
@@ -245,54 +264,29 @@ class Database {
   /// Max cached plans; least-recently-used entries are evicted beyond it.
   static constexpr size_t kPlanCacheCapacity = 256;
 
-  /// One memoized rewrite decision (DESIGN.md, "Parallel execution and plan
-  /// caching"). Key = normalized SQL + the planning-relevant options;
-  /// validity = (catalog generation, epoch of every base table the original
-  /// query scans, serviceability of every spliced-in AST).
-  struct CachedPlan {
-    qgm::Graph plan;  // the graph Query() would execute (rewritten or not)
-    bool used_summary_table = false;
-    std::string summary_table;
-    std::string rewritten_sql;
-    int candidate_rewrites = 0;
-    std::vector<std::string> used_asts;
-    int64_t generation = 0;
-    /// Epochs of the original query's base tables at caching time. Any bump
-    /// (BulkLoad / Append) invalidates: the plan may scan an AST whose
-    /// content no longer reflects the base data.
-    std::map<std::string, int64_t> base_epochs;
-    std::list<std::string>::iterator lru_pos;
-  };
-
-  enum class CacheLookup { kHit, kMiss, kInvalidated };
-
   std::string PlanCacheKey(const std::string& sql,
                            const QueryOptions& options) const;
-  /// Validates + pops the entry for `key` under cache_mu_. On kHit, `*out`
-  /// receives a deep copy of the cached plan and its metadata. On
-  /// kInvalidated, `*invalidation_cause` (if non-null) names the trigger:
-  /// "generation", "epoch:<table>", or "ast:<name>".
-  CacheLookup LookupPlan(const std::string& key, const QueryOptions& options,
-                         CachedPlan* out,
-                         std::string* invalidation_cause = nullptr);
-  void InsertPlan(const std::string& key, CachedPlan entry);
-  /// Drops the entry for `key` (used when a cached plan fails to execute).
-  void ForgetPlan(const std::string& key);
+  /// Validator bound to one query's pinned snapshot + planning generation.
+  /// Must be invoked while holding ddl_mu_ (shared), since it consults the
+  /// summary-table registry.
+  ShardedPlanCache::Validator PlanValidator(
+      const engine::Storage::Snapshot& snap, int64_t generation,
+      const QueryOptions& options) const;
   /// DDL/AST-lifecycle change: bump the generation so every cached plan made
   /// before it is discarded on next lookup.
   void BumpGeneration();
 
   /// Best rewrite across the usable (fresh-enough, non-quarantined) ASTs —
-  /// fewest estimated scanned rows; null result when none matches. An AST
-  /// whose match/rewrite errors is skipped (failure recorded for quarantine
-  /// accounting and appended to `degradation`) instead of failing the
-  /// search. `used_asts` receives the ASTs spliced into the rewrite.
-  std::unique_ptr<qgm::Graph> TryRewrite(const qgm::Graph& query,
-                                         const QueryOptions& options,
-                                         std::string* chosen, int* candidates,
-                                         std::vector<std::string>* used_asts,
-                                         QueryDegradation* degradation,
-                                         QueryTrace* trace = nullptr);
+  /// fewest estimated scanned rows against `snap`; null result when none
+  /// matches. An AST whose match/rewrite errors is skipped (failure recorded
+  /// for quarantine accounting and appended to `degradation`) instead of
+  /// failing the search. `used_refs` receives the ASTs spliced into the
+  /// rewrite. Caller holds ddl_mu_ (shared or exclusive).
+  std::unique_ptr<qgm::Graph> TryRewrite(
+      const qgm::Graph& query, const engine::Storage::Snapshot& snap,
+      const QueryOptions& options, std::string* chosen, int* candidates,
+      std::vector<SummaryTablePtr>* used_refs, QueryDegradation* degradation,
+      QueryTrace* trace = nullptr);
 
   /// Query() body for a plain SELECT (Query() itself also routes
   /// "explain rewrite" statements to ExplainRewrite()).
@@ -307,23 +301,33 @@ class Database {
   void RecordAstFailure(SummaryTable* st);
   /// Marks `st` consistent with the current base epochs and revives it.
   void MarkRefreshed(SummaryTable* st);
-  SummaryTable* FindSummaryTable(const std::string& name);
-  const SummaryTable* FindSummaryTable(const std::string& name) const;
+  SummaryTablePtr FindSummaryTable(const std::string& name) const;
+  /// RefreshSummaryTable body; caller holds maint_mu_ but NOT ddl_mu_: the
+  /// recompute runs against stable storage (maint_mu_ excludes other
+  /// writers), then commits under a brief exclusive ddl_mu_ window.
+  Status RefreshUnderMaint(SummaryTable* st);
 
+  /// Serializes mutators (DDL, loads, maintenance) among themselves so each
+  /// can run its expensive compute phase — full-table copy-on-write builds,
+  /// delta aggregation, AST recomputes — without holding ddl_mu_ and thus
+  /// without stalling query planning. Lock order: maint_mu_ before ddl_mu_,
+  /// always; readers never touch maint_mu_.
+  mutable std::mutex maint_mu_;
+  /// Readers (query planning, freshness introspection) hold it shared;
+  /// mutators commit under it exclusively — and only for the commit (the
+  /// version pointer swaps + epoch/registry updates), microseconds even for
+  /// a multi-megabyte append, since the new versions were built under
+  /// maint_mu_ alone. Execution happens OUTSIDE the lock, against the
+  /// query's pinned storage snapshot, so a long scan never blocks an Append.
+  mutable std::shared_mutex ddl_mu_;
   catalog::Catalog catalog_;
   engine::Storage storage_;
-  std::vector<std::unique_ptr<SummaryTable>> summary_tables_;
+  std::vector<SummaryTablePtr> summary_tables_;
 
-  /// Rewrite-plan cache (LRU). cache_mu_ guards the map, LRU list, stats,
-  /// and generation counter — Database is not thread-safe as a whole, but
-  /// the cache bookkeeping is, so Stats() can be polled while queries run.
-  mutable std::mutex cache_mu_;
-  std::map<std::string, CachedPlan> plan_cache_;
-  std::list<std::string> plan_lru_;  // front = most recent
-  int64_t catalog_generation_ = 0;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  int64_t cache_invalidations_ = 0;
+  /// Rewrite-plan cache, mutex-sharded (src/sumtab/plan_cache.h); safe to
+  /// consult from any thread.
+  ShardedPlanCache plan_cache_;
+  std::atomic<int64_t> catalog_generation_{0};
 };
 
 }  // namespace sumtab

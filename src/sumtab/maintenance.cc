@@ -205,18 +205,36 @@ using maintenance::MergePlan;
 }  // namespace
 
 Status Database::RefreshSummaryTable(const std::string& name) {
-  SummaryTable* st = FindSummaryTable(name);
+  std::lock_guard<std::mutex> maint(maint_mu_);
+  SummaryTablePtr st;
+  {
+    // The registry is mutated only under both locks; shared suffices here.
+    std::shared_lock<std::shared_mutex> lock(ddl_mu_);
+    st = FindSummaryTable(name);
+  }
   if (st == nullptr) {
     return Status::NotFound("summary table '" + name + "'");
   }
+  return RefreshUnderMaint(st.get());
+}
+
+Status Database::RefreshUnderMaint(SummaryTable* st) {
   SUMTAB_FAULT_POINT("maintenance/refresh");
+  // Recompute without ddl_mu_: maint_mu_ excludes every other writer, so
+  // storage is stable and concurrent queries keep planning while the (full)
+  // re-aggregation runs.
   engine::Executor executor(storage_);
   SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(st->graph));
-  engine::Relation* stored = storage_.FindTableMutable(st->name);
+  const engine::Relation* stored = storage_.FindTable(st->name);
   if (stored == nullptr) {
     return Status::Internal("summary table data missing");
   }
-  stored->rows = std::move(data.rows);
+  engine::Relation updated;
+  updated.column_names = stored->column_names;
+  updated.rows = std::move(data.rows);
+  // Copy-on-write commit: queries pinned to the old version keep it.
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  SUMTAB_RETURN_NOT_OK(storage_.Replace(st->name, std::move(updated)));
   // A successful recompute is the one event that both re-captures the base
   // epochs and lifts a quarantine.
   MarkRefreshed(st);
@@ -225,6 +243,16 @@ Status Database::RefreshSummaryTable(const std::string& name) {
 
 StatusOr<Database::MaintenanceReport> Database::Append(
     const std::string& table, std::vector<Row> rows) {
+  // maint_mu_ serializes the whole append-and-maintain transaction against
+  // other mutators; ddl_mu_ is taken exclusively only for the commit window
+  // below, after every new version has been built. Concurrent queries either
+  // planned before the commit (and execute against their pinned pre-append
+  // snapshot) or plan after the base table and every incrementally-merged
+  // AST published together — they never observe the base table appended but
+  // a dependent AST unmerged. ASTs on the recompute path go visibly stale at
+  // the commit (their epochs lag) and stop serving rewrites until phase 4
+  // refreshes them; answers stay correct throughout, from base tables.
+  std::lock_guard<std::mutex> maint(maint_mu_);
   const catalog::Table* meta = catalog_.FindTable(table);
   if (meta == nullptr) {
     return Status::NotFound("table '" + table + "'");
@@ -246,10 +274,12 @@ StatusOr<Database::MaintenanceReport> Database::Append(
 
   // Phase 1: aggregate the delta through every incrementally-maintainable
   // AST (reads dimensions from storage, the appended table from the delta).
+  // Storage and the registry are stable under maint_mu_ alone.
   struct Pending {
     SummaryTable* st;
     MergePlan plan;
     engine::Relation delta_result;
+    engine::Relation merged;  // built in phase 3, published at the commit
   };
   std::vector<Pending> incremental;
   std::vector<SummaryTable*> recompute;
@@ -306,42 +336,47 @@ StatusOr<Database::MaintenanceReport> Database::Append(
         std::chrono::duration<double, std::milli>(end - start).count(), ""});
   }
 
-  // Phase 2: append the delta to the base table and version the change.
-  engine::Relation* base = storage_.FindTableMutable(meta->name);
-  base->rows.insert(base->rows.end(), delta.rows.begin(), delta.rows.end());
-  int64_t new_epoch = storage_.BumpEpoch(meta->name);
+  // Phase 2: build the base table's next copy-on-write version offline (the
+  // full-table copy is the expensive part of an append — it must not happen
+  // under ddl_mu_).
+  engine::Relation next_base = *stored_base;
+  next_base.rows.insert(next_base.rows.end(), delta.rows.begin(),
+                        delta.rows.end());
 
-  // Phase 3: merge the delta aggregates into the materialized tables.
+  // Phase 3: merge the delta aggregates into copies of the materialized
+  // tables, still offline.
   for (Pending& pending : incremental) {
-    engine::Relation* stored = storage_.FindTableMutable(pending.st->name);
-    if (stored == nullptr) {
+    const engine::Relation* current = storage_.FindTable(pending.st->name);
+    if (current == nullptr) {
       return Status::Internal("summary table data missing");
     }
+    pending.merged = *current;
+    engine::Relation& merged = pending.merged;
     if (pending.plan.spj_append) {
-      stored->rows.insert(stored->rows.end(),
-                          pending.delta_result.rows.begin(),
-                          pending.delta_result.rows.end());
+      merged.rows.insert(merged.rows.end(),
+                         pending.delta_result.rows.begin(),
+                         pending.delta_result.rows.end());
       continue;
     }
     std::unordered_map<Row, size_t, RowHash> index;
-    index.reserve(stored->rows.size());
+    index.reserve(merged.rows.size());
     auto key_of = [&pending](const Row& row) {
       Row key;
       key.reserve(pending.plan.key_cols.size());
       for (int c : pending.plan.key_cols) key.push_back(row[c]);
       return key;
     };
-    for (size_t i = 0; i < stored->rows.size(); ++i) {
-      index.emplace(key_of(stored->rows[i]), i);
+    for (size_t i = 0; i < merged.rows.size(); ++i) {
+      index.emplace(key_of(merged.rows[i]), i);
     }
     for (Row& drow : pending.delta_result.rows) {
       auto it = index.find(key_of(drow));
       if (it == index.end()) {
-        index.emplace(key_of(drow), stored->rows.size());
-        stored->rows.push_back(std::move(drow));
+        index.emplace(key_of(drow), merged.rows.size());
+        merged.rows.push_back(std::move(drow));
         continue;
       }
-      Row& existing = stored->rows[it->second];
+      Row& existing = merged.rows[it->second];
       for (const MergePlan::AggCol& agg : pending.plan.agg_cols) {
         existing[agg.col] =
             MergeAggregateValues(agg.func, existing[agg.col], drow[agg.col]);
@@ -349,13 +384,22 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     }
   }
 
-  // The merged ASTs now reflect the appended data: advance their recorded
-  // epoch for this table (other base tables' lags, if any, are untouched)
-  // and lift any quarantine — maintenance just succeeded.
-  for (Pending& pending : incremental) {
-    pending.st->materialized_epochs[meta->name] = new_epoch;
-    pending.st->consecutive_failures = 0;
-    pending.st->disabled = false;
+  // Commit: publish the appended base and every merged AST, bump the epoch,
+  // and advance the merged ASTs' recorded epochs (lifting any quarantine —
+  // maintenance just succeeded) in ONE exclusive window. The window is pure
+  // pointer swaps and map updates: queries see pre-append or post-append
+  // state, never the base appended with a dependent AST unmerged.
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    SUMTAB_RETURN_NOT_OK(storage_.Replace(meta->name, std::move(next_base)));
+    int64_t new_epoch = storage_.BumpEpoch(meta->name);
+    for (Pending& pending : incremental) {
+      SUMTAB_RETURN_NOT_OK(
+          storage_.Replace(pending.st->name, std::move(pending.merged)));
+      pending.st->materialized_epochs[meta->name] = new_epoch;
+      pending.st->consecutive_failures = 0;
+      pending.st->disabled = false;
+    }
   }
 
   // Phase 4: full recomputation for the rest. A refresh failure marks the
@@ -364,7 +408,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
   // routing through the un-refreshed table.
   for (SummaryTable* st : recompute) {
     auto start = std::chrono::steady_clock::now();
-    Status refreshed = RefreshSummaryTable(st->name);
+    Status refreshed = RefreshUnderMaint(st);
     auto end = std::chrono::steady_clock::now();
     double millis =
         std::chrono::duration<double, std::milli>(end - start).count();

@@ -1,0 +1,118 @@
+#include "sumtab/plan_cache.h"
+
+namespace sumtab {
+
+ShardedPlanCache::ShardedPlanCache(size_t capacity) {
+  shard_capacity_ = capacity / kNumShards;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (int i = 0; i < kNumShards; ++i) {
+    const std::string prefix = "plan_cache.shard" + std::to_string(i);
+    shards_[i].hits_counter = registry.counter(prefix + ".hits");
+    shards_[i].misses_counter = registry.counter(prefix + ".misses");
+    shards_[i].invalidations_counter =
+        registry.counter(prefix + ".invalidations");
+    shards_[i].contention_counter = registry.counter(prefix + ".contention");
+  }
+}
+
+ShardedPlanCache::Shard& ShardedPlanCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kNumShards];
+}
+
+std::unique_lock<std::mutex> ShardedPlanCache::Lock(const Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another query is in this shard right now: count it, then block. The
+    // counter is how the bench proves sharding moved contention off the
+    // warm path.
+    shard.contention_counter->Increment();
+    lock.lock();
+  }
+  return lock;
+}
+
+ShardedPlanCache::Lookup ShardedPlanCache::LookupAndValidate(
+    const std::string& key, const Validator& validator, CachedPlan* out,
+    std::string* invalidation_cause) {
+  static Counter* hits = MetricsRegistry::Global().counter("plan_cache.hits");
+  static Counter* misses =
+      MetricsRegistry::Global().counter("plan_cache.misses");
+  static Counter* invalidations =
+      MetricsRegistry::Global().counter("plan_cache.invalidations");
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock = Lock(shard);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    shard.misses_counter->Increment();
+    misses->Increment();
+    return Lookup::kMiss;
+  }
+  std::string cause = validator(it->second.plan);
+  if (!cause.empty()) {
+    ++shard.invalidations;
+    shard.invalidations_counter->Increment();
+    invalidations->Increment();
+    if (invalidation_cause != nullptr) *invalidation_cause = cause;
+    shard.lru.erase(it->second.lru_pos);
+    shard.entries.erase(it);
+    return Lookup::kInvalidated;
+  }
+  ++shard.hits;
+  shard.hits_counter->Increment();
+  hits->Increment();
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  const CachedPlan& entry = it->second.plan;
+  out->plan = qgm::Graph::CloneGraph(entry.plan);
+  out->used_summary_table = entry.used_summary_table;
+  out->summary_table = entry.summary_table;
+  out->rewritten_sql = entry.rewritten_sql;
+  out->candidate_rewrites = entry.candidate_rewrites;
+  out->used_asts = entry.used_asts;
+  out->generation = entry.generation;
+  out->base_epochs = entry.base_epochs;
+  return Lookup::kHit;
+}
+
+void ShardedPlanCache::Insert(const std::string& key, CachedPlan entry) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock = Lock(shard);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    shard.lru.erase(it->second.lru_pos);
+    shard.entries.erase(it);
+  }
+  shard.lru.push_front(key);
+  Node node;
+  node.plan = std::move(entry);
+  node.lru_pos = shard.lru.begin();
+  shard.entries.emplace(key, std::move(node));
+  while (shard.entries.size() > shard_capacity_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+  }
+}
+
+void ShardedPlanCache::Forget(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lock = Lock(shard);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) return;
+  shard.lru.erase(it->second.lru_pos);
+  shard.entries.erase(it);
+}
+
+ShardedPlanCache::Stats ShardedPlanCache::TotalStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lock = Lock(shard);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.invalidations += shard.invalidations;
+    stats.entries += static_cast<int64_t>(shard.entries.size());
+  }
+  return stats;
+}
+
+}  // namespace sumtab

@@ -1,0 +1,122 @@
+// Mutex-sharded LRU cache of rewrite-plan decisions.
+//
+// PR 4 introduced the plan cache as one map under one mutex; under a
+// concurrent serving load every warm-cache query serializes on that lock.
+// This version hashes keys across kNumShards independent partitions, each
+// with its own mutex, map, LRU list, and counters, so unrelated queries
+// proceed in parallel and a contended acquisition is visible in the metrics
+// (plan_cache.shard<i>.contention counts lock acquisitions that had to
+// block). Validation policy (catalog generation, base-table epochs, AST
+// serviceability) stays with the caller — Database supplies it as a
+// validator callback so the cache itself has no coupling to freshness
+// bookkeeping.
+#ifndef SUMTAB_SUMTAB_PLAN_CACHE_H_
+#define SUMTAB_SUMTAB_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "qgm/qgm.h"
+
+namespace sumtab {
+
+/// One memoized rewrite decision (DESIGN.md, "Parallel execution and plan
+/// caching"). Key = normalized SQL + the planning-relevant options;
+/// validity = (catalog generation, epoch of every base table the original
+/// query scans, serviceability of every spliced-in AST) — judged by the
+/// caller's validator at lookup time.
+struct CachedPlan {
+  qgm::Graph plan;  // the graph Query() would execute (rewritten or not)
+  bool used_summary_table = false;
+  std::string summary_table;
+  std::string rewritten_sql;
+  int candidate_rewrites = 0;
+  std::vector<std::string> used_asts;
+  /// Catalog generation at planning time. Any DDL/AST-lifecycle bump after
+  /// it invalidates the entry.
+  int64_t generation = 0;
+  /// Epochs of the original query's base tables at planning time. Any bump
+  /// (BulkLoad / Append) invalidates: the plan may scan an AST whose
+  /// content no longer reflects the base data.
+  std::map<std::string, int64_t> base_epochs;
+};
+
+class ShardedPlanCache {
+ public:
+  static constexpr int kNumShards = 8;
+
+  /// `capacity` is the total entry budget, split evenly across shards;
+  /// least-recently-used entries are evicted per shard beyond it.
+  explicit ShardedPlanCache(size_t capacity);
+  ShardedPlanCache(const ShardedPlanCache&) = delete;
+  ShardedPlanCache& operator=(const ShardedPlanCache&) = delete;
+
+  enum class Lookup { kHit, kMiss, kInvalidated };
+
+  /// Returns "" when the entry is still valid, else the invalidation cause
+  /// ("generation", "epoch:<table>", or "ast:<name>"). Called with the
+  /// shard lock held, so it must not re-enter the cache.
+  using Validator = std::function<std::string(const CachedPlan&)>;
+
+  /// Validates + pops the entry for `key`. On kHit, `*out` receives a deep
+  /// copy of the cached plan and the entry moves to the front of its
+  /// shard's LRU. On kInvalidated, the entry is dropped and
+  /// `*invalidation_cause` (if non-null) receives the validator's verdict.
+  Lookup LookupAndValidate(const std::string& key, const Validator& validator,
+                           CachedPlan* out,
+                           std::string* invalidation_cause = nullptr);
+
+  /// Inserts/replaces the entry for `key`, evicting LRU entries beyond the
+  /// shard's capacity.
+  void Insert(const std::string& key, CachedPlan entry);
+
+  /// Drops the entry for `key` (used when a cached plan fails to execute).
+  void Forget(const std::string& key);
+
+  /// Aggregated counters across shards (Database::Stats()).
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+    int64_t entries = 0;
+  };
+  Stats TotalStats() const;
+
+ private:
+  struct Node {
+    CachedPlan plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, Node> entries;
+    std::list<std::string> lru;  // front = most recent
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t invalidations = 0;
+    // Registered once per shard at construction; increments are lock-free.
+    Counter* hits_counter = nullptr;
+    Counter* misses_counter = nullptr;
+    Counter* invalidations_counter = nullptr;
+    Counter* contention_counter = nullptr;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  /// Locks a shard, counting acquisitions that had to block.
+  static std::unique_lock<std::mutex> Lock(const Shard& shard);
+
+  size_t shard_capacity_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace sumtab
+
+#endif  // SUMTAB_SUMTAB_PLAN_CACHE_H_

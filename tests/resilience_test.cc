@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "serving/session.h"
 #include "tests/test_util.h"
 
 namespace sumtab {
@@ -362,6 +363,52 @@ TEST_F(ResilienceTest, BudgetFailureOnRewrittenPlanFallsBack) {
   EXPECT_FALSE(degraded.used_summary_table);
   EXPECT_TRUE(degraded.degradation.degraded);
   EXPECT_TRUE(engine::SameRowMultiset(degraded.relation, expected));
+}
+
+// ---- serving-layer fault points ----
+// The serving layer adds two seams: "serving/admission" (the admission
+// decision itself fails — e.g. the controller's backing state is sick) and
+// "serving/snapshot" (the pinned read point is reported unusable, and the
+// session transparently re-pins).
+
+TEST_F(ResilienceTest, AdmissionFaultSurfacesInjectedStatus) {
+  serving::Server server(db_.get());
+  auto session = server.CreateSession();
+  ScopedFault fault("serving/admission",
+                    Status::Internal("injected admission failure"), 1);
+  auto result = session->Query("select count(*) as c from trans");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInternal);
+  // The fault consumed its budget: the next query is admitted normally.
+  auto retry = session->Query("select count(*) as c from trans");
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(ResilienceTest, StaleSnapshotIsRetriedTransparently) {
+  serving::Server server(db_.get());
+  auto session = server.CreateSession();
+  // Two stale reports, then the re-pin succeeds: the caller never sees the
+  // retries except through the session stats.
+  FaultInjector::Instance().Arm("serving/snapshot",
+                                Status::NotSupported("injected stale snapshot"), 2);
+  auto result = session->Query("select count(*) as c from trans");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->relation.rows[0][0].AsInt(), 1000);
+  EXPECT_EQ(session->GetStats().snapshot_retries, 2);
+  EXPECT_EQ(session->GetStats().queries, 1);
+}
+
+TEST_F(ResilienceTest, PersistentlyStaleSnapshotFailsAfterBoundedRetries) {
+  serving::Server server(db_.get());
+  auto session = server.CreateSession();
+  ScopedFault fault("serving/snapshot",
+                    Status::NotSupported("injected stale snapshot"), -1);
+  auto result = session->Query("select count(*) as c from trans");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotSupported);
+  // Retry ceiling, not an infinite loop: exactly kMaxSnapshotRetries trips.
+  EXPECT_EQ(session->GetStats().snapshot_retries, 3);
+  EXPECT_EQ(session->GetStats().rejected, 1);
 }
 
 }  // namespace

@@ -1,0 +1,286 @@
+// Concurrent serving layer (DESIGN.md, "Concurrent serving: sessions,
+// snapshots, admission"): session handles over one Database, admission
+// control with structured kResourceExhausted rejects, session resource
+// ceilings, the fair scheduler's virtual-time bookkeeping, and the
+// mutex-sharded plan cache's per-shard counters. Deterministic single- and
+// two-thread cases live here; the many-session torn-read hunt is
+// serving_stress_test.cc.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/reject_reason.h"
+#include "serving/session.h"
+#include "tests/test_util.h"
+
+namespace sumtab {
+namespace {
+
+using serving::AdmissionController;
+using serving::AdmissionOptions;
+using serving::FairScheduler;
+using serving::Server;
+using serving::Session;
+using serving::SessionOptions;
+
+constexpr char kCountQuery[] = "select count(*) as c from trans";
+constexpr char kGroupQuery[] =
+    "select faid, count(*) as cnt from trans group by faid";
+constexpr char kAstDef[] =
+    "select faid, flid, count(*) as cnt from trans group by faid, flid";
+
+RejectReason SubcodeOf(const Status& status) {
+  return RejectReasonFromStatus(status);
+}
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    db_ = testing::MakeCardDb(1000);
+  }
+  void TearDown() override { FaultInjector::Instance().Reset(); }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ServingTest, SessionServesQueriesAndCountsStats) {
+  Server server(db_.get());
+  std::shared_ptr<Session> session = server.CreateSession();
+  StatusOr<QueryResult> cold = session->Query(kGroupQuery);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  StatusOr<QueryResult> warm = session->Query(kGroupQuery);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  EXPECT_TRUE(engine::SameRowMultiset(cold->relation, warm->relation));
+
+  serving::SessionStats stats = session->GetStats();
+  EXPECT_EQ(stats.queries, 2);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_GT(stats.rows_returned, 0);
+
+  AdmissionController::Stats admission = server.admission().GetStats();
+  EXPECT_EQ(admission.admitted, 2);
+  EXPECT_EQ(admission.in_flight, 0);  // permits returned
+}
+
+TEST_F(ServingTest, SessionsAreIndependentHandles) {
+  Server server(db_.get());
+  std::shared_ptr<Session> a = server.CreateSession();
+  std::shared_ptr<Session> b = server.CreateSession();
+  EXPECT_NE(a->id(), b->id());
+  ASSERT_TRUE(a->Query(kCountQuery).ok());
+  EXPECT_EQ(a->GetStats().queries, 1);
+  EXPECT_EQ(b->GetStats().queries, 0);
+}
+
+TEST_F(ServingTest, ClosedSessionRejectsWithSubcode) {
+  Server server(db_.get());
+  std::shared_ptr<Session> session = server.CreateSession();
+  session->Close();
+  StatusOr<QueryResult> result = session->Query(kCountQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kSessionClosed);
+  EXPECT_EQ(session->GetStats().rejected, 1);
+}
+
+TEST_F(ServingTest, ShutdownRejectsNewQueriesOnEverySession) {
+  Server server(db_.get());
+  std::shared_ptr<Session> session = server.CreateSession();
+  ASSERT_TRUE(session->Query(kCountQuery).ok());
+  server.Shutdown();
+  StatusOr<QueryResult> result = session->Query(kCountQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kServerShuttingDown);
+}
+
+TEST_F(ServingTest, SessionInFlightLimitRejectsWithSubcode) {
+  Server server(db_.get());
+  SessionOptions opts;
+  opts.max_in_flight = 0;  // degenerate ceiling: every query is over it
+  std::shared_ptr<Session> session = server.CreateSession(opts);
+  StatusOr<QueryResult> result = session->Query(kCountQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kSessionInFlightLimit);
+  // The reject happened before admission: no slot was consumed.
+  EXPECT_EQ(server.admission().GetStats().admitted, 0);
+}
+
+TEST_F(ServingTest, AdmissionQueueFullRejectsImmediately) {
+  AdmissionOptions admission;
+  admission.max_concurrent = 0;  // no slots ever
+  admission.max_queued = 0;      // and no waiting room
+  Server server(db_.get(), admission);
+  std::shared_ptr<Session> session = server.CreateSession();
+  StatusOr<QueryResult> result = session->Query(kCountQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kAdmissionQueueFull);
+  EXPECT_EQ(server.admission().GetStats().rejected_queue_full, 1);
+  EXPECT_EQ(session->GetStats().rejected, 1);
+}
+
+TEST_F(ServingTest, AdmissionTimeoutRejectsAfterBoundedWait) {
+  AdmissionOptions admission;
+  admission.max_concurrent = 0;
+  admission.max_queued = 4;  // waiting room exists, but no slot ever frees
+  admission.max_wait_millis = 20;
+  Server server(db_.get(), admission);
+  std::shared_ptr<Session> session = server.CreateSession();
+  StatusOr<QueryResult> result = session->Query(kCountQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kAdmissionTimeout);
+  EXPECT_EQ(server.admission().GetStats().rejected_timeout, 1);
+}
+
+TEST_F(ServingTest, QueuedQueryGetsSlotWhenOneFrees) {
+  AdmissionOptions admission;
+  admission.max_concurrent = 1;
+  admission.max_queued = 4;
+  admission.max_wait_millis = 5000;
+  Server server(db_.get(), admission);
+  std::shared_ptr<Session> a = server.CreateSession();
+  std::shared_ptr<Session> b = server.CreateSession();
+  // Two threads compete for one slot: both must succeed — the loser waits in
+  // the admission queue rather than being shed.
+  std::thread t_a([&] {
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(a->Query(kGroupQuery).ok());
+  });
+  std::thread t_b([&] {
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(b->Query(kGroupQuery).ok());
+  });
+  t_a.join();
+  t_b.join();
+  AdmissionController::Stats stats = server.admission().GetStats();
+  EXPECT_EQ(stats.admitted, 10);
+  EXPECT_EQ(stats.rejected_queue_full + stats.rejected_timeout, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+}
+
+TEST_F(ServingTest, SessionCeilingClampsRowBudget) {
+  Server server(db_.get());
+  SessionOptions opts;
+  opts.max_rows = 10;  // far below what the group-by materializes
+  std::shared_ptr<Session> session = server.CreateSession(opts);
+  QueryOptions unlimited;  // the query asks for no budget at all
+  StatusOr<QueryResult> result = session->Query(kGroupQuery, unlimited);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Status::Code::kResourceExhausted);
+  // The executor's row budget fired, not an admission reject.
+  EXPECT_EQ(SubcodeOf(result.status()), RejectReason::kNone);
+}
+
+TEST_F(ServingTest, SnapshotReadsServeRewritesThroughServer) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  Server server(db_.get());
+  std::shared_ptr<Session> session = server.CreateSession();
+  StatusOr<QueryResult> result = session->Query(kGroupQuery);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_summary_table);
+  // The serving path answers identically to the direct Database path.
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  StatusOr<QueryResult> direct = db_->Query(kGroupQuery, no_rewrite);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(engine::SameRowMultiset(direct->relation, result->relation));
+}
+
+// ---- fair scheduler ----
+
+TEST_F(ServingTest, SchedulerTicketVirtualTimeAdvancesByWeight) {
+  FairScheduler scheduler;
+  std::shared_ptr<serving::Ticket> light = scheduler.Register(/*weight=*/1);
+  std::shared_ptr<serving::Ticket> heavy = scheduler.Register(/*weight=*/2);
+  EXPECT_EQ(light->vtime(), heavy->vtime());  // newcomers start level
+  for (int i = 0; i < 100; ++i) {
+    light->Checkpoint();
+    heavy->Checkpoint();
+  }
+  // Same work, half the aging: the weight-2 ticket is "behind", so the
+  // scheduler will favor it — that IS the 2x share.
+  EXPECT_GT(light->vtime(), heavy->vtime());
+  scheduler.Unregister(light);
+  scheduler.Unregister(heavy);
+  EXPECT_EQ(scheduler.GetStats().active, 0);
+}
+
+TEST_F(ServingTest, SchedulerNewcomerStartsAtActiveMinimum) {
+  FairScheduler scheduler;
+  std::shared_ptr<serving::Ticket> old_ticket = scheduler.Register();
+  for (int i = 0; i < 1000; ++i) old_ticket->Checkpoint();
+  std::shared_ptr<serving::Ticket> newcomer = scheduler.Register();
+  // The newcomer neither pays the veteran's debt nor arrives at zero with a
+  // huge claim on the pool: it starts exactly at the current minimum (the
+  // veteran's vtime, since it is the only active ticket).
+  EXPECT_EQ(newcomer->vtime(), old_ticket->vtime());
+  EXPECT_GT(newcomer->vtime(), 0);
+  scheduler.Unregister(old_ticket);
+  scheduler.Unregister(newcomer);
+}
+
+TEST_F(ServingTest, SchedulerRunsSubmittedTasksOnItsPool) {
+  // Private 2-worker pool so this test is independent of the host's core
+  // count (the shared pool has zero workers on a 1-core machine).
+  ThreadPool pool(2);
+  FairScheduler scheduler(&pool);
+  std::shared_ptr<serving::Ticket> ticket = scheduler.Register();
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    ticket->Submit([&] {
+      if (ran.fetch_add(1, std::memory_order_acq_rel) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] {
+    return ran.load(std::memory_order_acquire) == kTasks;
+  }));
+  FairScheduler::Stats stats = scheduler.GetStats();
+  EXPECT_EQ(stats.submitted, kTasks);
+  EXPECT_EQ(stats.executed, kTasks);
+  scheduler.Unregister(ticket);
+}
+
+// ---- sharded plan cache ----
+
+TEST_F(ServingTest, ShardedCacheCountersSumToAggregate) {
+  MetricsRegistry::Global().ResetAll();
+  Server server(db_.get());
+  std::shared_ptr<Session> session = server.CreateSession();
+  // Several distinct queries spread across shards, then re-run for hits.
+  std::vector<std::string> queries = {
+      kCountQuery, kGroupQuery,
+      "select flid, count(*) as cnt from trans group by flid",
+      "select faid, sum(qty) as s from trans group by faid"};
+  for (const std::string& q : queries) ASSERT_TRUE(session->Query(q).ok());
+  for (const std::string& q : queries) ASSERT_TRUE(session->Query(q).ok());
+
+  MetricsRegistry::Snapshot snap = MetricsRegistry::Global().Snap();
+  int64_t shard_hits = 0;
+  int64_t shard_misses = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("plan_cache.shard", 0) != 0) continue;
+    if (name.find(".hits") != std::string::npos) shard_hits += value;
+    if (name.find(".misses") != std::string::npos) shard_misses += value;
+  }
+  EXPECT_EQ(shard_hits, snap.counters.at("plan_cache.hits"));
+  EXPECT_EQ(shard_misses, snap.counters.at("plan_cache.misses"));
+  EXPECT_EQ(shard_hits, 4);
+  EXPECT_EQ(shard_misses, 4);
+  // Database::Stats aggregates the same shard-local counters.
+  DatabaseStats stats = db_->Stats();
+  EXPECT_EQ(stats.plan_cache_hits, shard_hits);
+  EXPECT_EQ(stats.plan_cache_misses, shard_misses);
+}
+
+}  // namespace
+}  // namespace sumtab
