@@ -25,17 +25,25 @@
 // stream and the headline p99_vs_solo_ratio (how much the heavy+append
 // traffic inflates cheap-query tail latency).
 //
+// A fourth leg prices durability: append throughput with the WAL off
+// (in-memory), in strict fsync-per-commit mode, and in relaxed group-commit
+// mode; checkpoint write cost; and the restart path (Database::Open over a
+// checkpoint + WAL suffix until the first query answers), reported as
+// restart-to-first-query time and replay records/sec in BENCH_pr8.json.
+//
 // Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
-//                     [--out-serving PATH]
-//   --quick        small data sizes + fewer reps (CI smoke mode)
-//   --out          matrix-leg JSON path (default BENCH_pr3.json)
-//   --out-vec      vectorized-leg JSON path (default BENCH_pr5.json)
-//   --out-serving  serving-leg JSON path (default BENCH_pr7.json)
+//                     [--out-serving PATH] [--out-durability PATH]
+//   --quick           small data sizes + fewer reps (CI smoke mode)
+//   --out             matrix-leg JSON path (default BENCH_pr3.json)
+//   --out-vec         vectorized-leg JSON path (default BENCH_pr5.json)
+//   --out-serving     serving-leg JSON path (default BENCH_pr7.json)
+//   --out-durability  durability-leg JSON path (default BENCH_pr8.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -637,6 +645,207 @@ void RunServingLeg(bool quick, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- durability leg (BENCH_pr8.json) ----
+
+struct AppendThroughput {
+  double seconds = 0;
+  int64_t rows = 0;
+  double rows_per_sec() const { return seconds > 0 ? rows / seconds : 0; }
+};
+
+std::vector<Row> DurabilityRows(int64_t start_a, int n) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    rows.push_back(Row{Value::Int(start_a + i), Value::Int((start_a + i) % 97),
+                       Value::Int((start_a + i) % 16)});
+  }
+  return rows;
+}
+
+// Schema + AST + seed data shared by every mode, so the appends always pay
+// for incremental AST maintenance too (that is the realistic write path).
+void SetupDurabilitySchema(Database* db) {
+  Status st = db->CreateTable("t",
+                              {{"a", Type::kInt, false},
+                               {"b", Type::kInt, false},
+                               {"g", Type::kInt, false}},
+                              {"a"});
+  if (st.ok()) st = db->BulkLoad("t", DurabilityRows(0, 5000));
+  if (st.ok()) {
+    st = db->DefineSummaryTable(
+               "ast_g", "select g, count(*) as c, sum(b) as s from t group by g")
+             .status();
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "durability leg setup failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+AppendThroughput RunAppendWorkload(Database* db, int batches, int batch_rows,
+                                   int64_t start_a) {
+  AppendThroughput result;
+  auto t0 = BenchClock::now();
+  for (int i = 0; i < batches; ++i) {
+    auto report =
+        db->Append("t", DurabilityRows(start_a + i * batch_rows, batch_rows));
+    if (!report.ok()) {
+      std::fprintf(stderr, "durability leg append failed: %s\n",
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    result.rows += batch_rows;
+  }
+  result.seconds =
+      std::chrono::duration<double>(BenchClock::now() - t0).count();
+  return result;
+}
+
+void RunDurabilityLeg(bool quick, const std::string& path) {
+  namespace fs = std::filesystem;
+  bench::PrintHeader("durability: WAL append cost, checkpoint, restart");
+  const int batches = quick ? 40 : 150;
+  const int batch_rows = 200;
+  const std::string root =
+      (fs::temp_directory_path() / "sumtab_bench_durability").string();
+  fs::remove_all(root);
+
+  // WAL off: the pure in-memory append path as the baseline.
+  AppendThroughput memory;
+  {
+    Database db;
+    SetupDurabilitySchema(&db);
+    memory = RunAppendWorkload(&db, batches, batch_rows, 1000000);
+  }
+
+  // Strict: fsync'd group commit before every publish.
+  AppendThroughput strict;
+  double checkpoint_ms = 0;
+  int64_t checkpoint_bytes = 0;
+  int64_t strict_wal_records = 0, strict_wal_bytes = 0;
+  double restart_ms = 0, replay_per_sec = 0;
+  int64_t replayed = 0;
+  {
+    DatabaseOptions options;
+    options.data_dir = root + "/strict";
+    auto db = Database::Open(options);
+    if (!db.ok()) {
+      std::fprintf(stderr, "durability leg open failed: %s\n",
+                   db.status().ToString().c_str());
+      std::exit(1);
+    }
+    SetupDurabilitySchema(db->get());
+    strict = RunAppendWorkload(db->get(), batches, batch_rows, 1000000);
+
+    auto t0 = BenchClock::now();
+    Status st = (*db)->Checkpoint();
+    checkpoint_ms =
+        std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+            .count();
+    if (!st.ok()) {
+      std::fprintf(stderr, "durability leg checkpoint failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    for (const auto& entry : fs::directory_iterator(options.data_dir)) {
+      if (entry.path().filename().string().rfind("ckpt-", 0) == 0) {
+        checkpoint_bytes = static_cast<int64_t>(entry.file_size());
+      }
+    }
+    // Leave a WAL suffix behind the checkpoint so the restart below has
+    // records to replay (half the workload again).
+    RunAppendWorkload(db->get(), batches / 2, batch_rows, 2000000);
+    DurabilityStats ds = (*db)->Stats().durability;
+    strict_wal_records = ds.wal_records;
+    strict_wal_bytes = ds.wal_bytes;
+  }
+  {
+    // Restart-to-first-query: open (checkpoint load + WAL replay) plus one
+    // warm-path query, timed as one figure — what a process restart costs.
+    DatabaseOptions options;
+    options.data_dir = root + "/strict";
+    auto t0 = BenchClock::now();
+    auto db = Database::Open(options);
+    if (!db.ok()) std::exit(1);
+    auto first = (*db)->Query("select g, count(*) as c from t group by g");
+    restart_ms =
+        std::chrono::duration<double, std::milli>(BenchClock::now() - t0)
+            .count();
+    if (!first.ok()) std::exit(1);
+    replayed = (*db)->Stats().durability.recovery_replayed_records;
+    replay_per_sec =
+        restart_ms > 0 ? replayed / (restart_ms / 1000.0) : 0;
+  }
+
+  // Relaxed: group commit within the flush interval, no per-op fsync.
+  AppendThroughput relaxed;
+  {
+    DatabaseOptions options;
+    options.data_dir = root + "/relaxed";
+    options.wal_sync = false;
+    auto db = Database::Open(options);
+    if (!db.ok()) std::exit(1);
+    SetupDurabilitySchema(db->get());
+    relaxed = RunAppendWorkload(db->get(), batches, batch_rows, 1000000);
+  }
+  fs::remove_all(root);
+
+  auto slowdown = [](const AppendThroughput& base,
+                     const AppendThroughput& mode) {
+    return mode.rows_per_sec() > 0
+               ? base.rows_per_sec() / mode.rows_per_sec()
+               : 0.0;
+  };
+  std::printf("append    : memory %10.0f rows/s | strict %10.0f rows/s "
+              "(%.2fx slower) | relaxed %10.0f rows/s (%.2fx slower)\n",
+              memory.rows_per_sec(), strict.rows_per_sec(),
+              slowdown(memory, strict), relaxed.rows_per_sec(),
+              slowdown(memory, relaxed));
+  std::printf("checkpoint: %.2f ms, %lld bytes\n", checkpoint_ms,
+              static_cast<long long>(checkpoint_bytes));
+  std::printf("restart   : %.2f ms to first query, %lld records replayed "
+              "(%.0f records/s)\n",
+              restart_ms, static_cast<long long>(replayed), replay_per_sec);
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  auto mode_json = [&](const char* name, const AppendThroughput& t,
+                       const char* trailing) {
+    std::fprintf(f,
+                 "    \"%s\": {\"rows\": %lld, \"seconds\": %.4f, "
+                 "\"rows_per_sec\": %.1f, \"slowdown_vs_memory\": %.3f}%s\n",
+                 name, static_cast<long long>(t.rows), t.seconds,
+                 t.rows_per_sec(), slowdown(memory, t), trailing);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"pr8\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"append\": {\n");
+  std::fprintf(f, "    \"batches\": %d,\n    \"batch_rows\": %d,\n", batches,
+               batch_rows);
+  mode_json("memory", memory, ",");
+  mode_json("wal_strict", strict, ",");
+  mode_json("wal_relaxed", relaxed, "");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"checkpoint\": {\"write_ms\": %.4f, \"bytes\": %lld, "
+               "\"wal_records\": %lld, \"wal_bytes\": %lld},\n",
+               checkpoint_ms, static_cast<long long>(checkpoint_bytes),
+               static_cast<long long>(strict_wal_records),
+               static_cast<long long>(strict_wal_bytes));
+  std::fprintf(f,
+               "  \"restart\": {\"restart_to_first_query_ms\": %.4f, "
+               "\"replayed_records\": %lld, "
+               "\"replay_records_per_sec\": %.1f}\n}\n",
+               restart_ms, static_cast<long long>(replayed), replay_per_sec);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -760,6 +969,7 @@ int main(int argc, char** argv) {
   std::string out = "BENCH_pr3.json";
   std::string out_vec = "BENCH_pr5.json";
   std::string out_serving = "BENCH_pr7.json";
+  std::string out_durability = "BENCH_pr8.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -769,10 +979,12 @@ int main(int argc, char** argv) {
       out_vec = argv[++i];
     } else if (std::strcmp(argv[i], "--out-serving") == 0 && i + 1 < argc) {
       out_serving = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-durability") == 0 && i + 1 < argc) {
+      out_durability = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out PATH] [--out-vec PATH] "
-                   "[--out-serving PATH]\n",
+                   "[--out-serving PATH] [--out-durability PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -788,6 +1000,7 @@ int main(int argc, char** argv) {
   // After the JSON writes so the pr3 metrics block reflects only the matrix
   // legs (the serving leg runs its own database + server).
   RunServingLeg(quick, out_serving);
+  RunDurabilityLeg(quick, out_durability);
 
   double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {

@@ -1,0 +1,122 @@
+// Crash-harness child process. Applies the deterministic op script from
+// bench/crash_script.h against a durable Database and dies by SIGKILL at a
+// FaultInjector-chosen point — no destructors, no flushes, exactly like a
+// power cut. The parent (tests/crash_recovery_test) recovers the directory
+// and checks the result against a never-crashed twin.
+//
+// Usage:
+//   crash_driver run <data_dir> <acks_file> <fault_point> <n>
+//     Opens <data_dir>, arms the crash, applies ops 0..N-1. After each op
+//     that returns OK, appends its index to <acks_file> and fsyncs it — the
+//     parent reads the file to learn which ops were acknowledged before the
+//     kill. Exit 0 = script completed without crashing (the armed hit count
+//     was never reached).
+//       fault_point "none"           -> no fault armed (baseline run)
+//       fault_point "wal/torn_write" -> <n> is the op index at which the
+//         torn-write fault is armed; the process SIGKILLs itself the moment
+//         an op fails with the torn-tail subcode (power died mid-sector).
+//       anything else                -> ArmCrash(point, n): SIGKILL on the
+//         n-th evaluation of that point.
+//
+//   crash_driver recover <data_dir> <fault_point> <n>
+//     Arms the crash and runs recovery (Database::Open). Used to kill the
+//     process DURING replay — repeated crashed recoveries must converge.
+//     Exit 0 = recovery completed.
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/crash_script.h"
+#include "common/fault_injection.h"
+#include "common/reject_reason.h"
+#include "sumtab/database.h"
+
+namespace {
+
+int Fail(const char* what, const sumtab::Status& status) {
+  std::fprintf(stderr, "crash_driver: %s: %s\n", what,
+               status.ToString().c_str());
+  return 3;
+}
+
+int RunMode(const std::string& data_dir, const std::string& acks_path,
+            const std::string& point, int n) {
+  sumtab::DatabaseOptions options;
+  options.data_dir = data_dir;
+  options.wal_sync = true;
+  sumtab::StatusOr<std::unique_ptr<sumtab::Database>> db =
+      sumtab::Database::Open(options);
+  if (!db.ok()) return Fail("open", db.status());
+
+  int acks_fd = ::open(acks_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (acks_fd < 0) {
+    std::perror("crash_driver: open acks");
+    return 3;
+  }
+
+  const bool torn = point == "wal/torn_write";
+  if (!torn && point != "none") {
+    sumtab::FaultInjector::Instance().ArmCrash(point, n);
+  }
+
+  for (int i = 0; i < sumtab::crash_script::ScriptLength(); ++i) {
+    if (torn && i == n % sumtab::crash_script::ScriptLength()) {
+      sumtab::FaultInjector::Instance().Arm(
+          "wal/torn_write",
+          sumtab::RejectIo(sumtab::RejectReason::kWalTornTail, "harness tear"),
+          1);
+    }
+    sumtab::Status st = sumtab::crash_script::ApplyOp(db->get(), i);
+    if (!st.ok()) {
+      if (torn && sumtab::RejectReasonFromStatus(st) ==
+                      sumtab::RejectReason::kWalTornTail) {
+        // The tear is on disk; now the power "fails" before anything else
+        // can be written.
+        ::raise(SIGKILL);
+      }
+      return Fail("apply op", st);
+    }
+    // Ack AFTER the op committed: every acked op is durable in strict mode.
+    char line[16];
+    int len = std::snprintf(line, sizeof(line), "%d\n", i);
+    if (::write(acks_fd, line, static_cast<size_t>(len)) != len ||
+        ::fsync(acks_fd) != 0) {
+      std::perror("crash_driver: write acks");
+      return 3;
+    }
+  }
+  ::close(acks_fd);
+  return 0;
+}
+
+int RecoverMode(const std::string& data_dir, const std::string& point, int n) {
+  if (point != "none") {
+    sumtab::FaultInjector::Instance().ArmCrash(point, n);
+  }
+  sumtab::DatabaseOptions options;
+  options.data_dir = data_dir;
+  sumtab::StatusOr<std::unique_ptr<sumtab::Database>> db =
+      sumtab::Database::Open(options);
+  if (!db.ok()) return Fail("recover", db.status());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "run" && argc == 6) {
+    return RunMode(argv[2], argv[3], argv[4], std::atoi(argv[5]));
+  }
+  if (mode == "recover" && argc == 5) {
+    return RecoverMode(argv[2], argv[3], std::atoi(argv[4]));
+  }
+  std::fprintf(stderr,
+               "usage: crash_driver run <data_dir> <acks_file> <point> <n>\n"
+               "       crash_driver recover <data_dir> <point> <n>\n");
+  return 2;
+}

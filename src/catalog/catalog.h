@@ -67,6 +67,9 @@ class Catalog {
 
   std::vector<std::string> TableNames() const;
 
+  /// Every declared RI constraint (checkpoint serialization).
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
  private:
   std::map<std::string, Table> tables_;  // keyed by lower-cased name
   std::vector<ForeignKey> foreign_keys_;

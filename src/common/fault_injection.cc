@@ -1,5 +1,9 @@
 #include "common/fault_injection.h"
 
+#include <csignal>
+
+#include <unistd.h>
+
 namespace sumtab {
 
 FaultInjector& FaultInjector::Instance() {
@@ -24,11 +28,20 @@ void FaultInjector::Arm(const std::string& point, Status failure, int times) {
   active_.store(true, std::memory_order_release);
 }
 
+void FaultInjector::ArmCrash(const std::string& point, int after_hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState* ps = StateLocked(point);
+  ps->crash_after.store(after_hits < 1 ? 1 : after_hits,
+                        std::memory_order_release);
+  active_.store(true, std::memory_order_release);
+}
+
 void FaultInjector::Disarm(const std::string& point) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it != points_.end()) {
     it->second->remaining.store(0, std::memory_order_release);
+    it->second->crash_after.store(0, std::memory_order_release);
   }
   // Counters stay live (tests often assert hits after the scenario); the
   // active flag stays set until Reset so they keep accumulating.
@@ -39,6 +52,7 @@ void FaultInjector::Reset() {
   // Zero instead of erase: Check() may hold a PointState* without the lock.
   for (auto& [name, ps] : points_) {
     ps->remaining.store(0, std::memory_order_release);
+    ps->crash_after.store(0, std::memory_order_release);
     ps->hits.store(0, std::memory_order_relaxed);
     ps->trips.store(0, std::memory_order_relaxed);
   }
@@ -68,6 +82,17 @@ Status FaultInjector::Check(const char* point) {
     ps = StateLocked(point);
   }
   ps->hits.fetch_add(1, std::memory_order_relaxed);
+  // Crash mode: the thread that decrements the countdown to zero kills the
+  // whole process, SIGKILL so no atexit/destructor cleanup runs — recovery
+  // must cope with exactly what had reached the filesystem.
+  int crash = ps->crash_after.load(std::memory_order_acquire);
+  while (crash > 0) {
+    if (ps->crash_after.compare_exchange_weak(crash, crash - 1,
+                                              std::memory_order_acq_rel)) {
+      if (crash == 1) ::kill(::getpid(), SIGKILL);
+      break;
+    }
+  }
   // Claim one unit of trip budget with a CAS so N concurrent workers through
   // a point armed with times=k trip exactly k times.
   int remaining = ps->remaining.load(std::memory_order_acquire);

@@ -43,6 +43,13 @@ class FaultInjector {
   /// (times < 0 = fail forever). Re-arming replaces the previous setting.
   void Arm(const std::string& point, Status failure, int times = 1);
 
+  /// Arms `point` to SIGKILL the process on its `after_hits`-th evaluation
+  /// (counted from now). The crash-recovery harness (bench/crash_driver)
+  /// uses this to die mid-operation at WAL/checkpoint/replay sites exactly
+  /// as a power cut would — no destructors, no flushes. Never combine with
+  /// Arm() on the same point.
+  void ArmCrash(const std::string& point, int after_hits = 1);
+
   /// Disarms one point (its counters survive until Reset).
   void Disarm(const std::string& point);
 
@@ -75,6 +82,8 @@ class FaultInjector {
     std::atomic<int64_t> trips{0};
     /// Remaining trip budget: 0 = disarmed, < 0 = fail forever.
     std::atomic<int> remaining{0};
+    /// Hits until the process SIGKILLs itself: 0 = no crash armed.
+    std::atomic<int> crash_after{0};
     /// Written under mu_ by Arm(); read under mu_ by Check() after it wins
     /// the budget CAS.
     Status failure;

@@ -116,6 +116,20 @@ const char* RejectReasonToken(RejectReason reason) {
       return "session_closed";
     case RejectReason::kServerShuttingDown:
       return "server_shutting_down";
+    case RejectReason::kIoError:
+      return "io_error";
+    case RejectReason::kWalCorruption:
+      return "wal_corruption";
+    case RejectReason::kWalTornTail:
+      return "wal_torn_tail";
+    case RejectReason::kCheckpointCorruption:
+      return "checkpoint_corruption";
+    case RejectReason::kCheckpointVersionMismatch:
+      return "checkpoint_version_mismatch";
+    case RejectReason::kAstDroppedOnRecovery:
+      return "ast_dropped_on_recovery";
+    case RejectReason::kRecoveryFailed:
+      return "recovery_failed";
   }
   return "unknown";
 }
@@ -155,6 +169,11 @@ Status RejectMatch(RejectReason reason, const std::string& detail) {
 
 Status RejectUnsupported(RejectReason reason, const std::string& detail) {
   return Status::NotSupported(Compose(reason, detail))
+      .WithSubcode(static_cast<uint16_t>(reason));
+}
+
+Status RejectIo(RejectReason reason, const std::string& detail) {
+  return Status::IoError(Compose(reason, detail))
       .WithSubcode(static_cast<uint16_t>(reason));
 }
 

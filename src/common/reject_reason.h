@@ -85,6 +85,15 @@ enum class RejectReason : uint16_t {
   kSessionInFlightLimit = 132,
   kSessionClosed = 133,
   kServerShuttingDown = 134,
+
+  // ---- durability: WAL / checkpoint / recovery (src/wal/) ----
+  kIoError = 140,
+  kWalCorruption = 141,
+  kWalTornTail = 142,
+  kCheckpointCorruption = 143,
+  kCheckpointVersionMismatch = 144,
+  kAstDroppedOnRecovery = 145,
+  kRecoveryFailed = 146,
 };
 
 /// Stable snake_case token for a reason, e.g. "distinct_mismatch".
@@ -103,6 +112,12 @@ Status RejectMatch(RejectReason reason, const std::string& detail);
 /// "[token] detail". Used by derivation rules and maintenance analysis
 /// ("the construct is recognized but cannot be handled").
 Status RejectUnsupported(RejectReason reason, const std::string& detail);
+
+/// kIoError status carrying `reason` as subcode; message is "[token] detail".
+/// Used by the WAL / checkpoint / recovery paths (src/wal/) so shed
+/// durability failures are distinguishable in Stats() the same way the
+/// admission subcodes are.
+Status RejectIo(RejectReason reason, const std::string& detail);
 
 }  // namespace sumtab
 

@@ -18,6 +18,8 @@ std::string Status::ToString() const {
       return "Internal: " + message_;
     case Code::kResourceExhausted:
       return "ResourceExhausted: " + message_;
+    case Code::kIoError:
+      return "IoError: " + message_;
   }
   return "Unknown";
 }

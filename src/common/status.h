@@ -23,6 +23,7 @@ class [[nodiscard]] Status {
     kNotSupported,
     kInternal,
     kResourceExhausted,
+    kIoError,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +46,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

@@ -167,6 +167,11 @@ int64_t Storage::BumpEpoch(const std::string& name) {
   return ++epochs_[Key(name)];
 }
 
+void Storage::SetEpoch(const std::string& name, int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epochs_[Key(name)] = epoch;
+}
+
 Storage::Snapshot Storage::Snap() const {
   Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);

@@ -117,6 +117,9 @@ class Storage {
   int64_t Epoch(const std::string& name) const;
   /// Marks a data change; returns the new epoch.
   int64_t BumpEpoch(const std::string& name);
+  /// Restores a recovered epoch verbatim (checkpoint load only — normal data
+  /// changes go through BumpEpoch so epochs stay monotonic).
+  void SetEpoch(const std::string& name, int64_t epoch);
 
   /// Pins the current version of every table + the epoch vector.
   Snapshot Snap() const;

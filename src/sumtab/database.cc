@@ -13,6 +13,7 @@
 #include "qgm/qgm_to_sql.h"
 #include "sql/parser.h"
 #include "sumtab/maintenance.h"
+#include "wal/wal.h"
 
 namespace sumtab {
 
@@ -88,6 +89,20 @@ DatabaseStats Database::Stats() const {
   stats.plan_cache_entries = cache.entries;
   stats.catalog_generation = catalog_generation_.load(std::memory_order_acquire);
   stats.metrics = MetricsRegistry::Global().Snap();
+  stats.durability.enabled = wal_ != nullptr;
+  if (wal_ != nullptr) {
+    stats.durability.last_lsn = wal_->last_lsn();
+    stats.durability.durable_lsn = wal_->durable_lsn();
+    stats.durability.wal_records = wal_->records_appended();
+    stats.durability.wal_bytes = wal_->bytes_appended();
+  }
+  stats.durability.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_acquire);
+  stats.durability.last_checkpoint_seq =
+      checkpoint_seq_.load(std::memory_order_acquire);
+  stats.durability.recovery_replayed_records = recovery_replayed_;
+  stats.durability.recovery_truncated_bytes = recovery_truncated_bytes_;
+  stats.durability.recovery_asts_dropped = recovery_asts_dropped_;
   return stats;
 }
 
@@ -95,18 +110,34 @@ Status Database::CreateTable(const std::string& name,
                              const std::vector<catalog::Column>& columns,
                              const std::vector<std::string>& primary_key) {
   std::lock_guard<std::mutex> maint(maint_mu_);
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   catalog::Table table;
   table.name = name;
   table.columns = columns;
   table.primary_key = primary_key;
-  SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
-  engine::Relation empty;
-  for (const catalog::Column& col : columns) {
-    empty.column_names.push_back(ToLower(col.name));
+  // Pre-validate the checks Catalog::AddTable will apply, so only an
+  // operation that will publish gets a WAL record (replay never sees a
+  // record that would fail).
+  if (catalog_.FindTable(name) != nullptr) {
+    return Status::AlreadyExists("table '" + ToLower(name) + "'");
   }
-  SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(empty)));
-  BumpGeneration();
+  for (const std::string& pk : primary_key) {
+    if (table.ColumnIndex(pk) < 0) {
+      return Status::InvalidArgument("primary key column '" + ToLower(pk) +
+                                     "' not in table '" + ToLower(name) + "'");
+    }
+  }
+  SUMTAB_RETURN_NOT_OK(LogCreateTableOp(table));
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+    engine::Relation empty;
+    for (const catalog::Column& col : columns) {
+      empty.column_names.push_back(ToLower(col.name));
+    }
+    SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(empty)));
+    BumpGeneration();
+  }
+  MaybeCheckpointLocked();
   return Status::OK();
 }
 
@@ -115,10 +146,32 @@ Status Database::AddForeignKey(const std::string& child_table,
                                const std::string& parent_table,
                                const std::string& parent_column) {
   std::lock_guard<std::mutex> maint(maint_mu_);
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
-  SUMTAB_RETURN_NOT_OK(catalog_.AddForeignKey(child_table, child_column,
-                                              parent_table, parent_column));
-  BumpGeneration();  // RI constraints feed the matcher's rejoin reasoning
+  // Pre-validate (mirrors Catalog::AddForeignKey) so only an operation that
+  // will publish gets logged.
+  const catalog::Table* child = catalog_.FindTable(child_table);
+  if (child == nullptr) {
+    return Status::NotFound("table '" + ToLower(child_table) + "'");
+  }
+  if (catalog_.FindTable(parent_table) == nullptr) {
+    return Status::NotFound("table '" + ToLower(parent_table) + "'");
+  }
+  if (child->ColumnIndex(child_column) < 0) {
+    return Status::NotFound("column '" + ToLower(child_column) + "' in '" +
+                            ToLower(child_table) + "'");
+  }
+  if (!catalog_.IsPrimaryKey(parent_table, parent_column)) {
+    return Status::InvalidArgument(
+        "FK must reference the parent's single-column primary key");
+  }
+  SUMTAB_RETURN_NOT_OK(
+      LogForeignKeyOp(child_table, child_column, parent_table, parent_column));
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    SUMTAB_RETURN_NOT_OK(catalog_.AddForeignKey(child_table, child_column,
+                                                parent_table, parent_column));
+    BumpGeneration();  // RI constraints feed the matcher's rejoin reasoning
+  }
+  MaybeCheckpointLocked();
   return Status::OK();
 }
 
@@ -137,17 +190,22 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
       return Status::InvalidArgument("row arity mismatch for '" + table + "'");
     }
   }
+  SUMTAB_RETURN_NOT_OK(LogRowsOp(
+      static_cast<uint8_t>(wal::RecordType::kBulkLoad), meta->name, rows));
   engine::Relation updated = *existing;
   for (Row& row : rows) updated.rows.push_back(std::move(row));
   // Commit: publish the new version and bump the epoch in one exclusive
   // window. Queries that pinned a snapshot before this point keep reading
   // the pre-load rows.
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
-  SUMTAB_RETURN_NOT_OK(storage_.Replace(table, std::move(updated)));
-  // BulkLoad deliberately does not maintain summary tables; bumping the
-  // epoch is what flips dependent ASTs to kStale so the rewriter stops
-  // serving pre-load answers through them.
-  storage_.BumpEpoch(table);
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    SUMTAB_RETURN_NOT_OK(storage_.Replace(table, std::move(updated)));
+    // BulkLoad deliberately does not maintain summary tables; bumping the
+    // epoch is what flips dependent ASTs to kStale so the rewriter stops
+    // serving pre-load answers through them.
+    storage_.BumpEpoch(table);
+  }
+  MaybeCheckpointLocked();
   return Status::OK();
 }
 
@@ -168,47 +226,66 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
   SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(graph));
   int64_t rows = static_cast<int64_t>(data.NumRows());
 
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
-  // Register in the catalog with inferred column types.
-  const qgm::Box* root = graph.box(graph.root());
-  catalog::Table table;
-  table.name = name;
-  table.is_summary_table = true;
-  for (int i = 0; i < root->NumOutputs(); ++i) {
-    catalog::Column col;
-    col.name = root->outputs[i].name;
-    col.type = root->column_info[i].type;
-    col.nullable = root->column_info[i].nullable;
-    table.columns.push_back(std::move(col));
-  }
-  SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
-  SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(data)));
+  // The definition parsed, built, and materialized — it will publish, so it
+  // is safe (and required) to harden its record before the commit window.
+  SUMTAB_RETURN_NOT_OK(LogDefineOp(name, sql));
 
-  auto st = std::make_shared<SummaryTable>();
-  st->name = ToLower(name);
-  st->sql = sql;
-  st->graph = std::move(graph);
-  MarkRefreshed(st.get());
-  summary_tables_.push_back(std::move(st));
-  return rows;  // MarkRefreshed bumped the catalog generation
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    // Register in the catalog with inferred column types.
+    const qgm::Box* root = graph.box(graph.root());
+    catalog::Table table;
+    table.name = name;
+    table.is_summary_table = true;
+    for (int i = 0; i < root->NumOutputs(); ++i) {
+      catalog::Column col;
+      col.name = root->outputs[i].name;
+      col.type = root->column_info[i].type;
+      col.nullable = root->column_info[i].nullable;
+      table.columns.push_back(std::move(col));
+    }
+    SUMTAB_RETURN_NOT_OK(catalog_.AddTable(std::move(table)));
+    SUMTAB_RETURN_NOT_OK(storage_.AddTable(name, std::move(data)));
+
+    auto st = std::make_shared<SummaryTable>();
+    st->name = ToLower(name);
+    st->sql = sql;
+    st->graph = std::move(graph);
+    MarkRefreshed(st.get());  // bumps the catalog generation
+    summary_tables_.push_back(std::move(st));
+  }
+  MaybeCheckpointLocked();
+  return rows;
 }
 
 Status Database::DropSummaryTable(const std::string& name) {
   std::lock_guard<std::mutex> maint(maint_mu_);
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   std::string key = ToLower(name);
-  for (size_t i = 0; i < summary_tables_.size(); ++i) {
-    if (summary_tables_[i]->name == key) {
-      // In-flight queries that spliced this AST in keep it alive through
-      // their shared_ptr refs; only the registry entry goes away.
-      summary_tables_.erase(summary_tables_.begin() + i);
-      BumpGeneration();
-      return storage_.DropTable(key);
-      // Note: the catalog keeps the (now dangling) table entry out of
-      // simplicity; queries naming it will fail at execution.
-    }
+  // The registry only changes under maint_mu_ + exclusive ddl_mu_, so this
+  // existence check is stable through the log + publish below.
+  if (FindSummaryTable(key) == nullptr) {
+    return Status::NotFound("summary table '" + name + "'");
   }
-  return Status::NotFound("summary table '" + name + "'");
+  SUMTAB_RETURN_NOT_OK(
+      LogNameOp(static_cast<uint8_t>(wal::RecordType::kDropSummary), key));
+  Status dropped;
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    for (size_t i = 0; i < summary_tables_.size(); ++i) {
+      if (summary_tables_[i]->name == key) {
+        // In-flight queries that spliced this AST in keep it alive through
+        // their shared_ptr refs; only the registry entry goes away.
+        summary_tables_.erase(summary_tables_.begin() + i);
+        break;
+      }
+    }
+    BumpGeneration();
+    // Note: the catalog keeps the (now dangling) table entry out of
+    // simplicity; queries naming it will fail at execution.
+    dropped = storage_.DropTable(key);
+  }
+  MaybeCheckpointLocked();
+  return dropped;
 }
 
 std::vector<std::string> Database::SummaryTableNames() const {
@@ -304,13 +381,17 @@ Status Database::SetMaxStaleness(const std::string& name,
     return Status::InvalidArgument("max staleness must be >= 0");
   }
   std::lock_guard<std::mutex> maint(maint_mu_);
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
   SummaryTablePtr st = FindSummaryTable(name);
   if (st == nullptr) {
     return Status::NotFound("summary table '" + name + "'");
   }
-  st->max_staleness = max_epoch_lag;
-  BumpGeneration();  // staleness tolerance changes rewrite eligibility
+  SUMTAB_RETURN_NOT_OK(LogStalenessOp(ToLower(name), max_epoch_lag));
+  {
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    st->max_staleness = max_epoch_lag;
+    BumpGeneration();  // staleness tolerance changes rewrite eligibility
+  }
+  MaybeCheckpointLocked();
   return Status::OK();
 }
 

@@ -46,6 +46,11 @@
 
 namespace sumtab {
 
+namespace wal {
+class Writer;
+struct CheckpointAst;
+}  // namespace wal
+
 /// Lifecycle state of a registered summary table (see DESIGN.md,
 /// "Freshness and degradation semantics").
 ///   kFresh    — consistent with its base tables; eligible for rewriting.
@@ -55,6 +60,49 @@ namespace sumtab {
 ///   kDisabled — quarantined after repeated failures; never used until a
 ///               successful refresh revives it.
 enum class AstState { kFresh, kStale, kDisabled };
+
+/// Durability configuration (DESIGN.md, "Durability and recovery"). Default
+/// construction stays pure in-memory: the WAL/checkpoint machinery activates
+/// only when `data_dir` is set and the Database comes from Database::Open().
+struct DatabaseOptions {
+  /// Directory for WAL segments and checkpoints. Empty = in-memory only.
+  std::string data_dir;
+  /// True (strict): every mutator hardens its WAL record — one fsync'd
+  /// group-commit batch — BEFORE publishing the in-memory change, so the
+  /// on-disk commit lattice matches the in-memory one and recovery can never
+  /// surface state a concurrent reader could not have observed. False
+  /// (relaxed): records flush within `group_commit_interval_micros`; a crash
+  /// may lose that window of acknowledged mutations, but always as a clean
+  /// prefix cut, never a torn state.
+  bool wal_sync = true;
+  /// Upper bound on how long a relaxed-mode record may sit unflushed.
+  int64_t group_commit_interval_micros = 2000;
+  /// Auto-checkpoint after this many logged operations (0 = manual
+  /// Checkpoint() calls only). Checkpoints prune covered WAL segments.
+  int64_t checkpoint_interval_records = 0;
+};
+
+/// One noteworthy event from Database::Open()'s recovery pass.
+struct RecoveryEvent {
+  /// Stable snake_case kind (reject-reason tokens): "wal_torn_tail",
+  /// "ast_dropped_on_recovery".
+  std::string kind;
+  std::string detail;
+};
+
+/// Durability counters in Database::Stats() (zero/false when in-memory).
+struct DurabilityStats {
+  bool enabled = false;
+  uint64_t last_lsn = 0;     // last appended WAL record
+  uint64_t durable_lsn = 0;  // last fsync'd WAL record
+  int64_t wal_records = 0;   // appended by this process
+  int64_t wal_bytes = 0;
+  int64_t checkpoints_written = 0;
+  uint64_t last_checkpoint_seq = 0;
+  int64_t recovery_replayed_records = 0;  // WAL records replayed at Open()
+  int64_t recovery_truncated_bytes = 0;   // torn tail bytes cut at Open()
+  int64_t recovery_asts_dropped = 0;      // ASTs disabled by corrupt sections
+};
 
 struct QueryOptions {
   /// Attempt rerouting through registered summary tables.
@@ -131,6 +179,8 @@ struct DatabaseStats {
   /// histograms): query/rewrite/match/maintenance counters and per-phase
   /// timings. Process-wide, not per-Database.
   MetricsRegistry::Snapshot metrics;
+  /// WAL/checkpoint/recovery counters (enabled=false when in-memory).
+  DurabilityStats durability;
 };
 
 /// Introspection snapshot of one summary table's freshness bookkeeping.
@@ -151,6 +201,31 @@ class Database {
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // ---- durability (src/wal/; DESIGN.md, "Durability and recovery") ----
+
+  /// Opens a durable database on `options.data_dir` (created if missing):
+  /// loads the latest checkpoint, replays the WAL past it (truncating any
+  /// torn tail — repeated crashed recoveries converge on the same state),
+  /// then starts logging to a fresh segment. A corrupt AST data section in
+  /// the checkpoint drops only that AST (registered kDisabled; see
+  /// recovery_events()) — the database still opens and serves every query
+  /// from base tables. A corrupt meta/base-table section or a checkpoint
+  /// version mismatch fails with a structured reject
+  /// (checkpoint_corruption / checkpoint_version_mismatch).
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options);
+
+  /// Snapshots base tables, AST contents AND the freshness bookkeeping
+  /// (generation, per-table epochs, per-AST materialized epochs/staleness
+  /// budget/quarantine) to a new checkpoint, then prunes covered WAL
+  /// segments and older checkpoints. No-op error when in-memory.
+  Status Checkpoint();
+
+  /// What recovery found at Open(): torn tails truncated, ASTs dropped.
+  const std::vector<RecoveryEvent>& recovery_events() const {
+    return recovery_events_;
+  }
 
   // ---- schema ----
   Status CreateTable(const std::string& name,
@@ -306,6 +381,66 @@ class Database {
   /// recompute runs against stable storage (maint_mu_ excludes other
   /// writers), then commits under a brief exclusive ddl_mu_ window.
   Status RefreshUnderMaint(SummaryTable* st);
+
+  // ---- durability internals (src/sumtab/durability.cc) ----
+  //
+  // Each mutator, after its cheap validation and before its exclusive
+  // ddl_mu_ publish window, calls the matching Log* helper: the operation's
+  // logical record is appended and (strict mode) hardened, so a crash at any
+  // point leaves the WAL holding exactly the operations whose effects were
+  // published — never a published-but-unlogged op. All Log* helpers are
+  // no-ops when durability is off or while recovery is replaying (the replay
+  // re-executes mutators through their normal code paths; replaying_ stops
+  // them from re-logging themselves). Caller holds maint_mu_.
+
+  explicit Database(const DatabaseOptions& options);
+
+  Status LogCreateTableOp(const catalog::Table& table);
+  Status LogForeignKeyOp(const std::string& child_table,
+                         const std::string& child_column,
+                         const std::string& parent_table,
+                         const std::string& parent_column);
+  /// BulkLoad and Append share one body shape: table name + rows.
+  Status LogRowsOp(uint8_t type, const std::string& table,
+                   const std::vector<Row>& rows);
+  /// Drop and refresh: just the summary table's name.
+  Status LogNameOp(uint8_t type, const std::string& name);
+  Status LogDefineOp(const std::string& name, const std::string& sql);
+  Status LogStalenessOp(const std::string& name, int64_t max_epoch_lag);
+  /// Appends + hardens (strict mode) one framed record. OK when in-memory.
+  Status LogOp(uint8_t type, const std::string& body);
+
+  /// Open() body: checkpoint load + WAL replay. No locks held (single
+  ///-threaded: the Database has not been published yet).
+  Status Recover();
+  /// Re-executes one WAL record through the normal mutator code path.
+  Status ApplyRecord(uint64_t lsn, uint8_t type, const std::string& body);
+  /// Registers one checkpointed AST: catalog entry, stored data, registry
+  /// entry with recovered freshness state. An AST whose data section was
+  /// corrupt (or whose definition no longer builds) is dropped to kDisabled
+  /// instead of failing recovery.
+  Status RecoverAst(wal::CheckpointAst&& ast);
+  /// Checkpoint body; caller holds maint_mu_ (and NOT ddl_mu_). Called at
+  /// the END of mutators only — never mid-operation — so every logged
+  /// record's effect is published before it can be snapshotted.
+  Status CheckpointLocked();
+  /// Auto-checkpoint when checkpoint_interval_records is due.
+  void MaybeCheckpointLocked();
+
+  DatabaseOptions options_;
+  std::unique_ptr<wal::Writer> wal_;
+  /// True while Recover() replays the WAL: Log* helpers become no-ops and
+  /// Append routes every AST through the same refresh decisions it made
+  /// live, so replay converges on the identical state.
+  bool replaying_ = false;
+  /// Written under maint_mu_; atomics so Stats() reads them lock-free.
+  std::atomic<uint64_t> checkpoint_seq_{0};  // last checkpoint written/loaded
+  std::atomic<int64_t> checkpoints_written_{0};
+  int64_t records_since_checkpoint_ = 0;  // maint_mu_ only
+  std::vector<RecoveryEvent> recovery_events_;
+  int64_t recovery_replayed_ = 0;
+  int64_t recovery_truncated_bytes_ = 0;
+  int64_t recovery_asts_dropped_ = 0;
 
   /// Serializes mutators (DDL, loads, maintenance) among themselves so each
   /// can run its expensive compute phase — full-table copy-on-write builds,

@@ -20,6 +20,7 @@
 #include "engine/executor.h"
 #include "expr/expr_rewrite.h"
 #include "sumtab/database.h"
+#include "wal/wal.h"
 
 namespace sumtab {
 namespace maintenance {
@@ -215,7 +216,14 @@ Status Database::RefreshSummaryTable(const std::string& name) {
   if (st == nullptr) {
     return Status::NotFound("summary table '" + name + "'");
   }
-  return RefreshUnderMaint(st.get());
+  // Logged before the recompute runs: a refresh that fails after this point
+  // fails identically on replay (deterministic against the same state), so
+  // the recovered AST lands in the same stale-with-failure state.
+  SUMTAB_RETURN_NOT_OK(LogNameOp(
+      static_cast<uint8_t>(wal::RecordType::kRefreshSummary), st->name));
+  Status refreshed = RefreshUnderMaint(st.get());
+  MaybeCheckpointLocked();
+  return refreshed;
 }
 
 Status Database::RefreshUnderMaint(SummaryTable* st) {
@@ -309,6 +317,14 @@ StatusOr<Database::MaintenanceReport> Database::Append(
       }
       continue;
     }
+    if (StalenessOf(*st) > 0) {
+      // The AST is already stale (e.g. a BulkLoad without refresh): its
+      // materialization is missing earlier rows, so merging just this delta
+      // and stamping the new epoch would mark it fresh while still wrong.
+      // Route it to a full recompute instead.
+      recompute.push_back(st.get());
+      continue;
+    }
     std::map<std::string, const engine::Relation*> overrides;
     overrides[meta->name] = &delta;
     engine::ExecOptions options;
@@ -384,6 +400,13 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     }
   }
 
+  // Log + harden before publishing anything: every phase so far was pure
+  // offline computation, so a crash up to here means the append never
+  // happened; a crash after the harden replays it in full — base rows,
+  // incremental merges, and recomputes — through this same code path.
+  SUMTAB_RETURN_NOT_OK(LogRowsOp(
+      static_cast<uint8_t>(wal::RecordType::kAppend), meta->name, delta.rows));
+
   // Commit: publish the appended base and every merged AST, bump the epoch,
   // and advance the merged ASTs' recorded epochs (lifting any quarantine —
   // maintenance just succeeded) in ONE exclusive window. The window is pure
@@ -441,6 +464,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
         .counter(std::string("maintenance.") + mode)
         ->Increment();
   }
+  MaybeCheckpointLocked();
   return report;
 }
 

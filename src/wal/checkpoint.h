@@ -1,0 +1,126 @@
+// Checkpoints: a point-in-time snapshot of the whole database — base tables,
+// AST contents, AND the freshness bookkeeping (catalog generation, per-table
+// epochs, each AST's materialized_epochs / max_staleness / quarantine state)
+// — so a summary table that was stale before a crash is still known-stale
+// after recovery instead of silently serving wrong rewrites.
+//
+// On-disk layout of `ckpt-NNNNNNNN.stck`:
+//
+//     "STCK" [u32 version]
+//     section*          where section = [u8 type][u32 len][u32 crc][payload]
+//
+// Section types: kMeta (one, first: last_lsn / generation / foreign keys),
+// kBaseTable (one per base table), kAstMeta + kAstData (paired, meta first),
+// kEnd (one, last — its presence proves the file is complete).
+//
+// Each section carries its own CRC so corruption is attributable: a bad
+// kAstData section drops ONLY that AST (recovery registers it kDisabled with
+// reject subcode ast_dropped_on_recovery and the database keeps serving from
+// base tables); a bad kMeta/kBaseTable/kAstMeta/kEnd section fails recovery
+// with checkpoint_corruption, and an unknown version with
+// checkpoint_version_mismatch.
+//
+// Writes go to a tmp file, fsync, then rename + directory fsync — a crash
+// mid-checkpoint leaves the previous checkpoint untouched. Fault point:
+// "checkpoint/write" (checked per section and before the final rename).
+#ifndef SUMTAB_WAL_CHECKPOINT_H_
+#define SUMTAB_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/relation.h"
+
+namespace sumtab {
+namespace wal {
+
+/// Checkpoint format version; bump on incompatible layout changes.
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// Section type tags. Stable on-disk constants.
+enum class SectionType : uint8_t {
+  kMeta = 1,
+  kBaseTable = 2,
+  kAstMeta = 3,
+  kAstData = 4,
+  kEnd = 5,
+};
+
+struct CheckpointBaseTable {
+  catalog::Table table;
+  int64_t epoch = 0;
+  engine::Relation data;
+};
+
+struct CheckpointAst {
+  std::string name;
+  std::string sql;
+  catalog::Table table;  // registered schema (is_summary_table = true)
+  std::map<std::string, int64_t> materialized_epochs;
+  int64_t max_staleness = 0;
+  int32_t consecutive_failures = 0;
+  bool disabled = false;
+  engine::Relation data;
+  /// False when this AST's kAstData section was corrupt or missing: the
+  /// metadata survived but the rows did not. Recovery registers the AST
+  /// kDisabled (empty data) instead of failing startup.
+  bool data_ok = true;
+};
+
+struct CheckpointState {
+  /// Records with lsn <= last_lsn are reflected in this snapshot; recovery
+  /// replays only records past it.
+  uint64_t last_lsn = 0;
+  /// WAL segments with seq <= this are fully covered (safe to prune).
+  uint64_t wal_segment_seq = 0;
+  int64_t catalog_generation = 0;
+  std::vector<catalog::ForeignKey> foreign_keys;
+  std::vector<CheckpointBaseTable> base_tables;
+  std::vector<CheckpointAst> asts;
+};
+
+/// "ckpt-00000042.stck" — zero-padded, same convention as WAL segments.
+std::string CheckpointFileName(uint64_t seq);
+
+/// Serializes `state` to `dir`/CheckpointFileName(seq) atomically
+/// (tmp + fsync + rename + dir fsync).
+Status WriteCheckpoint(const std::string& dir, uint64_t seq,
+                       const CheckpointState& state);
+
+struct CheckpointLoadResult {
+  /// False when `dir` holds no checkpoint (fresh directory): `state` is
+  /// default-initialized and recovery replays the WAL from the beginning.
+  bool found = false;
+  uint64_t seq = 0;
+  CheckpointState state;
+};
+
+/// Finds the highest-sequence checkpoint in `dir` and decodes it. Per-AST
+/// data corruption is reported via CheckpointAst::data_ok, not an error.
+StatusOr<CheckpointLoadResult> LoadLatestCheckpoint(const std::string& dir);
+
+/// Deletes every checkpoint with sequence < `seq` (keep the one just
+/// written, prune its predecessors).
+Status RemoveCheckpointsBefore(const std::string& dir, uint64_t seq);
+
+/// Byte layout of one section, for tests that corrupt targeted regions.
+struct SectionInfo {
+  SectionType type;
+  /// Absolute file offset of the section's payload (header is the 9 bytes
+  /// before it).
+  uint64_t payload_offset = 0;
+  uint32_t payload_len = 0;
+};
+
+/// Parses the section headers of a checkpoint file without decoding
+/// payloads. Test helper for targeted corruption.
+StatusOr<std::vector<SectionInfo>> ListCheckpointSections(
+    const std::string& path);
+
+}  // namespace wal
+}  // namespace sumtab
+
+#endif  // SUMTAB_WAL_CHECKPOINT_H_

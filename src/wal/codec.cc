@@ -1,0 +1,228 @@
+#include "wal/codec.h"
+
+#include <cstring>
+
+namespace sumtab {
+namespace wal {
+
+namespace {
+
+/// Value kind tags on disk. Stable format constants: append new kinds at the
+/// end, never renumber (checkpoints and WALs from older runs must decode).
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagInt = 1;
+constexpr uint8_t kTagDouble = 2;
+constexpr uint8_t kTagString = 3;
+constexpr uint8_t kTagDate = 4;
+constexpr uint8_t kTagBool = 5;
+
+/// Hard cap on any length-prefixed field, far above real payloads; rejects
+/// garbage lengths from corrupted bytes before they turn into allocations.
+constexpr uint64_t kMaxFieldLen = 1ull << 31;
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutValue(std::string* out, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      PutU8(out, kTagNull);
+      return;
+    case Value::Kind::kInt:
+      PutU8(out, kTagInt);
+      PutI64(out, v.AsInt());
+      return;
+    case Value::Kind::kDouble:
+      PutU8(out, kTagDouble);
+      PutDouble(out, v.AsDouble());
+      return;
+    case Value::Kind::kString:
+      PutU8(out, kTagString);
+      PutString(out, v.AsString());
+      return;
+    case Value::Kind::kDate:
+      PutU8(out, kTagDate);
+      PutU32(out, static_cast<uint32_t>(v.AsDate()));
+      return;
+    case Value::Kind::kBool:
+      PutU8(out, kTagBool);
+      PutU8(out, v.AsBool() ? 1 : 0);
+      return;
+  }
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) PutValue(out, v);
+}
+
+void PutRelation(std::string* out, const engine::Relation& rel) {
+  PutU32(out, static_cast<uint32_t>(rel.column_names.size()));
+  for (const std::string& name : rel.column_names) PutString(out, name);
+  PutU64(out, rel.rows.size());
+  for (const Row& row : rel.rows) PutRow(out, row);
+}
+
+void PutEpochMap(std::string* out, const std::map<std::string, int64_t>& m) {
+  PutU32(out, static_cast<uint32_t>(m.size()));
+  for (const auto& [name, epoch] : m) {
+    PutString(out, name);
+    PutI64(out, epoch);
+  }
+}
+
+bool Decoder::Need(size_t n) {
+  if (!ok_ || len_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Decoder::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t Decoder::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+int64_t Decoder::I64() { return static_cast<int64_t>(U64()); }
+
+double Decoder::Double() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::String() {
+  uint32_t n = U32();
+  if (n > kMaxFieldLen || !Need(n)) {
+    ok_ = false;
+    return "";
+  }
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Value Decoder::GetValue() {
+  switch (U8()) {
+    case kTagNull:
+      return Value::Null();
+    case kTagInt:
+      return Value::Int(I64());
+    case kTagDouble:
+      return Value::Double(Double());
+    case kTagString:
+      return Value::String(String());
+    case kTagDate:
+      return Value::Date(static_cast<int32_t>(U32()));
+    case kTagBool:
+      return Value::Bool(U8() != 0);
+    default:
+      ok_ = false;
+      return Value::Null();
+  }
+}
+
+Row Decoder::GetRow() {
+  uint32_t n = U32();
+  Row row;
+  if (n > kMaxFieldLen) {
+    ok_ = false;
+    return row;
+  }
+  row.reserve(ok_ ? n : 0);
+  for (uint32_t i = 0; i < n && ok_; ++i) row.push_back(GetValue());
+  return row;
+}
+
+engine::Relation Decoder::GetRelation() {
+  engine::Relation rel;
+  uint32_t ncols = U32();
+  if (ncols > kMaxFieldLen) {
+    ok_ = false;
+    return rel;
+  }
+  for (uint32_t i = 0; i < ncols && ok_; ++i) {
+    rel.column_names.push_back(String());
+  }
+  uint64_t nrows = U64();
+  if (nrows > kMaxFieldLen) {
+    ok_ = false;
+    return rel;
+  }
+  for (uint64_t i = 0; i < nrows && ok_; ++i) rel.rows.push_back(GetRow());
+  if (!ok_) rel = engine::Relation{};
+  return rel;
+}
+
+std::map<std::string, int64_t> Decoder::GetEpochMap() {
+  std::map<std::string, int64_t> m;
+  uint32_t n = U32();
+  if (n > kMaxFieldLen) {
+    ok_ = false;
+    return m;
+  }
+  for (uint32_t i = 0; i < n && ok_; ++i) {
+    std::string name = String();
+    int64_t epoch = I64();
+    if (ok_) m[name] = epoch;
+  }
+  return m;
+}
+
+}  // namespace wal
+}  // namespace sumtab

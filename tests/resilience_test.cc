@@ -5,7 +5,10 @@
 // never change answers (staleness) and never reduce availability (failures).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/fault_injection.h"
+#include "common/reject_reason.h"
 #include "serving/session.h"
 #include "tests/test_util.h"
 
@@ -409,6 +412,112 @@ TEST_F(ResilienceTest, PersistentlyStaleSnapshotFailsAfterBoundedRetries) {
   // Retry ceiling, not an infinite loop: exactly kMaxSnapshotRetries trips.
   EXPECT_EQ(session->GetStats().snapshot_retries, 3);
   EXPECT_EQ(session->GetStats().rejected, 1);
+}
+
+// ---- durability fault points (wal/*, checkpoint/*, recovery/*) ----
+//
+// Same contract as the rewrite-path faults above, one layer down: a failing
+// log device or checkpoint must degrade into a clean, structured error —
+// never a half-published mutation, never a wedged database. Unit-level
+// coverage of the points lives in wal_test/durability_test; these check the
+// degradation story through the serving surface.
+
+class DurableResilienceTest : public ResilienceTest {
+ protected:
+  void SetUp() override {
+    ResilienceTest::SetUp();
+    dir_ = ::testing::TempDir() + "sumtab_resilience_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    DatabaseOptions options;
+    options.data_dir = dir_;
+    StatusOr<std::unique_ptr<Database>> db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    durable_ = std::move(*db);
+    ASSERT_TRUE(durable_
+                    ->CreateTable("t", {{"a", Type::kInt, false}}, {"a"})
+                    .ok());
+    ASSERT_TRUE(durable_->BulkLoad("t", {Row{Value::Int(1)}}).ok());
+  }
+  void TearDown() override {
+    durable_.reset();
+    std::filesystem::remove_all(dir_);
+    ResilienceTest::TearDown();
+  }
+
+  std::string dir_;
+  std::unique_ptr<Database> durable_;
+};
+
+TEST_F(DurableResilienceTest, WalAppendFaultFailsMutationButKeepsServing) {
+  {
+    ScopedFault fault("wal/append", Status::Internal("injected append"), 1);
+    EXPECT_FALSE(durable_->BulkLoad("t", {Row{Value::Int(2)}}).ok());
+  }
+  // Log-before-publish: the failed load is invisible, and the append fault
+  // (unlike an fsync failure) is not sticky — the retry lands.
+  EXPECT_EQ(durable_->TableRows("t"), 1);
+  EXPECT_TRUE(durable_->BulkLoad("t", {Row{Value::Int(2)}}).ok());
+  EXPECT_EQ(durable_->TableRows("t"), 2);
+  QueryOptions opts;
+  opts.enable_rewrite = false;
+  EXPECT_TRUE(durable_->Query("select count(*) as c from t", opts).ok());
+}
+
+TEST_F(DurableResilienceTest, CheckpointWriteFaultFailsCheckpointOnly) {
+  {
+    ScopedFault fault("checkpoint/write",
+                      RejectIo(RejectReason::kIoError, "injected"), 1);
+    Status st = durable_->Checkpoint();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(RejectReasonFromStatus(st), RejectReason::kIoError);
+  }
+  // The WAL still covers everything: mutations and a later checkpoint work.
+  EXPECT_TRUE(durable_->BulkLoad("t", {Row{Value::Int(3)}}).ok());
+  EXPECT_TRUE(durable_->Checkpoint().ok());
+  EXPECT_EQ(durable_->Stats().durability.checkpoints_written, 1);
+}
+
+TEST_F(DurableResilienceTest, RecoveryReplayFaultFailsOpenWithStructuredReason) {
+  durable_.reset();  // leaves WAL records to replay on the next Open
+  DatabaseOptions options;
+  options.data_dir = dir_;
+  {
+    ScopedFault fault("recovery/replay", Status::Internal("injected replay"),
+                      1);
+    StatusOr<std::unique_ptr<Database>> reopened = Database::Open(options);
+    ASSERT_FALSE(reopened.ok());
+    EXPECT_EQ(RejectReasonFromStatus(reopened.status()),
+              RejectReason::kRecoveryFailed);
+  }
+  // Recovery wrote nothing before failing: the next attempt succeeds.
+  StatusOr<std::unique_ptr<Database>> reopened = Database::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->TableRows("t"), 1);
+}
+
+TEST_F(DurableResilienceTest, TornWriteFaultPoisonsWriterButRecoversCleanly) {
+  {
+    ScopedFault fault("wal/torn_write",
+                      RejectIo(RejectReason::kWalTornTail, "injected tear"),
+                      1);
+    Status st = durable_->BulkLoad("t", {Row{Value::Int(9)}});
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(RejectReasonFromStatus(st), RejectReason::kWalTornTail);
+  }
+  // Sticky, like a dying disk: further mutations refuse...
+  EXPECT_FALSE(durable_->BulkLoad("t", {Row{Value::Int(10)}}).ok());
+  // ...but reads keep serving the last committed state.
+  EXPECT_EQ(durable_->TableRows("t"), 1);
+  durable_.reset();
+
+  // And reopening truncates the tear and recovers the clean prefix.
+  DatabaseOptions options;
+  options.data_dir = dir_;
+  StatusOr<std::unique_ptr<Database>> reopened = Database::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->TableRows("t"), 1);
+  EXPECT_GT((*reopened)->Stats().durability.recovery_truncated_bytes, 0);
 }
 
 }  // namespace

@@ -1,0 +1,497 @@
+// WAL + checkpoint unit tests: codec round trips, CRC framing, torn-tail
+// detection and repair, group commit semantics, segment rolling/pruning,
+// checkpoint write/load, and targeted section corruption. Crash-shaped
+// end-to-end coverage (SIGKILL mid-operation) lives in crash_recovery_test.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/reject_reason.h"
+#include "wal/checkpoint.h"
+#include "wal/codec.h"
+#include "wal/wal.h"
+
+namespace sumtab {
+namespace wal {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory under the gtest temp root.
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    dir_ = ::testing::TempDir() + "sumtab_wal_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    fs::remove_all(dir_);
+  }
+
+  std::unique_ptr<Writer> MustOpen(uint64_t seq = 1, uint64_t next_lsn = 1,
+                                   Writer::Options options = {}) {
+    StatusOr<std::unique_ptr<Writer>> w = Writer::Open(dir_, seq, next_lsn,
+                                                       options);
+    EXPECT_TRUE(w.ok()) << w.status().ToString();
+    return w.ok() ? std::move(*w) : nullptr;
+  }
+
+  std::string SegmentPath(uint64_t seq) {
+    return dir_ + "/" + SegmentFileName(seq);
+  }
+
+  std::string dir_;
+};
+
+// ---- codec ----
+
+TEST_F(WalTest, CodecScalarRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xab);
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x1122334455667788ull);
+  PutI64(&buf, -42);
+  PutDouble(&buf, 3.25);
+  PutString(&buf, "hello");
+  PutString(&buf, "");  // empty strings are representable
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.U8(), 0xab);
+  EXPECT_EQ(dec.U32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.U64(), 0x1122334455667788ull);
+  EXPECT_EQ(dec.I64(), -42);
+  EXPECT_EQ(dec.Double(), 3.25);
+  EXPECT_EQ(dec.String(), "hello");
+  EXPECT_EQ(dec.String(), "");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST_F(WalTest, CodecValueRowRelationRoundTrip) {
+  engine::Relation rel;
+  rel.column_names = {"a", "b", "c", "d", "e"};
+  rel.rows.push_back(Row{Value::Int(7), Value::Double(1.5),
+                         Value::String("x"), Value::Null(), Value::Bool(true)});
+  rel.rows.push_back(Row{Value::Int(-1), Value::Double(-0.25),
+                         Value::String(""), Value::Date(19940215),
+                         Value::Bool(false)});
+
+  std::string buf;
+  PutRelation(&buf, rel);
+  std::map<std::string, int64_t> epochs{{"trans", 12}, {"acct", 3}};
+  PutEpochMap(&buf, epochs);
+
+  Decoder dec(buf);
+  engine::Relation back = dec.GetRelation();
+  std::map<std::string, int64_t> epochs_back = dec.GetEpochMap();
+  ASSERT_TRUE(dec.AtEnd());
+  ASSERT_EQ(back.column_names, rel.column_names);
+  ASSERT_EQ(back.NumRows(), rel.NumRows());
+  EXPECT_TRUE(engine::SameRowMultiset(back, rel));
+  EXPECT_EQ(epochs_back, epochs);
+}
+
+TEST_F(WalTest, CodecTruncatedPayloadIsStickyError) {
+  std::string buf;
+  PutString(&buf, "a long enough string");
+  // Cut the payload mid-string: the decoder must flip to !ok(), not read
+  // out of bounds, and every later read must return a zero value.
+  Decoder dec(buf.data(), buf.size() - 5);
+  EXPECT_EQ(dec.String(), "");
+  EXPECT_FALSE(dec.ok());
+  EXPECT_EQ(dec.U64(), 0u);
+  EXPECT_FALSE(dec.AtEnd());
+}
+
+TEST_F(WalTest, Crc32KnownVector) {
+  // The IEEE CRC-32 check value ("123456789" -> 0xCBF43926).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+// ---- writer + scan ----
+
+TEST_F(WalTest, AppendHardenScanRoundTrip) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  StatusOr<uint64_t> l1 = w->Append(RecordType::kCreateTable, "body-one");
+  StatusOr<uint64_t> l2 = w->Append(RecordType::kBulkLoad, "body-two");
+  ASSERT_TRUE(l1.ok() && l2.ok());
+  EXPECT_EQ(*l1, 1u);
+  EXPECT_EQ(*l2, 2u);
+  ASSERT_TRUE(w->Harden(*l2).ok());
+  EXPECT_EQ(w->durable_lsn(), 2u);
+  EXPECT_EQ(w->records_appended(), 2);
+  w.reset();
+
+  StatusOr<ScanResult> scan = ScanDir(dir_, /*repair=*/false);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+  EXPECT_EQ(scan->records[0].type,
+            static_cast<uint8_t>(RecordType::kCreateTable));
+  EXPECT_EQ(scan->records[0].body, "body-one");
+  EXPECT_EQ(scan->records[1].lsn, 2u);
+  EXPECT_EQ(scan->records[1].body, "body-two");
+  EXPECT_EQ(scan->max_segment_seq, 1u);
+  EXPECT_EQ(scan->torn_events, 0);
+}
+
+TEST_F(WalTest, RelaxedModeFlushesWithinInterval) {
+  Writer::Options options;
+  options.sync = false;
+  options.flush_interval_micros = 1000;
+  auto w = MustOpen(1, 1, options);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->Append(RecordType::kAppend, "relaxed").ok());
+  // No Harden() call: the background flusher must still land the record
+  // within the bounded interval.
+  for (int i = 0; i < 1000 && w->durable_lsn() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(w->durable_lsn(), 1u);
+}
+
+TEST_F(WalTest, ScanDetectsAndRepairsTornTail) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->Append(RecordType::kCreateTable, "keep-me").ok());
+  ASSERT_TRUE(w->Harden(1).ok());
+  w.reset();
+
+  // Simulate a torn write: append half of a plausible frame by hand.
+  const auto clean_size = fs::file_size(SegmentPath(1));
+  {
+    std::ofstream f(SegmentPath(1), std::ios::binary | std::ios::app);
+    std::string partial("\x40\x00\x00\x00garbage-torn-bytes", 22);
+    f.write(partial.data(), static_cast<std::streamsize>(partial.size()));
+  }
+
+  // Non-repair scan: sees the clean prefix, reports the tear, file intact.
+  StatusOr<ScanResult> scan = ScanDir(dir_, /*repair=*/false);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->torn_events, 1);
+  EXPECT_GT(fs::file_size(SegmentPath(1)), clean_size);
+
+  // Repair scan truncates the tail; a second repair scan is a no-op
+  // (recovery must be idempotent under repeated crashes).
+  scan = ScanDir(dir_, /*repair=*/true);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->torn_events, 1);
+  EXPECT_EQ(scan->truncated_bytes, 22);
+  EXPECT_EQ(fs::file_size(SegmentPath(1)), clean_size);
+  scan = ScanDir(dir_, /*repair=*/true);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->torn_events, 0);
+  EXPECT_EQ(scan->truncated_bytes, 0);
+}
+
+TEST_F(WalTest, ScanStopsAtCorruptFrameMidSegment) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->Append(RecordType::kCreateTable, "first").ok());
+  ASSERT_TRUE(w->Append(RecordType::kBulkLoad, "second").ok());
+  ASSERT_TRUE(w->Harden(2).ok());
+  w.reset();
+
+  // Flip one byte inside the SECOND record's payload: its CRC no longer
+  // matches, so the scan must keep record 1 and stop — a mid-log bit flip
+  // may not resurrect anything after it.
+  std::fstream f(SegmentPath(1),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-1, std::ios::end);
+  f.put('!');
+  f.close();
+
+  StatusOr<ScanResult> scan = ScanDir(dir_, /*repair=*/false);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].body, "first");
+  EXPECT_EQ(scan->torn_events, 1);
+}
+
+TEST_F(WalTest, RollContinuesLsnsAcrossSegments) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->Append(RecordType::kCreateTable, "seg1").ok());
+  ASSERT_TRUE(w->Roll(2).ok());
+  EXPECT_EQ(w->segment_seq(), 2u);
+  // Roll hardens everything pending before switching files.
+  EXPECT_EQ(w->durable_lsn(), 1u);
+  ASSERT_TRUE(w->Append(RecordType::kBulkLoad, "seg2").ok());
+  ASSERT_TRUE(w->Harden(2).ok());
+  w.reset();
+
+  ASSERT_TRUE(fs::exists(SegmentPath(1)));
+  ASSERT_TRUE(fs::exists(SegmentPath(2)));
+  StatusOr<ScanResult> scan = ScanDir(dir_, /*repair=*/false);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].lsn, 1u);
+  EXPECT_EQ(scan->records[1].lsn, 2u);
+  EXPECT_EQ(scan->max_segment_seq, 2u);
+
+  // Post-checkpoint pruning: dropping segment 1 leaves only seg2's record.
+  ASSERT_TRUE(RemoveSegmentsThrough(dir_, 1).ok());
+  EXPECT_FALSE(fs::exists(SegmentPath(1)));
+  scan = ScanDir(dir_, /*repair=*/false);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].body, "seg2");
+}
+
+TEST_F(WalTest, AppendFaultPointFailsAppend) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  {
+    ScopedFault fault("wal/append", Status::Internal("injected append"), 1);
+    EXPECT_FALSE(w->Append(RecordType::kCreateTable, "x").ok());
+  }
+  // The failure is per-append, not sticky: the next append succeeds.
+  StatusOr<uint64_t> lsn = w->Append(RecordType::kCreateTable, "y");
+  ASSERT_TRUE(lsn.ok()) << lsn.status().ToString();
+  EXPECT_TRUE(w->Harden(*lsn).ok());
+}
+
+TEST_F(WalTest, FsyncFaultIsStickyIoFailure) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  Status harden;
+  {
+    ScopedFault fault("wal/fsync",
+                      RejectIo(RejectReason::kIoError, "injected fsync"), 1);
+    ASSERT_TRUE(w->Append(RecordType::kCreateTable, "x").ok());
+    harden = w->Harden(1);
+  }
+  EXPECT_FALSE(harden.ok());
+  EXPECT_EQ(RejectReasonFromStatus(harden), RejectReason::kIoError);
+  // Sticky: the log device "went away", later appends refuse too.
+  EXPECT_FALSE(w->Append(RecordType::kBulkLoad, "after").ok());
+}
+
+TEST_F(WalTest, TornWriteFaultLeavesRepairableTail) {
+  auto w = MustOpen();
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->Append(RecordType::kCreateTable, "whole").ok());
+  ASSERT_TRUE(w->Harden(1).ok());
+  {
+    ScopedFault fault("wal/torn_write",
+                      RejectIo(RejectReason::kWalTornTail, "injected tear"),
+                      1);
+    // The torn-write injection path writes only a prefix of the frame and
+    // poisons the writer.
+    StatusOr<uint64_t> lsn = w->Append(RecordType::kBulkLoad, "torn-record");
+    Status st = lsn.ok() ? w->Harden(*lsn) : lsn.status();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(RejectReasonFromStatus(st), RejectReason::kWalTornTail);
+  }
+  w.reset();
+
+  StatusOr<ScanResult> scan = ScanDir(dir_, /*repair=*/true);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].body, "whole");
+  EXPECT_EQ(scan->torn_events, 1);
+  EXPECT_GT(scan->truncated_bytes, 0);
+}
+
+// ---- checkpoint ----
+
+CheckpointState MakeState() {
+  CheckpointState state;
+  state.last_lsn = 17;
+  state.wal_segment_seq = 3;
+  state.catalog_generation = 9;
+  state.foreign_keys.push_back({"trans", "faid", "acct", "aid"});
+
+  CheckpointBaseTable base;
+  base.table.name = "trans";
+  base.table.columns = {{"tid", Type::kInt, false},
+                        {"price", Type::kDouble, true}};
+  base.table.primary_key = {"tid"};
+  base.epoch = 4;
+  base.data.column_names = {"tid", "price"};
+  base.data.rows.push_back(Row{Value::Int(1), Value::Double(9.5)});
+  base.data.rows.push_back(Row{Value::Int(2), Value::Null()});
+  state.base_tables.push_back(std::move(base));
+
+  CheckpointAst ast;
+  ast.name = "ast1";
+  ast.sql = "select tid, count(*) as c from trans group by tid";
+  ast.table.name = "ast1";
+  ast.table.columns = {{"tid", Type::kInt, false}, {"c", Type::kInt, false}};
+  ast.table.is_summary_table = true;
+  ast.materialized_epochs = {{"trans", 4}};
+  ast.max_staleness = 2;
+  ast.consecutive_failures = 1;
+  ast.disabled = false;
+  ast.data.column_names = {"tid", "c"};
+  ast.data.rows.push_back(Row{Value::Int(1), Value::Int(10)});
+  state.asts.push_back(std::move(ast));
+  return state;
+}
+
+TEST_F(WalTest, CheckpointRoundTrip) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 5, MakeState()).ok());
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->found);
+  EXPECT_EQ(loaded->seq, 5u);
+  const CheckpointState& s = loaded->state;
+  EXPECT_EQ(s.last_lsn, 17u);
+  EXPECT_EQ(s.wal_segment_seq, 3u);
+  EXPECT_EQ(s.catalog_generation, 9);
+  ASSERT_EQ(s.foreign_keys.size(), 1u);
+  EXPECT_EQ(s.foreign_keys[0].parent_table, "acct");
+  ASSERT_EQ(s.base_tables.size(), 1u);
+  EXPECT_EQ(s.base_tables[0].epoch, 4);
+  EXPECT_EQ(s.base_tables[0].table.primary_key,
+            std::vector<std::string>{"tid"});
+  EXPECT_TRUE(engine::SameRowMultiset(s.base_tables[0].data,
+                                      MakeState().base_tables[0].data));
+  ASSERT_EQ(s.asts.size(), 1u);
+  EXPECT_TRUE(s.asts[0].data_ok);
+  EXPECT_EQ(s.asts[0].max_staleness, 2);
+  EXPECT_EQ(s.asts[0].consecutive_failures, 1);
+  EXPECT_EQ(s.asts[0].materialized_epochs.at("trans"), 4);
+  EXPECT_TRUE(s.asts[0].table.is_summary_table);
+}
+
+TEST_F(WalTest, LoadPicksHighestSeqAndPrunes) {
+  CheckpointState older = MakeState();
+  older.catalog_generation = 1;
+  CheckpointState newer = MakeState();
+  newer.catalog_generation = 2;
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, older).ok());
+  ASSERT_TRUE(WriteCheckpoint(dir_, 2, newer).ok());
+
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->seq, 2u);
+  EXPECT_EQ(loaded->state.catalog_generation, 2);
+
+  ASSERT_TRUE(RemoveCheckpointsBefore(dir_, 2).ok());
+  EXPECT_FALSE(fs::exists(dir_ + "/" + CheckpointFileName(1)));
+  EXPECT_TRUE(fs::exists(dir_ + "/" + CheckpointFileName(2)));
+}
+
+TEST_F(WalTest, EmptyDirHasNoCheckpoint) {
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->found);
+}
+
+// Flips one payload byte of the first section of the given type.
+void CorruptSection(const std::string& path, SectionType type) {
+  StatusOr<std::vector<SectionInfo>> sections = ListCheckpointSections(path);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  for (const SectionInfo& s : *sections) {
+    if (s.type != type) continue;
+    ASSERT_GT(s.payload_len, 0u);
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(s.payload_offset));
+    char byte = 0;
+    f.get(byte);
+    f.seekp(static_cast<std::streamoff>(s.payload_offset));
+    f.put(static_cast<char>(byte ^ 0xff));
+    return;
+  }
+  FAIL() << "no section of requested type";
+}
+
+TEST_F(WalTest, CorruptAstDataSectionIsGraceful) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  CorruptSection(dir_ + "/" + CheckpointFileName(1), SectionType::kAstData);
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  // Attributable corruption: ONLY the AST's rows are lost. The load
+  // succeeds, metadata survives, data_ok flags the drop.
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->state.asts.size(), 1u);
+  EXPECT_FALSE(loaded->state.asts[0].data_ok);
+  EXPECT_EQ(loaded->state.asts[0].name, "ast1");
+  EXPECT_EQ(loaded->state.asts[0].sql, MakeState().asts[0].sql);
+  // Base tables are untouched.
+  ASSERT_EQ(loaded->state.base_tables.size(), 1u);
+  EXPECT_EQ(loaded->state.base_tables[0].data.NumRows(), 2u);
+}
+
+TEST_F(WalTest, CorruptMetaSectionFailsLoad) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  CorruptSection(dir_ + "/" + CheckpointFileName(1), SectionType::kMeta);
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(RejectReasonFromStatus(loaded.status()),
+            RejectReason::kCheckpointCorruption);
+}
+
+TEST_F(WalTest, CorruptBaseTableSectionFailsLoad) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  CorruptSection(dir_ + "/" + CheckpointFileName(1), SectionType::kBaseTable);
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(RejectReasonFromStatus(loaded.status()),
+            RejectReason::kCheckpointCorruption);
+}
+
+TEST_F(WalTest, TruncatedCheckpointMissingEndFailsLoad) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  const std::string path = dir_ + "/" + CheckpointFileName(1);
+  // Cut off the kEnd section: an incomplete file (crash mid-write that
+  // somehow got renamed) must not load as a shorter-but-valid snapshot.
+  fs::resize_file(path, fs::file_size(path) - 9);
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(RejectReasonFromStatus(loaded.status()),
+            RejectReason::kCheckpointCorruption);
+}
+
+TEST_F(WalTest, VersionMismatchFailsLoad) {
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  const std::string path = dir_ + "/" + CheckpointFileName(1);
+  {
+    // Bump the u32 version right after the 4-byte magic.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    f.put(static_cast<char>(kCheckpointVersion + 1));
+  }
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(RejectReasonFromStatus(loaded.status()),
+            RejectReason::kCheckpointVersionMismatch);
+}
+
+TEST_F(WalTest, CheckpointWriteFaultLeavesNoCheckpoint) {
+  {
+    ScopedFault fault("checkpoint/write",
+                      RejectIo(RejectReason::kIoError, "injected"), 1);
+    EXPECT_FALSE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  }
+  // The tmp-file protocol must not leave a visible (renamed) checkpoint.
+  StatusOr<CheckpointLoadResult> loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->found);
+  // And the write works once the fault clears.
+  ASSERT_TRUE(WriteCheckpoint(dir_, 1, MakeState()).ok());
+  loaded = LoadLatestCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->found);
+}
+
+TEST_F(WalTest, FileNamesAreZeroPadded) {
+  EXPECT_EQ(SegmentFileName(42), "wal-00000042.log");
+  EXPECT_EQ(CheckpointFileName(7), "ckpt-00000007.stck");
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace sumtab
