@@ -31,13 +31,19 @@
 // checkpoint + WAL suffix until the first query answers), reported as
 // restart-to-first-query time and replay records/sec in BENCH_pr8.json.
 //
+// The compensation leg measures what a stale AST costs with and without
+// delta compensation (fresh rewrite vs base-table fallback vs compensated
+// two-leg plan) at several retained-delta sizes; BENCH_pr9.json.
+//
 // Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
 //                     [--out-serving PATH] [--out-durability PATH]
+//                     [--out-compensation PATH]
 //   --quick           small data sizes + fewer reps (CI smoke mode)
 //   --out             matrix-leg JSON path (default BENCH_pr3.json)
 //   --out-vec         vectorized-leg JSON path (default BENCH_pr5.json)
 //   --out-serving     serving-leg JSON path (default BENCH_pr7.json)
 //   --out-durability  durability-leg JSON path (default BENCH_pr8.json)
+//   --out-compensation  compensation-leg JSON path (default BENCH_pr9.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -846,6 +852,161 @@ void RunDurabilityLeg(bool quick, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- compensation leg (BENCH_pr9.json) ----
+//
+// What a stale AST costs with and without delta compensation: per retained
+// delta size, the same aggregate query is measured (a) against a FRESH AST
+// (plain rewrite — the floor), (b) against the stale AST with compensation
+// disabled (the query falls back to the full base-table scan), and (c)
+// against the stale AST with compensation (AST scan ∪ delta aggregate).
+// Answers are cross-checked between all three modes; (c) must beat (b) at
+// every delta size for the leg to pass.
+void RunCompensationLeg(bool quick, const std::string& path) {
+  bench::PrintHeader("compensation: fresh vs stale-fallback vs compensated");
+  const int64_t base_rows = quick ? 100000 : 200000;
+  const int reps = quick ? 3 : 7;
+  const int64_t delta_sizes[] = {1000, 10000, 100000};
+  const char* query = "select g, count(*) as c, sum(b) as s from t group by g";
+
+  struct DeltaRow {
+    int64_t delta_rows = 0;
+    int64_t epochs = 0;
+    double fresh_ms = 0;
+    double fallback_ms = 0;
+    double compensated_ms = 0;
+    double compensated_rewrite_rate = 0;
+  };
+  std::vector<DeltaRow> rows;
+
+  QueryOptions fresh_opts;
+  fresh_opts.enable_plan_cache = false;
+  QueryOptions fallback_opts;
+  fallback_opts.enable_plan_cache = false;
+  fallback_opts.enable_compensation = false;
+  QueryOptions comp_opts;
+  comp_opts.enable_plan_cache = false;
+
+  for (int64_t delta : delta_sizes) {
+    Database db;
+    SetupDurabilitySchema(&db);  // t(a,b,g) + ast_g, 5k seed rows
+    Status st = db.BulkLoad("t", DurabilityRows(10000, static_cast<int>(
+                                                           base_rows - 5000)));
+    if (st.ok()) st = db.RefreshSummaryTable("ast_g");
+    if (!st.ok()) {
+      std::fprintf(stderr, "compensation leg setup failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+
+    DeltaRow row;
+    row.delta_rows = delta;
+    engine::Relation fresh_answer;
+    row.fresh_ms = bench::TimeQueryMs(&db, query, fresh_opts, reps,
+                                      &fresh_answer);
+
+    // Retain the delta as deferred appends: ast_g goes stale with exact
+    // coverage. Several epochs, so the merge spans a multi-slice range.
+    Database::AppendOptions deferred;
+    deferred.maintain = false;
+    const int64_t batch = std::max<int64_t>(1, delta / 4);
+    int64_t appended = 0;
+    while (appended < delta) {
+      int64_t n = std::min(batch, delta - appended);
+      auto report = db.Append(
+          "t", DurabilityRows(2000000 + appended, static_cast<int>(n)),
+          deferred);
+      if (!report.ok()) {
+        std::fprintf(stderr, "compensation leg append failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      appended += n;
+      ++row.epochs;
+    }
+
+    engine::Relation comp_answer;
+    row.compensated_ms =
+        bench::TimeQueryMs(&db, query, comp_opts, reps, &comp_answer);
+    engine::Relation fallback_answer;
+    row.fallback_ms = bench::TimeQueryMs(&db, query, fallback_opts, reps,
+                                         &fallback_answer);
+
+    // Sanity: the compensated run really compensated, the fallback really
+    // did not, and all three answers agree (fresh predates the delta, so it
+    // is checked against a rewrite-off recompute instead).
+    StatusOr<QueryResult> comp_probe = db.Query(query, comp_opts);
+    StatusOr<QueryResult> fallback_probe = db.Query(query, fallback_opts);
+    if (!comp_probe.ok() || !fallback_probe.ok() || !comp_probe->compensated ||
+        comp_probe->compensation_delta_rows != delta ||
+        fallback_probe->used_summary_table) {
+      std::fprintf(stderr,
+                   "BENCH FAILURE: compensation mode flags wrong at delta "
+                   "%lld\n",
+                   static_cast<long long>(delta));
+      std::exit(1);
+    }
+    row.compensated_rewrite_rate = 1.0;
+    QueryOptions off;
+    off.enable_rewrite = false;
+    StatusOr<QueryResult> recompute = db.Query(query, off);
+    if (!recompute.ok() ||
+        !engine::SameRowMultiset(recompute->relation, comp_answer) ||
+        !engine::SameRowMultiset(recompute->relation, fallback_answer)) {
+      std::fprintf(stderr,
+                   "BENCH FAILURE: compensated answer diverges at delta "
+                   "%lld\n",
+                   static_cast<long long>(delta));
+      std::exit(1);
+    }
+
+    std::printf(
+        "delta %7lld rows (%lld epochs): fresh %8.3f ms | fallback %8.3f ms "
+        "| compensated %8.3f ms (%.2fx vs fallback)\n",
+        static_cast<long long>(row.delta_rows),
+        static_cast<long long>(row.epochs), row.fresh_ms, row.fallback_ms,
+        row.compensated_ms,
+        row.compensated_ms > 0 ? row.fallback_ms / row.compensated_ms : 0.0);
+    if (row.compensated_ms >= row.fallback_ms) {
+      std::fprintf(stderr,
+                   "BENCH FAILURE: compensated (%.3f ms) not faster than "
+                   "stale fallback (%.3f ms) at delta %lld\n",
+                   row.compensated_ms, row.fallback_ms,
+                   static_cast<long long>(delta));
+      std::exit(1);
+    }
+    rows.push_back(row);
+  }
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr9\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"base_rows\": %lld,\n",
+               static_cast<long long>(base_rows));
+  std::fprintf(f, "  \"query\": \"%s\",\n", query);
+  std::fprintf(f, "  \"deltas\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const DeltaRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"delta_rows\": %lld, \"epochs\": %lld, \"fresh_ms\": %.4f, "
+        "\"stale_fallback_ms\": %.4f, \"compensated_ms\": %.4f, "
+        "\"compensated_speedup_vs_fallback\": %.3f, "
+        "\"compensated_rewrite_rate\": %.3f}%s\n",
+        static_cast<long long>(r.delta_rows),
+        static_cast<long long>(r.epochs), r.fresh_ms, r.fallback_ms,
+        r.compensated_ms,
+        r.compensated_ms > 0 ? r.fallback_ms / r.compensated_ms : 0.0,
+        r.compensated_rewrite_rate, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -970,6 +1131,7 @@ int main(int argc, char** argv) {
   std::string out_vec = "BENCH_pr5.json";
   std::string out_serving = "BENCH_pr7.json";
   std::string out_durability = "BENCH_pr8.json";
+  std::string out_compensation = "BENCH_pr9.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -981,10 +1143,14 @@ int main(int argc, char** argv) {
       out_serving = argv[++i];
     } else if (std::strcmp(argv[i], "--out-durability") == 0 && i + 1 < argc) {
       out_durability = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-compensation") == 0 &&
+               i + 1 < argc) {
+      out_compensation = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out PATH] [--out-vec PATH] "
-                   "[--out-serving PATH] [--out-durability PATH]\n",
+                   "[--out-serving PATH] [--out-durability PATH] "
+                   "[--out-compensation PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -1001,6 +1167,7 @@ int main(int argc, char** argv) {
   // legs (the serving leg runs its own database + server).
   RunServingLeg(quick, out_serving);
   RunDurabilityLeg(quick, out_durability);
+  RunCompensationLeg(quick, out_compensation);
 
   double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {

@@ -38,7 +38,7 @@ inline std::vector<Row> URows(int start_k, int n) {
 }
 
 /// Number of ops in the script. Ops are applied in order, 0-based.
-inline int ScriptLength() { return 25; }
+inline int ScriptLength() { return 29; }
 
 /// Applies op `i` to `db` (durable in the child, in-memory in the twin).
 inline Status ApplyOp(Database* db, int i) {
@@ -107,6 +107,25 @@ inline Status ApplyOp(Database* db, int i) {
       return db->RefreshSummaryTable("ast_g");
     case 24:
       return db->Append("t", TRows(80, 10)).status();
+    case 25: {
+      // Deferred append: ast_g goes stale-but-compensatable. The recovered
+      // database and the twin must then agree through the COMPENSATED
+      // rewrite path (kAppendDeferred replay must not maintain the AST).
+      Database::AppendOptions deferred;
+      deferred.maintain = false;
+      return db->Append("t", TRows(90, 8), deferred).status();
+    }
+    case 26:
+      return db->Stats().durability.enabled ? db->Checkpoint() : Status::OK();
+    case 27: {
+      // Second deferred epoch AFTER the checkpoint: recovery has to stitch
+      // the retained range from a kDeltaPartition section plus WAL replay.
+      Database::AppendOptions deferred;
+      deferred.maintain = false;
+      return db->Append("t", TRows(98, 7), deferred).status();
+    }
+    case 28:
+      return db->RefreshSummaryTable("ast_g");  // absorbs the retained range
     default:
       return Status::InvalidArgument("op index out of range");
   }

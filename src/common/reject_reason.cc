@@ -130,6 +130,28 @@ const char* RejectReasonToken(RejectReason reason) {
       return "ast_dropped_on_recovery";
     case RejectReason::kRecoveryFailed:
       return "recovery_failed";
+    case RejectReason::kDeltaDroppedOnRecovery:
+      return "delta_dropped_on_recovery";
+    case RejectReason::kCompMultiTableStaleness:
+      return "comp_multi_table_staleness";
+    case RejectReason::kCompDeltaUnavailable:
+      return "comp_delta_unavailable";
+    case RejectReason::kCompQueryShape:
+      return "comp_query_shape";
+    case RejectReason::kCompDistinct:
+      return "comp_distinct";
+    case RejectReason::kCompScalarSubquery:
+      return "comp_scalar_subquery";
+    case RejectReason::kCompDeltaRefCount:
+      return "comp_delta_ref_count";
+    case RejectReason::kCompNonDecomposableAggregate:
+      return "comp_non_decomposable_aggregate";
+    case RejectReason::kCompDistinctAggregate:
+      return "comp_distinct_aggregate";
+    case RejectReason::kCompNullableGroupingSet:
+      return "comp_nullable_grouping_set";
+    case RejectReason::kCompAstMismatch:
+      return "comp_ast_mismatch";
   }
   return "unknown";
 }

@@ -94,6 +94,20 @@ enum class RejectReason : uint16_t {
   kCheckpointVersionMismatch = 144,
   kAstDroppedOnRecovery = 145,
   kRecoveryFailed = 146,
+  kDeltaDroppedOnRecovery = 147,
+
+  // ---- delta compensation: stale-AST rewrites over retained append
+  // slices (src/matching/compensation.cc) ----
+  kCompMultiTableStaleness = 150,  // more than one base table lags the AST
+  kCompDeltaUnavailable = 151,     // no contiguous retained-slice coverage
+  kCompQueryShape = 152,           // not an SPJ / single-aggregate-block query
+  kCompDistinct = 153,             // DISTINCT block (dedup is not unionable)
+  kCompScalarSubquery = 154,
+  kCompDeltaRefCount = 155,        // stale table referenced != 1 time
+  kCompNonDecomposableAggregate = 156,  // only COUNT/SUM/MIN/MAX decompose
+  kCompDistinctAggregate = 157,
+  kCompNullableGroupingSet = 158,  // data-NULL vs padding-NULL key collision
+  kCompAstMismatch = 159,          // the AST does not cover the stale scan
 };
 
 /// Stable snake_case token for a reason, e.g. "distinct_mismatch".

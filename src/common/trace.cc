@@ -135,6 +135,9 @@ std::string QueryTrace::ToString() const {
     if (!a.maintenance.empty()) {
       out += "  maintenance: " + a.maintenance + "\n";
     }
+    if (!a.compensation.empty()) {
+      out += "  compensation: " + a.compensation + "\n";
+    }
     for (const MatchAttemptTrace& m : a.match_attempts) {
       out += "  match q" + std::to_string(m.query_box) + " vs a" +
              std::to_string(m.ast_box) + " [" + m.pattern + "]: ";

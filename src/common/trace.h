@@ -48,6 +48,9 @@ struct AstAttemptTrace {
   std::string detail;
   std::string maintenance;  // incremental-merge verdict: "incremental" or
                             // the maint_* reject token (filled by EXPLAIN)
+  std::string compensation;  // delta-compensation verdict for a stale AST:
+                             // "compensated(<rows> delta rows, <n> epochs)"
+                             // or the comp_* reject token
   std::vector<MatchAttemptTrace> match_attempts;
 };
 

@@ -42,6 +42,12 @@ struct ExecOptions {
   /// relation instead of storage. Used by incremental summary-table
   /// maintenance to evaluate an AST definition against a delta.
   const std::map<std::string, const Relation*>* table_overrides = nullptr;
+  /// Prebuilt columnar twins for overridden tables, keyed like
+  /// table_overrides. The vectorized engine scans these directly instead of
+  /// converting the override's rows per execution; entries are optional per
+  /// table (absent => convert rows). Ignored by the row engine.
+  const std::map<std::string, std::shared_ptr<const Batch>>*
+      columnar_overrides = nullptr;
   /// Row budget: total rows the plan may materialize across all operators
   /// (join intermediates included). 0 = unbounded. Exceeding it aborts the
   /// query with kResourceExhausted — runaway cross products die early

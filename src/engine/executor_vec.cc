@@ -115,6 +115,12 @@ StatusOr<Executor::BatchPtr> Executor::ExecBoxVec(const qgm::Graph& graph,
   switch (box.kind) {
     case Box::Kind::kBase: {
       SUMTAB_FAULT_POINT("executor/scan");
+      if (options_.columnar_overrides != nullptr) {
+        auto it = options_.columnar_overrides->find(box.table_name);
+        if (it != options_.columnar_overrides->end() && it->second != nullptr) {
+          return it->second;
+        }
+      }
       if (options_.table_overrides != nullptr) {
         auto it = options_.table_overrides->find(box.table_name);
         if (it != options_.table_overrides->end()) {

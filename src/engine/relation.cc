@@ -121,6 +121,7 @@ Status Storage::DropTable(const std::string& name) {
   if (tables_.erase(Key(name)) == 0) {
     return Status::NotFound("table data for '" + name + "'");
   }
+  deltas_.erase(Key(name));
   return Status::OK();
 }
 
@@ -172,11 +173,44 @@ void Storage::SetEpoch(const std::string& name, int64_t epoch) {
   epochs_[Key(name)] = epoch;
 }
 
+void Storage::RetainDelta(const std::string& name, int64_t epoch,
+                          Relation delta) {
+  auto version = std::make_shared<Version>();
+  version->relation = std::move(delta);
+  std::lock_guard<std::mutex> lock(mu_);
+  DeltaMap& slices = deltas_[Key(name)];
+  slices[epoch] = std::move(version);
+  // Cap retention: dropping the OLDEST slice widens the coverage gap at the
+  // stale end, so over-stale ASTs lose compensability first — never recent
+  // ones.
+  while (slices.size() > kMaxRetainedDeltas) slices.erase(slices.begin());
+}
+
+void Storage::PruneDeltasThrough(const std::string& name, int64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deltas_.find(Key(name));
+  if (it == deltas_.end()) return;
+  it->second.erase(it->second.begin(), it->second.upper_bound(epoch));
+  if (it->second.empty()) deltas_.erase(it);
+}
+
+std::vector<Storage::RetainedDelta> Storage::RetainedDeltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RetainedDelta> out;
+  for (const auto& [table, slices] : deltas_) {
+    for (const auto& [epoch, version] : slices) {
+      out.push_back(RetainedDelta{table, epoch, version->relation});
+    }
+  }
+  return out;
+}
+
 Storage::Snapshot Storage::Snap() const {
   Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
   snap.tables_ = tables_;
   snap.epochs_ = epochs_;
+  snap.deltas_ = deltas_;
   return snap;
 }
 
@@ -194,6 +228,58 @@ std::shared_ptr<const Batch> Storage::Snapshot::FindColumnar(
 int64_t Storage::Snapshot::Epoch(const std::string& name) const {
   auto it = epochs_.find(Key(name));
   return it == epochs_.end() ? 0 : it->second;
+}
+
+std::vector<const Relation*> Storage::Snapshot::DeltaSlices(
+    const std::string& name, int64_t from, int64_t to) const {
+  std::vector<const Relation*> out;
+  if (from >= to) return out;
+  auto it = deltas_.find(Key(name));
+  if (it == deltas_.end()) return out;
+  // Coverage must be exact: one slice per epoch in (from, to], no gaps — a
+  // missing epoch means some change (a BulkLoad, or a pruned slice) is not
+  // represented by retained append rows, and compensating would answer from
+  // partial history.
+  int64_t expected = from + 1;
+  for (auto slice = it->second.upper_bound(from);
+       slice != it->second.end() && slice->first <= to; ++slice) {
+    if (slice->first != expected) return {};
+    out.push_back(&slice->second->relation);
+    ++expected;
+  }
+  if (expected != to + 1) return {};
+  return out;
+}
+
+bool Storage::Snapshot::HasDeltaCoverage(const std::string& name, int64_t from,
+                                         int64_t to) const {
+  return from >= to || !DeltaSlices(name, from, to).empty();
+}
+
+std::vector<std::shared_ptr<const Batch>> Storage::Snapshot::DeltaSliceColumnar(
+    const std::string& name, int64_t from, int64_t to) const {
+  std::vector<std::shared_ptr<const Batch>> out;
+  if (from >= to) return out;
+  auto it = deltas_.find(Key(name));
+  if (it == deltas_.end()) return out;
+  int64_t expected = from + 1;
+  for (auto slice = it->second.upper_bound(from);
+       slice != it->second.end() && slice->first <= to; ++slice) {
+    if (slice->first != expected) return {};
+    out.push_back(ColumnarOf(*slice->second));
+    ++expected;
+  }
+  if (expected != to + 1) return {};
+  return out;
+}
+
+int64_t Storage::Snapshot::DeltaRows(const std::string& name, int64_t from,
+                                     int64_t to) const {
+  int64_t rows = 0;
+  for (const Relation* slice : DeltaSlices(name, from, to)) {
+    rows += static_cast<int64_t>(slice->NumRows());
+  }
+  return rows;
 }
 
 }  // namespace engine

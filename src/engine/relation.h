@@ -3,6 +3,7 @@
 #ifndef SUMTAB_ENGINE_RELATION_H_
 #define SUMTAB_ENGINE_RELATION_H_
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -58,6 +59,16 @@ void SortRows(Relation* relation);
 /// Replace() and DropTable + AddTable cycles on purpose: replacing a table's
 /// contents is a data change, not a reset.
 ///
+/// Append-delta partitions: an append that bumps a table's epoch E-1 -> E may
+/// additionally *retain* the appended rows as an addressable delta slice
+/// keyed by E (RetainDelta). The slices are what delta-compensation rewrites
+/// scan: a stale AST materialized at epoch M answers a query exactly when
+/// every epoch in (M, current] has a retained slice (pure-append staleness
+/// with full coverage — a BulkLoad never retains, so its epoch bump leaves a
+/// coverage gap and compensation correctly refuses). Slices are pinned by
+/// snapshots like table versions, pruned once every dependent AST has
+/// absorbed them, and capped at kMaxRetainedDeltas per table.
+///
 /// Thread-safety: the name -> version maps are guarded by an internal mutex;
 /// versions themselves are immutable (except the lazily built columnar twin,
 /// which has its own per-version lock). Concurrent Snap() / Replace() /
@@ -76,11 +87,21 @@ class Storage {
   };
   using VersionPtr = std::shared_ptr<const Version>;
 
+  /// Per-table retained delta slices, ordered by the epoch each produced.
+  using DeltaMap = std::map<int64_t, VersionPtr>;
+
  public:
+  /// Retained slices per table; larger retention only buys compensation
+  /// coverage for very stale ASTs, so a small cap bounds memory (beyond it
+  /// compensation falls back to base tables, which is always correct).
+  static constexpr size_t kMaxRetainedDeltas = 64;
+
   /// An immutable view of every table pinned at Snap() time: the epoch
-  /// vector plus a reference to each table's then-current version. Cheap to
-  /// copy (shared_ptr per table); keeps the pinned versions (and their
-  /// columnar twins) alive for as long as any holder exists.
+  /// vector plus a reference to each table's then-current version — and the
+  /// retained append-delta slices, so a compensated query keeps reading its
+  /// delta rows even if a concurrent refresh prunes them. Cheap to copy
+  /// (shared_ptr per table); keeps the pinned versions (and their columnar
+  /// twins) alive for as long as any holder exists.
   class Snapshot {
    public:
     Snapshot() = default;
@@ -92,10 +113,29 @@ class Storage {
       return epochs_;
     }
 
+    /// True when every epoch in (from, to] has a retained delta slice for
+    /// `name` in this snapshot — the soundness condition for compensating a
+    /// stale AST materialized at `from` up to `to` (trivially true when
+    /// from == to).
+    bool HasDeltaCoverage(const std::string& name, int64_t from,
+                          int64_t to) const;
+    /// The retained slices covering (from, to], oldest first; empty when
+    /// coverage is incomplete. Pointers stay valid while the snapshot lives.
+    std::vector<const Relation*> DeltaSlices(const std::string& name,
+                                             int64_t from, int64_t to) const;
+    /// Total rows across DeltaSlices(name, from, to).
+    int64_t DeltaRows(const std::string& name, int64_t from, int64_t to) const;
+    /// Columnar twins of DeltaSlices(name, from, to), same order — built
+    /// lazily and cached on each slice (like table versions), so repeated
+    /// compensated scans of a slice pay the row->column conversion once.
+    std::vector<std::shared_ptr<const Batch>> DeltaSliceColumnar(
+        const std::string& name, int64_t from, int64_t to) const;
+
    private:
     friend class Storage;
     std::unordered_map<std::string, VersionPtr> tables_;
     std::unordered_map<std::string, int64_t> epochs_;
+    std::unordered_map<std::string, DeltaMap> deltas_;
   };
 
   Status AddTable(const std::string& name, Relation relation);
@@ -121,7 +161,27 @@ class Storage {
   /// changes go through BumpEpoch so epochs stay monotonic).
   void SetEpoch(const std::string& name, int64_t epoch);
 
-  /// Pins the current version of every table + the epoch vector.
+  /// Retains `delta` as the append slice that produced `epoch` for `name`
+  /// (Append only — BulkLoad's rewrite-of-history must NOT retain, so its
+  /// staleness stays non-compensatable). Oldest slices beyond
+  /// kMaxRetainedDeltas are dropped.
+  void RetainDelta(const std::string& name, int64_t epoch, Relation delta);
+
+  /// Drops every slice of `name` with epoch <= `epoch` (absorbed by a
+  /// refresh / incremental merge). Snapshots pinned earlier keep theirs.
+  void PruneDeltasThrough(const std::string& name, int64_t epoch);
+
+  /// {table (lower-cased), epoch, rows} of every retained slice — copied,
+  /// for checkpointing.
+  struct RetainedDelta {
+    std::string table;
+    int64_t epoch = 0;
+    Relation data;
+  };
+  std::vector<RetainedDelta> RetainedDeltas() const;
+
+  /// Pins the current version of every table + the epoch vector + the
+  /// retained delta slices.
   Snapshot Snap() const;
 
  private:
@@ -136,6 +196,7 @@ class Storage {
   mutable std::mutex mu_;
   std::unordered_map<std::string, VersionPtr> tables_;  // keyed by Key(name)
   std::unordered_map<std::string, int64_t> epochs_;     // keyed by Key(name)
+  std::unordered_map<std::string, DeltaMap> deltas_;    // keyed by Key(name)
 };
 
 }  // namespace engine

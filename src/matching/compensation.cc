@@ -1,0 +1,217 @@
+#include "matching/compensation.h"
+
+#include <utility>
+
+#include "common/reject_reason.h"
+#include "common/str_util.h"
+#include "expr/expr_rewrite.h"
+
+namespace sumtab {
+namespace matching {
+
+namespace {
+
+bool IsStaleScan(const qgm::Box& box, const std::string& stale_table) {
+  return box.kind == qgm::Box::Kind::kBase &&
+         ToLower(box.table_name) == stale_table;
+}
+
+}  // namespace
+
+StatusOr<CompensationShape> AnalyzeCompensableQuery(
+    const qgm::Graph& query, const std::string& stale_table) {
+  // Whole-graph conditions: the delta leg is the query re-run over only the
+  // appended rows, so every operator must distribute over union in the stale
+  // table's argument. DISTINCT dedups across the partition boundary and
+  // scalar subqueries re-evaluate against the grown table; both break the
+  // leg-wise decomposition. A self-join touches old x new row pairs neither
+  // leg sees.
+  int references = 0;
+  int group_bys = 0;
+  for (qgm::BoxId id : query.TopologicalOrder()) {
+    const qgm::Box* box = query.box(id);
+    if (IsStaleScan(*box, stale_table)) ++references;
+    if (box->IsGroupBy()) ++group_bys;
+    if (box->distinct) {
+      return RejectUnsupported(RejectReason::kCompDistinct, "DISTINCT block");
+    }
+    for (const qgm::Quantifier& q : box->quantifiers) {
+      if (q.kind == qgm::Quantifier::Kind::kScalar) {
+        return RejectUnsupported(RejectReason::kCompScalarSubquery,
+                                 "scalar subquery");
+      }
+    }
+  }
+  if (references != 1) {
+    return RejectUnsupported(
+        RejectReason::kCompDeltaRefCount,
+        "stale table '" + stale_table + "' referenced " +
+            std::to_string(references) + " times (need exactly 1)");
+  }
+
+  CompensationShape shape;
+  if (group_bys == 0) {
+    // Pure SPJ: delta(Q(R)) == Q(deltaR) when R appears once, so the legs
+    // simply concatenate — no merge key, no residual.
+    shape.spj = true;
+    return shape;
+  }
+
+  // Aggregate path: exactly one aggregate block — root SELECT over one
+  // GROUP-BY over a SELECT of base scans. The root's own projections and
+  // HAVING need no restriction (unlike incremental maintenance): they move
+  // into the residual step, which runs over fully merged groups.
+  const qgm::Box* root = query.box(query.root());
+  if (group_bys != 1 || root->kind != qgm::Box::Kind::kSelect ||
+      root->quantifiers.size() != 1) {
+    return RejectUnsupported(RejectReason::kCompQueryShape,
+                             "not a single aggregate block");
+  }
+  const qgm::Box* gb = query.box(root->quantifiers[0].child);
+  if (!gb->IsGroupBy() || gb->quantifiers.size() != 1) {
+    return RejectUnsupported(RejectReason::kCompQueryShape,
+                             "aggregation below or beside a join");
+  }
+  const qgm::Box* lower = query.box(gb->quantifiers[0].child);
+  if (lower->kind != qgm::Box::Kind::kSelect) {
+    return RejectUnsupported(RejectReason::kCompQueryShape,
+                             "GROUP-BY child is not a SELECT");
+  }
+  for (const qgm::Quantifier& q : lower->quantifiers) {
+    if (query.box(q.child)->kind != qgm::Box::Kind::kBase) {
+      return RejectUnsupported(RejectReason::kCompQueryShape,
+                               "nested query block under the aggregate");
+    }
+  }
+  if (!gb->IsSimpleGroupBy()) {
+    // Grouping sets merge per-cuboid through the keyed merge, exactly like
+    // incremental maintenance — and with the same caveat: a data-NULL in a
+    // fine cuboid and the padding NULL of a coarser one collide on the merge
+    // key, fusing groups across cuboids. Nullability must come from the
+    // grouping *source* (the GROUP-BY's own column_info folds in padding).
+    for (int i = 0; i < gb->NumOutputs(); ++i) {
+      if (!gb->IsGroupingOutput(i)) continue;
+      int col = -1;
+      bool source_nullable = true;  // conservatively reject odd shapes
+      if (expr::IsSimpleColumnRef(gb->outputs[i].expr, 0, &col) && col >= 0 &&
+          col < static_cast<int>(lower->column_info.size())) {
+        source_nullable = lower->column_info[col].nullable;
+      }
+      if (source_nullable) {
+        return RejectUnsupported(
+            RejectReason::kCompNullableGroupingSet,
+            "nullable grouping column '" + gb->outputs[i].name +
+                "' under multiple grouping sets");
+      }
+    }
+  }
+  shape.groupby = gb->id;
+  for (int i = 0; i < gb->NumOutputs(); ++i) {
+    if (gb->IsGroupingOutput(i)) {
+      shape.key_positions.push_back(i);
+      continue;
+    }
+    const expr::ExprPtr& agg = gb->outputs[i].expr;
+    if (agg == nullptr || agg->kind != expr::Expr::Kind::kAggregate) {
+      return RejectUnsupported(RejectReason::kCompQueryShape,
+                               "unrecognized GROUP-BY output");
+    }
+    if (agg->agg_distinct) {
+      // COUNT(DISTINCT x) etc.: the two legs may see the same value and
+      // merging their counts double-counts it.
+      return RejectUnsupported(RejectReason::kCompDistinctAggregate,
+                               "DISTINCT aggregate");
+    }
+    switch (agg->agg) {
+      case expr::AggFunc::kCount:
+      case expr::AggFunc::kSum:
+      case expr::AggFunc::kMin:
+      case expr::AggFunc::kMax:
+        // Decompose under union of partitions (MIN/MAX only because the
+        // delta is append-only: no deletions can retract an extremum).
+        // AVG never appears here — the QGM builder lowers it to SUM/COUNT
+        // in the root, which the residual recomputes over merged values.
+        break;
+      default:
+        return RejectUnsupported(RejectReason::kCompNonDecomposableAggregate,
+                                 std::string("aggregate '") +
+                                     expr::AggFuncName(agg->agg) +
+                                     "' does not decompose under union");
+    }
+    shape.agg_positions.push_back(
+        CompensationShape::AggPosition{i, agg->agg});
+  }
+  return shape;
+}
+
+StatusOr<CompensationPlan> BuildCompensationPlan(
+    const qgm::Graph& query, const std::string& stale_table,
+    const SummaryTableDef& ast, const catalog::Catalog& catalog,
+    AstAttemptTrace* attempt, QueryTrace* qtrace) {
+  SUMTAB_ASSIGN_OR_RETURN(CompensationShape shape,
+                          AnalyzeCompensableQuery(query, stale_table));
+
+  // Q': the shared leg shape. For the aggregate form the root becomes a bare
+  // projection of EVERY GROUP-BY output (merge needs the full group key and
+  // every partial aggregate; the original root may project a subset or
+  // compute over them) and sheds its HAVING — both move to the residual.
+  // ORDER BY comes off in either form: it is applied once, after the merge.
+  qgm::Graph qprime = qgm::Graph::CloneGraph(query);
+  qprime.set_order_by({});
+  if (!shape.spj) {
+    qgm::Box* root = qprime.box(qprime.root());
+    const qgm::Box* gb = qprime.box(root->quantifiers[0].child);
+    std::vector<qgm::OutputColumn> outs;
+    outs.reserve(gb->outputs.size());
+    for (int i = 0; i < gb->NumOutputs(); ++i) {
+      outs.push_back(qgm::OutputColumn{gb->outputs[i].name,
+                                       expr::ColRef(0, i)});
+    }
+    root->outputs = std::move(outs);
+    root->predicates.clear();
+    SUMTAB_RETURN_NOT_OK(qgm::ComputeBoxColumnInfo(&qprime, root));
+  }
+
+  CompensationPlan plan;
+  plan.summary_table = ast.table_name;
+  plan.stale_table = stale_table;
+  plan.spj = shape.spj;
+  plan.key_positions = shape.key_positions;
+  plan.agg_positions = shape.agg_positions;
+  const qgm::Box* orig_root = query.box(query.root());
+  if (!shape.spj) {
+    plan.final_outputs = orig_root->outputs;
+    plan.final_predicates = orig_root->predicates;
+  }
+  plan.order_by = query.order_by();
+
+  // Leg B executes Q' itself; the executor's table override swaps the stale
+  // scan for the retained delta rows at run time.
+  plan.delta_leg = qgm::Graph::CloneGraph(qprime);
+
+  // Leg A is Q' rerouted through the stale AST by the ordinary navigator +
+  // rewriter — compensation predicates, rejoins and all.
+  SUMTAB_ASSIGN_OR_RETURN(RewriteResult rw,
+                          RewriteQuery(qprime, ast, catalog, attempt, qtrace));
+  if (!rw.rewritten) {
+    return RejectMatch(RejectReason::kCompAstMismatch,
+                       "AST '" + ast.table_name +
+                           "' does not match the compensation query");
+  }
+  // The AST leg answers entirely as of the AST's epoch. If the rewrite kept
+  // any scan of the stale table (e.g. a rejoin back to it), that scan would
+  // read the CURRENT version — which already contains the delta rows leg B
+  // counts again.
+  for (qgm::BoxId id : rw.graph.TopologicalOrder()) {
+    if (IsStaleScan(*rw.graph.box(id), stale_table)) {
+      return RejectMatch(RejectReason::kCompAstMismatch,
+                         "rewrite leaves a residual scan of '" + stale_table +
+                             "' (would double-count the delta)");
+    }
+  }
+  plan.ast_leg = std::move(rw.graph);
+  return plan;
+}
+
+}  // namespace matching
+}  // namespace sumtab

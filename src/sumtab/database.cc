@@ -12,6 +12,7 @@
 #include "qgm/qgm_print.h"
 #include "qgm/qgm_to_sql.h"
 #include "sql/parser.h"
+#include "sumtab/compensation_exec.h"
 #include "sumtab/maintenance.h"
 #include "wal/wal.h"
 
@@ -44,7 +45,8 @@ std::string Database::PlanCacheKey(const std::string& sql,
   // Only options that change the *plan graph* belong in the key; execution
   // knobs (threads, budgets, join strategy) reuse the same entry.
   return NormalizeSqlText(sql) + "#rw=" + (options.enable_rewrite ? "1" : "0") +
-         "#stale=" + (options.allow_stale_reads ? "1" : "0");
+         "#stale=" + (options.allow_stale_reads ? "1" : "0") +
+         "#comp=" + (options.enable_compensation ? "1" : "0");
 }
 
 ShardedPlanCache::Validator Database::PlanValidator(
@@ -55,6 +57,26 @@ ShardedPlanCache::Validator Database::PlanValidator(
   // the epochs it consults cannot change mid-validation.
   return [this, &snap, generation, &options](
              const CachedPlan& entry) -> std::string {
+    // "Stale but compensatable" entries pin a delta high-water mark: the
+    // plan is exact only for the precise epoch range it was built over.
+    // Checked FIRST so a refresh that absorbed the range (which also bumps
+    // the generation) reports the specific cause, not the generic one.
+    if (entry.compensation != nullptr) {
+      const matching::CompensationPlan& comp = *entry.compensation;
+      SummaryTablePtr st = FindSummaryTable(comp.summary_table);
+      if (st == nullptr || st->disabled.load(std::memory_order_acquire)) {
+        return "ast:" + comp.summary_table;
+      }
+      auto it = st->materialized_epochs.find(comp.stale_table);
+      int64_t materialized =
+          it == st->materialized_epochs.end() ? 0 : it->second;
+      if (materialized != comp.from_epoch ||
+          snap.Epoch(comp.stale_table) != comp.to_epoch ||
+          !snap.HasDeltaCoverage(comp.stale_table, comp.from_epoch,
+                                 comp.to_epoch)) {
+        return "delta:" + comp.stale_table;
+      }
+    }
     // Generation captures DDL / AST-lifecycle changes since planning.
     if (entry.generation != generation) return "generation";
     // Any epoch bump of a base table the original query scans invalidates:
@@ -67,6 +89,12 @@ ShardedPlanCache::Validator Database::PlanValidator(
     // options — a quarantined or newly-stale AST must not be served from
     // cache when a fresh search would have skipped it.
     for (const std::string& name : entry.used_asts) {
+      // The compensated AST is *expected* to be stale — the compensation
+      // block above already pinned its exact staleness window.
+      if (entry.compensation != nullptr &&
+          name == entry.compensation->summary_table) {
+        continue;
+      }
       SummaryTablePtr st = FindSummaryTable(name);
       if (st == nullptr || !UsableForRewrite(*st, options.allow_stale_reads)) {
         return "ast:" + name;
@@ -103,6 +131,7 @@ DatabaseStats Database::Stats() const {
   stats.durability.recovery_replayed_records = recovery_replayed_;
   stats.durability.recovery_truncated_bytes = recovery_truncated_bytes_;
   stats.durability.recovery_asts_dropped = recovery_asts_dropped_;
+  stats.durability.recovery_deltas_dropped = recovery_deltas_dropped_;
   return stats;
 }
 
@@ -372,6 +401,8 @@ StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
   info.max_staleness = st->max_staleness;
   info.consecutive_failures =
       st->consecutive_failures.load(std::memory_order_acquire);
+  info.compensated_queries =
+      st->compensated_queries.load(std::memory_order_acquire);
   return info;
 }
 
@@ -399,7 +430,8 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
     const qgm::Graph& query, const engine::Storage::Snapshot& snap,
     const QueryOptions& options, std::string* chosen, int* candidates,
     std::vector<SummaryTablePtr>* used_refs, QueryDegradation* degradation,
-    QueryTrace* trace) {
+    QueryTrace* trace,
+    std::shared_ptr<const matching::CompensationPlan>* compensation) {
   *candidates = 0;
   // EXPLAIN REWRITE also reports, per AST, whether an append to each of its
   // base tables would merge incrementally — computed once (round 0) and only
@@ -446,16 +478,105 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
     std::unique_ptr<qgm::Graph> best;
     int64_t best_cost = current_cost;
     SummaryTablePtr best_st;
+    // Round-0-only: a stale AST can still answer EXACTLY if its missing
+    // updates are retained as append deltas — the two-leg delta-compensation
+    // path (DESIGN.md §13). Its candidates compete on cost with ordinary
+    // rewrites; a win ends the iterative search, since the merged answer is
+    // produced outside QGM and cannot be re-fed to the matcher.
+    std::shared_ptr<matching::CompensationPlan> best_comp;
+    SummaryTablePtr best_comp_st;
+    int64_t best_comp_cost = 0;
+    int64_t best_comp_rows = 0;
+    int best_comp_attempt = -1;
     std::vector<AstAttemptTrace> attempts;  // this round's, when tracing
     int best_attempt = -1;                  // index into `attempts`
     for (const auto& st : summary_tables_) {
       if (!UsableForRewrite(*st, options.allow_stale_reads)) {
-        if (trace != nullptr && round == 0) {
-          trace->AddNote(
-              "ast '" + st->name + "' skipped: " +
-              (st->disabled.load(std::memory_order_acquire) ? "quarantined"
-                                                            : "stale"));
+        bool disabled = st->disabled.load(std::memory_order_acquire);
+        bool try_comp = round == 0 && !disabled && compensation != nullptr &&
+                        options.enable_compensation;
+        if (!try_comp) {
+          if (trace != nullptr && round == 0) {
+            trace->AddNote("ast '" + st->name + "' skipped: " +
+                           (disabled ? "quarantined" : "stale"));
+          }
+          continue;
         }
+        AstAttemptTrace attempt;
+        AstAttemptTrace* attempt_ptr = nullptr;
+        if (trace != nullptr) {
+          attempt.ast_name = st->name;
+          attempt.round = round;
+          attempt.cost_before = static_cast<double>(current_cost);
+          attempt.maintenance = maintenance_verdict(*st);
+          attempt_ptr = &attempt;
+        }
+        // Which base tables lag the materialization? Compensation handles
+        // exactly one (the merge key joins one AST leg to one delta leg).
+        std::vector<std::pair<std::string, int64_t>> lagging;
+        for (const auto& [table, epoch] : st->materialized_epochs) {
+          if (snap.Epoch(table) > epoch) lagging.emplace_back(table, epoch);
+        }
+        StatusOr<matching::CompensationPlan> comp =
+            [&]() -> StatusOr<matching::CompensationPlan> {
+          if (lagging.size() != 1) {
+            return RejectUnsupported(
+                RejectReason::kCompMultiTableStaleness,
+                std::to_string(lagging.size()) +
+                    " base tables lag behind ast '" + st->name + "'");
+          }
+          const std::string& table = lagging[0].first;
+          int64_t from = lagging[0].second;
+          int64_t to = snap.Epoch(table);
+          if (!snap.HasDeltaCoverage(table, from, to)) {
+            return RejectUnsupported(
+                RejectReason::kCompDeltaUnavailable,
+                "no contiguous retained deltas for '" + table + "' epochs (" +
+                    std::to_string(from) + ", " + std::to_string(to) + "]");
+          }
+          matching::SummaryTableDef def{st->name, &st->graph};
+          SUMTAB_ASSIGN_OR_RETURN(
+              matching::CompensationPlan plan,
+              matching::BuildCompensationPlan(query, table, def, catalog_,
+                                              attempt_ptr, trace));
+          plan.from_epoch = from;
+          plan.to_epoch = to;
+          return plan;
+        }();
+        if (!comp.ok()) {
+          if (trace != nullptr) {
+            attempt.reason = RejectReasonFromStatus(comp.status());
+            attempt.detail = comp.status().ToString();
+            attempt.compensation = RejectReasonToken(attempt.reason);
+            attempts.push_back(std::move(attempt));
+          }
+          continue;
+        }
+        ++*candidates;
+        int64_t delta_rows =
+            snap.DeltaRows(comp->stale_table, comp->from_epoch, comp->to_epoch);
+        int64_t cost = leaf_cost(comp->ast_leg) + delta_rows;
+        bool acceptable = cost <= current_cost &&
+                          (best_comp == nullptr || cost < best_comp_cost);
+        if (trace != nullptr) {
+          attempt.produced = true;
+          attempt.cost_after = static_cast<double>(cost);
+          attempt.compensation =
+              "compensated(" + std::to_string(delta_rows) + " delta rows, " +
+              std::to_string(comp->to_epoch - comp->from_epoch) + " epochs)";
+          if (!acceptable) attempt.detail = "costlier than the current plan";
+        }
+        if (acceptable) {
+          best_comp =
+              std::make_shared<matching::CompensationPlan>(std::move(*comp));
+          best_comp_cost = cost;
+          best_comp_rows = delta_rows;
+          best_comp_st = st;
+          if (trace != nullptr) {
+            best_comp_attempt = static_cast<int>(attempts.size());
+          }
+        }
+        if (trace != nullptr) attempts.push_back(std::move(attempt));
         continue;
       }
       matching::SummaryTableDef def{st->name, &st->graph};
@@ -520,6 +641,26 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
         if (trace != nullptr) best_attempt = static_cast<int>(attempts.size());
       }
       if (trace != nullptr) attempts.push_back(std::move(attempt));
+    }
+    // A compensation candidate wins only by strictly beating every ordinary
+    // rewrite: at equal scan cost a fresh AST beats two-leg complexity.
+    if (best_comp != nullptr &&
+        (best == nullptr || best_comp_cost < best_cost)) {
+      if (trace != nullptr) {
+        if (best_comp_attempt >= 0) attempts[best_comp_attempt].chosen = true;
+        for (AstAttemptTrace& attempt : attempts) {
+          trace->AddAstAttempt(std::move(attempt));
+        }
+        trace->AddNote("delta compensation: stale ast '" + best_comp_st->name +
+                       "' + " + std::to_string(best_comp_rows) +
+                       " delta rows of '" + best_comp->stale_table + "'");
+      }
+      MetricsRegistry::Global().counter("rewrite.rewritten")->Increment();
+      MetricsRegistry::Global().counter("rewrite.compensated")->Increment();
+      *chosen = best_comp_st->name;
+      *used_refs = {best_comp_st};
+      *compensation = std::move(best_comp);
+      return nullptr;
     }
     if (trace != nullptr) {
       if (best_attempt >= 0) attempts[best_attempt].chosen = true;
@@ -590,6 +731,11 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   std::unique_ptr<qgm::Graph> plan;      // the graph to execute (owned)
   std::unique_ptr<qgm::Graph> original;  // base-table form, for fallback
   std::vector<SummaryTablePtr> used;     // ASTs the plan splices in (pinned)
+  // Non-null when the query is served by the two-leg delta-compensation path
+  // (stale AST + retained deltas); `plan` stays null then and `original`
+  // holds the base-table fallback.
+  std::shared_ptr<const matching::CompensationPlan> comp;
+  int64_t comp_delta_rows = 0;
   bool was_rewritten = false;
   engine::Storage::Snapshot snap;
   int64_t plan_generation = 0;
@@ -638,12 +784,20 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
           }
         }
         was_rewritten = cached.used_summary_table;
-        plan = std::make_unique<qgm::Graph>(std::move(cached.plan));
+        comp = cached.compensation;
+        if (comp != nullptr) {
+          // For compensation entries the cached graph is the ORIGINAL
+          // base-table form (the execution fallback); the immutable
+          // compensation plan itself is shared, not copied.
+          original = std::make_unique<qgm::Graph>(std::move(cached.plan));
+        } else {
+          plan = std::make_unique<qgm::Graph>(std::move(cached.plan));
+        }
       }
     }
 
     // 2. Compile path (miss / invalidated / cache disabled).
-    if (plan == nullptr) {
+    if (plan == nullptr && comp == nullptr) {
       int64_t t0 = MonotonicNanos();
       SUMTAB_ASSIGN_OR_RETURN(std::shared_ptr<sql::SelectStmt> stmt,
                               sql::Parse(sql));
@@ -664,7 +818,7 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
         std::unique_ptr<qgm::Graph> rewritten =
             TryRewrite(*original, snap, options, &chosen,
                        &result.candidate_rewrites, &used, &result.degradation,
-                       trace);
+                       trace, &comp);
         int64_t rw_micros = (MonotonicNanos() - rw0) / 1000;
         rewrite_hist->Record(rw_micros);
         if (trace != nullptr) {
@@ -690,9 +844,17 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
             result.degradation.message += new_sql.status().ToString();
             used.clear();
           }
+        } else if (comp != nullptr) {
+          // Two-leg compensation won the search. Leg A (the AST scan) is the
+          // closest single-statement rendering of the plan.
+          StatusOr<std::string> leg_sql = qgm::ToSql(comp->ast_leg);
+          result.used_summary_table = true;
+          result.summary_table = chosen;
+          result.rewritten_sql = leg_sql.ok() ? std::move(*leg_sql) : "";
+          was_rewritten = true;
         }
       }
-      if (plan == nullptr) {
+      if (plan == nullptr && comp == nullptr) {
         plan = std::make_unique<qgm::Graph>(qgm::Graph::CloneGraph(*original));
         used.clear();
       }
@@ -711,8 +873,10 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   exec_options.trace = trace;
   exec_options.vectorized = options.vectorized;
   int64_t exec_start = MonotonicNanos();
-  engine::Executor executor(snap, exec_options);
-  StatusOr<engine::Relation> data = executor.Execute(*plan);
+  StatusOr<engine::Relation> data =
+      comp != nullptr ? compensation::ExecuteCompensationPlan(
+                            *comp, snap, exec_options, &comp_delta_rows)
+                      : engine::Executor(snap, exec_options).Execute(*plan);
   if (!data.ok() && was_rewritten) {
     // Graceful degradation: the rewritten plan failed, so fall back to the
     // base tables — a summary table is an optimization, never a requirement.
@@ -728,6 +892,7 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
     result.used_summary_table = false;
     result.summary_table.clear();
     result.rewritten_sql.clear();
+    comp.reset();  // the retry answers from base tables, not the deltas
     if (original == nullptr) {
       // Cache hit: the base-table form was never built this call. Re-parse
       // under the shared lock (the catalog may be newer than the snapshot;
@@ -763,6 +928,26 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
       st->consecutive_failures.store(0, std::memory_order_release);
     }
   }
+  if (comp != nullptr && result.used_summary_table) {
+    static Counter* compensated_counter =
+        MetricsRegistry::Global().counter("query.compensated");
+    static Counter* compensated_rows_counter =
+        MetricsRegistry::Global().counter("query.compensation_delta_rows");
+    result.compensated = true;
+    result.compensation_delta_rows = comp_delta_rows;
+    result.compensation_epochs = comp->to_epoch - comp->from_epoch;
+    compensated_counter->Increment();
+    compensated_rows_counter->Increment(comp_delta_rows);
+    for (const SummaryTablePtr& st : used) {
+      st->compensated_queries.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (trace != nullptr) {
+      trace->AddNote("compensated: " + std::to_string(comp_delta_rows) +
+                     " delta rows over " +
+                     std::to_string(result.compensation_epochs) +
+                     " epoch(s) of '" + comp->stale_table + "'");
+    }
+  }
   // 3. Memoize the decision — only a plan that parsed, matched, and executed
   //    cleanly this call (a fallback plan is not the search's answer). The
   //    entry is stamped with the generation and epochs observed at planning
@@ -771,7 +956,14 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   if (options.enable_plan_cache && !result.plan_cache_hit &&
       !result.degradation.degraded && original != nullptr) {
     CachedPlan entry;
-    entry.plan = std::move(*plan);
+    if (comp != nullptr) {
+      // Cache the base-table form as the fallback graph; the compensation
+      // plan itself is immutable and shared across hits.
+      entry.plan = qgm::Graph::CloneGraph(*original);
+      entry.compensation = comp;
+    } else {
+      entry.plan = std::move(*plan);
+    }
     entry.used_summary_table = result.used_summary_table;
     entry.summary_table = result.summary_table;
     entry.rewritten_sql = result.rewritten_sql;
@@ -868,9 +1060,10 @@ StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
   QueryDegradation degradation;
   int64_t rw0 = MonotonicNanos();
   std::unique_ptr<qgm::Graph> rewritten;
+  std::shared_ptr<const matching::CompensationPlan> comp;
   if (options.enable_rewrite) {
     rewritten = TryRewrite(graph, snap, options, &chosen, &candidates, &used,
-                           &degradation, &trace);
+                           &degradation, &trace, &comp);
   } else {
     trace.AddNote("rewriting disabled by options");
   }
@@ -879,6 +1072,9 @@ StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
   if (rewritten != nullptr) {
     StatusOr<std::string> new_sql = qgm::ToSql(*rewritten);
     trace.SetChosen(chosen, new_sql.ok() ? *new_sql : "");
+  } else if (comp != nullptr) {
+    StatusOr<std::string> leg_sql = qgm::ToSql(comp->ast_leg);
+    trace.SetChosen(chosen, leg_sql.ok() ? *leg_sql : "");
   }
   if (degradation.degraded) {
     trace.AddNote("degraded (" + degradation.stage +

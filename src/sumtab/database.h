@@ -41,6 +41,7 @@
 #include "common/trace.h"
 #include "engine/executor.h"
 #include "engine/relation.h"
+#include "matching/compensation.h"
 #include "qgm/qgm.h"
 #include "sumtab/plan_cache.h"
 
@@ -85,7 +86,7 @@ struct DatabaseOptions {
 /// One noteworthy event from Database::Open()'s recovery pass.
 struct RecoveryEvent {
   /// Stable snake_case kind (reject-reason tokens): "wal_torn_tail",
-  /// "ast_dropped_on_recovery".
+  /// "ast_dropped_on_recovery", "delta_dropped_on_recovery".
   std::string kind;
   std::string detail;
 };
@@ -102,6 +103,7 @@ struct DurabilityStats {
   int64_t recovery_replayed_records = 0;  // WAL records replayed at Open()
   int64_t recovery_truncated_bytes = 0;   // torn tail bytes cut at Open()
   int64_t recovery_asts_dropped = 0;      // ASTs disabled by corrupt sections
+  int64_t recovery_deltas_dropped = 0;    // delta slices lost to corruption
 };
 
 struct QueryOptions {
@@ -112,6 +114,13 @@ struct QueryOptions {
   /// Permit rerouting through kStale summary tables (answers may predate
   /// the latest loads). kDisabled tables are never used.
   bool allow_stale_reads = false;
+  /// Permit delta-compensation rewrites: a kStale AST whose staleness is
+  /// pure retained appends may still answer the query EXACTLY, as
+  /// AST-scan ∪ same-shape aggregate over only the delta rows (DESIGN.md,
+  /// "Delta compensation"). Unlike allow_stale_reads this never degrades
+  /// the answer — it is on by default and gated per query only for
+  /// ablation/benchmarks. Requires enable_rewrite.
+  bool enable_compensation = true;
   /// Executor row budget (total materialized rows, join intermediates
   /// included); 0 = unbounded. Exceeded => kResourceExhausted.
   int64_t max_rows = 0;
@@ -157,6 +166,11 @@ struct QueryResult {
   std::string rewritten_sql;       // the NewQ form (empty if not rewritten)
   int candidate_rewrites = 0;      // how many ASTs offered a rewrite
   bool plan_cache_hit = false;     // served from the rewrite-plan cache
+  /// The answer came from a STALE summary table plus a compensating
+  /// aggregate over its retained append deltas (exact, not degraded).
+  bool compensated = false;
+  int64_t compensation_delta_rows = 0;  // delta rows the second leg scanned
+  int64_t compensation_epochs = 0;      // epochs the delta range spanned
   QueryDegradation degradation;    // set when a failure was recovered
   /// Set when QueryOptions::collect_trace was on (shared so the executor's
   /// parallel lanes can keep counting rows while the caller holds it).
@@ -193,6 +207,8 @@ struct SummaryTableInfo {
   int64_t max_staleness = 0;
   /// Consecutive rewrite-path failures since the last success/refresh.
   int consecutive_failures = 0;
+  /// Queries this AST answered while stale, via delta compensation.
+  int64_t compensated_queries = 0;
 };
 
 class Database {
@@ -243,7 +259,15 @@ class Database {
 
   /// kFailed: the refresh attempt errored; the AST is left stale (and may
   /// be quarantined) but Append itself still succeeds — the base data is in.
-  enum class RefreshMode { kUnaffected, kIncremental, kRecompute, kFailed };
+  /// kDeferred: maintenance was skipped on purpose (AppendOptions::maintain
+  /// false); the AST is stale but compensatable from the retained delta.
+  enum class RefreshMode {
+    kUnaffected,
+    kIncremental,
+    kRecompute,
+    kFailed,
+    kDeferred,
+  };
 
   struct RefreshEntry {
     std::string summary_table;
@@ -263,8 +287,24 @@ class Database {
   /// materialized groups (count/sum add, min/max combine); everything else
   /// falls back to full recomputation. In contrast, plain BulkLoad does NOT
   /// maintain summary tables (bulk-load-then-define workflows).
+  ///
+  /// Either way the appended rows are additionally RETAINED as an
+  /// addressable delta slice keyed by the epoch the append produced, so an
+  /// AST left stale (deferred maintenance, or a failed phase-4 refresh) can
+  /// still answer queries exactly via delta compensation.
+  struct AppendOptions {
+    /// False: skip AST maintenance entirely (no incremental merges, no
+    /// recomputes) — the high-ingest mode delta compensation exists for.
+    /// Dependent ASTs go stale; their entries report RefreshMode::kDeferred.
+    bool maintain = true;
+  };
   StatusOr<MaintenanceReport> Append(const std::string& table,
-                                     std::vector<Row> rows);
+                                     std::vector<Row> rows,
+                                     const AppendOptions& options);
+  StatusOr<MaintenanceReport> Append(const std::string& table,
+                                     std::vector<Row> rows) {
+    return Append(table, std::move(rows), AppendOptions());
+  }
 
   /// Full recomputation of one summary table from the base tables.
   Status RefreshSummaryTable(const std::string& name);
@@ -327,6 +367,9 @@ class Database {
     /// of concurrent queries (no lock held), so they are atomics.
     std::atomic<int> consecutive_failures{0};
     std::atomic<bool> disabled{false};  // quarantined until next refresh
+    /// Queries answered while stale via delta compensation (post-execution
+    /// path, no lock held).
+    std::atomic<int64_t> compensated_queries{0};
   };
   /// Queries keep shared_ptr copies of the ASTs their plan spliced in, so a
   /// concurrent DropSummaryTable cannot free an AST out from under the
@@ -357,11 +400,16 @@ class Database {
   /// for quarantine accounting and appended to `degradation`) instead of
   /// failing the search. `used_refs` receives the ASTs spliced into the
   /// rewrite. Caller holds ddl_mu_ (shared or exclusive).
+  /// `compensation` (optional) receives a two-leg delta-compensation plan
+  /// when a STALE AST wins via compensation instead; the returned graph is
+  /// then null (the plan carries its own leg graphs).
   std::unique_ptr<qgm::Graph> TryRewrite(
       const qgm::Graph& query, const engine::Storage::Snapshot& snap,
       const QueryOptions& options, std::string* chosen, int* candidates,
       std::vector<SummaryTablePtr>* used_refs, QueryDegradation* degradation,
-      QueryTrace* trace = nullptr);
+      QueryTrace* trace = nullptr,
+      std::shared_ptr<const matching::CompensationPlan>* compensation =
+          nullptr);
 
   /// Query() body for a plain SELECT (Query() itself also routes
   /// "explain rewrite" statements to ExplainRewrite()).
@@ -377,6 +425,11 @@ class Database {
   /// Marks `st` consistent with the current base epochs and revives it.
   void MarkRefreshed(SummaryTable* st);
   SummaryTablePtr FindSummaryTable(const std::string& name) const;
+  /// Drops delta slices of `table` that every registered AST has already
+  /// absorbed (min materialized epoch across non-disabled ASTs referencing
+  /// it; everything when none do). Caller holds maint_mu_; pinned snapshots
+  /// keep their slices via shared ownership.
+  void PruneAbsorbedDeltas(const std::string& table);
   /// RefreshSummaryTable body; caller holds maint_mu_ but NOT ddl_mu_: the
   /// recompute runs against stable storage (maint_mu_ excludes other
   /// writers), then commits under a brief exclusive ddl_mu_ window.
@@ -441,6 +494,7 @@ class Database {
   int64_t recovery_replayed_ = 0;
   int64_t recovery_truncated_bytes_ = 0;
   int64_t recovery_asts_dropped_ = 0;
+  int64_t recovery_deltas_dropped_ = 0;
 
   /// Serializes mutators (DDL, loads, maintenance) among themselves so each
   /// can run its expensive compute phase — full-table copy-on-write builds,

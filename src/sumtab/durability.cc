@@ -180,6 +180,21 @@ Status Database::Recover() {
     for (wal::CheckpointAst& ast : ckpt.state.asts) {
       SUMTAB_RETURN_NOT_OK(RecoverAst(std::move(ast)));
     }
+    for (wal::CheckpointDelta& delta : ckpt.state.deltas) {
+      if (!delta.data_ok) {
+        // Graceful: a lost slice only opens a coverage gap — compensation
+        // refuses and the stale AST waits for a refresh; answers stay
+        // correct from base tables.
+        recovery_events_.push_back(RecoveryEvent{
+            RejectReasonToken(RejectReason::kDeltaDroppedOnRecovery),
+            "delta slice for '" + delta.table + "' epoch " +
+                std::to_string(delta.epoch) +
+                " dropped: corrupt checkpoint section"});
+        ++recovery_deltas_dropped_;
+        continue;
+      }
+      storage_.RetainDelta(delta.table, delta.epoch, std::move(delta.data));
+    }
   }
 
   // 2. Scan the WAL with repair on: a torn tail is truncated off its
@@ -216,6 +231,11 @@ Status Database::Recover() {
   replaying_ = false;
   if (recovery_asts_dropped_ > 0) {
     dropped_counter->Increment(recovery_asts_dropped_);
+  }
+  if (recovery_deltas_dropped_ > 0) {
+    MetricsRegistry::Global()
+        .counter("recovery.deltas_dropped")
+        ->Increment(recovery_deltas_dropped_);
   }
 
   // 4. Start logging on a FRESH segment past everything scanned — never
@@ -324,7 +344,8 @@ Status Database::ApplyRecord(uint64_t lsn, uint8_t type,
       return AddForeignKey(ct, cc, pt, pc);
     }
     case wal::RecordType::kBulkLoad:
-    case wal::RecordType::kAppend: {
+    case wal::RecordType::kAppend:
+    case wal::RecordType::kAppendDeferred: {
       std::string table = in.String();
       uint64_t nrows = in.U64();
       std::vector<Row> rows;
@@ -335,7 +356,14 @@ Status Database::ApplyRecord(uint64_t lsn, uint8_t type,
       if (static_cast<wal::RecordType>(type) == wal::RecordType::kBulkLoad) {
         return BulkLoad(table, std::move(rows));
       }
-      return Append(table, std::move(rows)).status();
+      // A deferred append replays deferred: the rows are re-appended and
+      // re-retained as a delta slice, no maintenance runs, and dependent
+      // ASTs recover into the same stale-but-compensatable state (identical
+      // epoch high-water marks) the pre-crash process held.
+      AppendOptions append_options;
+      append_options.maintain = static_cast<wal::RecordType>(type) !=
+                                wal::RecordType::kAppendDeferred;
+      return Append(table, std::move(rows), append_options).status();
     }
     case wal::RecordType::kDefineSummary: {
       std::string name = in.String();
@@ -423,6 +451,17 @@ Status Database::CheckpointLocked() {
     ast.disabled = st->disabled.load(std::memory_order_acquire);
     ast.data = *rel;
     state.asts.push_back(std::move(ast));
+  }
+  // Retained delta slices travel with the checkpoint so a recovered process
+  // can re-compensate the same stale ASTs without the covering WAL segments.
+  std::vector<engine::Storage::RetainedDelta> retained =
+      storage_.RetainedDeltas();
+  for (engine::Storage::RetainedDelta& rd : retained) {
+    wal::CheckpointDelta cd;
+    cd.table = std::move(rd.table);
+    cd.epoch = rd.epoch;
+    cd.data = std::move(rd.data);
+    state.deltas.push_back(std::move(cd));
   }
 
   uint64_t seq = checkpoint_seq_.load(std::memory_order_acquire) + 1;

@@ -10,6 +10,7 @@
 // aggregates, scalar subqueries, self-references, nested blocks) recomputes.
 #include "sumtab/maintenance.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 
@@ -240,17 +241,25 @@ Status Database::RefreshUnderMaint(SummaryTable* st) {
   engine::Relation updated;
   updated.column_names = stored->column_names;
   updated.rows = std::move(data.rows);
-  // Copy-on-write commit: queries pinned to the old version keep it.
-  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
-  SUMTAB_RETURN_NOT_OK(storage_.Replace(st->name, std::move(updated)));
-  // A successful recompute is the one event that both re-captures the base
-  // epochs and lifts a quarantine.
-  MarkRefreshed(st);
+  {
+    // Copy-on-write commit: queries pinned to the old version keep it.
+    std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+    SUMTAB_RETURN_NOT_OK(storage_.Replace(st->name, std::move(updated)));
+    // A successful recompute is the one event that both re-captures the base
+    // epochs and lifts a quarantine.
+    MarkRefreshed(st);
+  }
+  // The refresh absorbed every retained delta of its base tables up to the
+  // epochs just recorded; drop the slices no other AST still needs.
+  for (const auto& entry : st->materialized_epochs) {
+    PruneAbsorbedDeltas(entry.first);
+  }
   return Status::OK();
 }
 
 StatusOr<Database::MaintenanceReport> Database::Append(
-    const std::string& table, std::vector<Row> rows) {
+    const std::string& table, std::vector<Row> rows,
+    const AppendOptions& append_options) {
   // maint_mu_ serializes the whole append-and-maintain transaction against
   // other mutators; ddl_mu_ is taken exclusively only for the commit window
   // below, after every new version has been built. Concurrent queries either
@@ -279,6 +288,54 @@ StatusOr<Database::MaintenanceReport> Database::Append(
   delta.rows = std::move(rows);
 
   MaintenanceReport report;
+
+  // Deferred maintenance: publish the base rows and RETAIN the appended
+  // slice, but leave dependent ASTs untouched. Their epochs now lag by a
+  // pure-append delta with full coverage, so the rewriter can still answer
+  // exactly through them via delta compensation; a later Refresh (or eager
+  // append) absorbs the slices. This trades per-append maintenance cost for
+  // per-query compensation cost — the ingest-heavy end of the paper's
+  // maintenance spectrum.
+  if (!append_options.maintain) {
+    SUMTAB_RETURN_NOT_OK(
+        LogRowsOp(static_cast<uint8_t>(wal::RecordType::kAppendDeferred),
+                  meta->name, delta.rows));
+    engine::Relation next_base = *stored_base;
+    next_base.rows.insert(next_base.rows.end(), delta.rows.begin(),
+                          delta.rows.end());
+    {
+      std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+      SUMTAB_RETURN_NOT_OK(storage_.Replace(meta->name, std::move(next_base)));
+      int64_t new_epoch = storage_.BumpEpoch(meta->name);
+      storage_.RetainDelta(meta->name, new_epoch, std::move(delta));
+    }
+    for (const auto& st : summary_tables_) {
+      int refs = 0;
+      for (qgm::BoxId id : st->graph.TopologicalOrder()) {
+        const qgm::Box* box = st->graph.box(id);
+        refs += box->kind == qgm::Box::Kind::kBase &&
+                        box->table_name == meta->name
+                    ? 1
+                    : 0;
+      }
+      report.entries.push_back(RefreshEntry{
+          st->name,
+          refs == 0 ? RefreshMode::kUnaffected : RefreshMode::kDeferred, 0,
+          ""});
+    }
+    for (const RefreshEntry& entry : report.entries) {
+      MetricsRegistry::Global()
+          .counter(entry.mode == RefreshMode::kDeferred
+                       ? "maintenance.deferred"
+                       : "maintenance.unaffected")
+          ->Increment();
+    }
+    // No-op unless every dependent AST already covers the new epoch (e.g.
+    // an append to a table no enabled AST reads).
+    PruneAbsorbedDeltas(meta->name);
+    MaybeCheckpointLocked();
+    return report;
+  }
 
   // Phase 1: aggregate the delta through every incrementally-maintainable
   // AST (reads dimensions from storage, the appended table from the delta).
@@ -416,6 +473,11 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     std::unique_lock<std::shared_mutex> lock(ddl_mu_);
     SUMTAB_RETURN_NOT_OK(storage_.Replace(meta->name, std::move(next_base)));
     int64_t new_epoch = storage_.BumpEpoch(meta->name);
+    // Retain the slice even on the eager path: if a phase-4 recompute fails
+    // below, the AST it leaves stale is still exactly one pure-append epoch
+    // behind — compensatable instead of unusable. Absorbed slices are pruned
+    // right after phase 4.
+    storage_.RetainDelta(meta->name, new_epoch, std::move(delta));
     for (Pending& pending : incremental) {
       SUMTAB_RETURN_NOT_OK(
           storage_.Replace(pending.st->name, std::move(pending.merged)));
@@ -459,13 +521,33 @@ StatusOr<Database::MaintenanceReport> Database::Append(
       case RefreshMode::kFailed:
         mode = "failed";
         break;
+      case RefreshMode::kDeferred:
+        mode = "deferred";  // unreachable on the eager path
+        break;
     }
     MetricsRegistry::Global()
         .counter(std::string("maintenance.") + mode)
         ->Increment();
   }
+  PruneAbsorbedDeltas(meta->name);
   MaybeCheckpointLocked();
   return report;
+}
+
+void Database::PruneAbsorbedDeltas(const std::string& table) {
+  // Caller holds maint_mu_ (the registry and materialized epochs are
+  // stable); ddl_mu_ is taken here for the storage mutation. Disabled ASTs
+  // do not pin slices — compensation never routes through quarantine.
+  std::string key = ToLower(table);
+  int64_t min_epoch = storage_.Epoch(key);
+  for (const auto& st : summary_tables_) {
+    if (st->disabled.load(std::memory_order_acquire)) continue;
+    auto it = st->materialized_epochs.find(key);
+    if (it == st->materialized_epochs.end()) continue;
+    min_epoch = std::min(min_epoch, it->second);
+  }
+  std::unique_lock<std::shared_mutex> lock(ddl_mu_);
+  storage_.PruneDeltasThrough(key, min_epoch);
 }
 
 }  // namespace sumtab

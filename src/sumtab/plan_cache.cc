@@ -70,6 +70,7 @@ ShardedPlanCache::Lookup ShardedPlanCache::LookupAndValidate(
   out->rewritten_sql = entry.rewritten_sql;
   out->candidate_rewrites = entry.candidate_rewrites;
   out->used_asts = entry.used_asts;
+  out->compensation = entry.compensation;
   out->generation = entry.generation;
   out->base_epochs = entry.base_epochs;
   return Lookup::kHit;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "matching/compensation.h"
 #include "qgm/qgm.h"
 
 namespace sumtab {
@@ -38,6 +39,13 @@ struct CachedPlan {
   std::string rewritten_sql;
   int candidate_rewrites = 0;
   std::vector<std::string> used_asts;
+  /// Set for "stale but compensatable" plans: the two-leg compensation plan
+  /// that answered via a stale AST + its retained deltas. Immutable and
+  /// shared — hits copy the pointer, not the legs. `plan` then holds the
+  /// ORIGINAL graph (the execution fallback); validity additionally pins the
+  /// delta high-water mark: the entry dies (cause "delta:<table>") as soon
+  /// as a refresh absorbs the range or further appends move the mark.
+  std::shared_ptr<const matching::CompensationPlan> compensation;
   /// Catalog generation at planning time. Any DDL/AST-lifecycle bump after
   /// it invalidates the entry.
   int64_t generation = 0;
@@ -60,8 +68,9 @@ class ShardedPlanCache {
   enum class Lookup { kHit, kMiss, kInvalidated };
 
   /// Returns "" when the entry is still valid, else the invalidation cause
-  /// ("generation", "epoch:<table>", or "ast:<name>"). Called with the
-  /// shard lock held, so it must not re-enter the cache.
+  /// ("generation", "epoch:<table>", "ast:<name>", or "delta:<table>" for a
+  /// compensation entry whose delta range moved). Called with the shard
+  /// lock held, so it must not re-enter the cache.
   using Validator = std::function<std::string(const CachedPlan&)>;
 
   /// Validates + pops the entry for `key`. On kHit, `*out` receives a deep

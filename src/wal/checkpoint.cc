@@ -180,6 +180,14 @@ Status WriteCheckpoint(const std::string& dir, uint64_t seq,
     PutRelation(&data, ast.data);
     AppendSection(&contents, SectionType::kAstData, data);
   }
+  for (const CheckpointDelta& delta : state.deltas) {
+    SUMTAB_FAULT_POINT("checkpoint/write");
+    std::string payload;
+    PutString(&payload, delta.table);
+    PutI64(&payload, delta.epoch);
+    PutRelation(&payload, delta.data);
+    AppendSection(&contents, SectionType::kDeltaPartition, payload);
+  }
   AppendSection(&contents, SectionType::kEnd, "");
 
   std::string final_path = dir + "/" + CheckpointFileName(seq);
@@ -335,6 +343,25 @@ StatusOr<CheckpointLoadResult> LoadLatestCheckpoint(const std::string& dir) {
         if (!body.AtEnd()) break;  // same: decode failure drops the AST
         ast.data = std::move(data);
         ast.data_ok = true;
+        break;
+      }
+      case SectionType::kDeltaPartition: {
+        // Graceful on corruption: a dropped slice only opens a coverage gap,
+        // which makes compensation refuse — never a wrong answer. Keep the
+        // placeholder so recovery can report the drop.
+        CheckpointDelta delta;
+        delta.data_ok = false;
+        if (crc_ok) {
+          Decoder body(payload, len);
+          delta.table = body.String();
+          delta.epoch = body.I64();
+          engine::Relation data = body.GetRelation();
+          if (body.AtEnd()) {
+            delta.data = std::move(data);
+            delta.data_ok = true;
+          }
+        }
+        state.deltas.push_back(std::move(delta));
         break;
       }
       case SectionType::kEnd: {

@@ -47,6 +47,10 @@ enum class SectionType : uint8_t {
   kAstMeta = 3,
   kAstData = 4,
   kEnd = 5,
+  /// One retained append-delta slice (table, epoch, rows). Absent in
+  /// checkpoints written before delta compensation existed; readers treat
+  /// absence as "no retained deltas" — same version, no migration.
+  kDeltaPartition = 6,
 };
 
 struct CheckpointBaseTable {
@@ -70,6 +74,16 @@ struct CheckpointAst {
   bool data_ok = true;
 };
 
+struct CheckpointDelta {
+  std::string table;  // lower-cased base-table key
+  int64_t epoch = 0;  // the epoch this append slice produced
+  engine::Relation data;
+  /// False when this slice's section was corrupt: recovery drops ONLY the
+  /// slice (a coverage gap makes compensation refuse — always safe) and
+  /// reports delta_dropped_on_recovery instead of failing startup.
+  bool data_ok = true;
+};
+
 struct CheckpointState {
   /// Records with lsn <= last_lsn are reflected in this snapshot; recovery
   /// replays only records past it.
@@ -80,6 +94,7 @@ struct CheckpointState {
   std::vector<catalog::ForeignKey> foreign_keys;
   std::vector<CheckpointBaseTable> base_tables;
   std::vector<CheckpointAst> asts;
+  std::vector<CheckpointDelta> deltas;
 };
 
 /// "ckpt-00000042.stck" — zero-padded, same convention as WAL segments.

@@ -52,6 +52,10 @@ enum class RecordType : uint8_t {
   kDropSummary = 6,
   kRefreshSummary = 7,
   kSetMaxStaleness = 8,
+  /// An append committed WITHOUT synchronous AST maintenance (deferred
+  /// mode): replay re-appends the rows and re-retains the delta slice, but
+  /// runs no refresh — dependent ASTs recover stale-but-compensatable.
+  kAppendDeferred = 9,
 };
 
 struct Record {

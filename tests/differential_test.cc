@@ -469,6 +469,144 @@ TEST_P(DifferentialTest, IncrementalMaintenanceMatchesRecompute) {
   }
 }
 
+// Seventh leg — delta compensation: after randomized *deferred* appends
+// (AppendOptions::maintain = false) the AST is stale but every missing
+// epoch is a retained append slice, so the rewriter answers through the
+// two-leg compensated plan (AST scan merged with a same-shape aggregate
+// over the delta rows). With int-only aggregate arguments the merged
+// answer must be BIT-IDENTICAL to a full recompute from base tables, on
+// both the row interpreter and the columnar engine; AVG (lowered to
+// SUM/COUNT with the division in the residual) divides bit-identical ints
+// and so stays exact too.
+TEST_P(DifferentialTest, CompensationSeventhLegMatchesFullRecompute) {
+  const uint64_t seed = GetParam();
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = 3000;
+  params.seed = seed;
+  ASSERT_TRUE(data::SetupCardSchema(&db, params).ok());
+  ASSERT_TRUE(db.DefineSummaryTable(
+                    "ast_comp",
+                    "select faid, flid, count(*) as cnt, sum(qty) as sq, "
+                    "min(qty) as mn, max(qty) as mx from trans "
+                    "group by faid, flid")
+                  .ok());
+
+  std::mt19937_64 rng(seed ^ 0xc011ec7ULL);
+  auto gen_query = [&rng]() {
+    const char* dims[] = {"faid", "flid", "faid, flid"};
+    std::string dim = dims[rng() % 3];
+    const char* aggs[] = {"count(*) as c, sum(qty) as s",
+                          "count(*) as c, min(qty) as mn, max(qty) as mx",
+                          "count(*) as c, sum(qty) as s, avg(qty) as av",
+                          "sum(qty) as s, max(qty) as mx"};
+    std::string sql = "select " + dim + ", " + aggs[rng() % 4] + " from trans";
+    const char* filters[] = {"", " where faid < 30", " where qty > 2",
+                             " where flid < 8"};
+    sql += filters[rng() % 4];
+    sql += " group by " + dim;
+    if (rng() % 3 == 0) sql += " having count(*) > 3";
+    return sql;
+  };
+
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+  int next_tid = 2000000;
+  int checked = 0, compensated = 0;
+  for (int round = 0; round < 5; ++round) {
+    // 1-2 deferred appends per round: the AST falls several epochs behind,
+    // each epoch a separately retained slice.
+    int appends = 1 + static_cast<int>(rng() % 2);
+    for (int a = 0; a < appends; ++a) {
+      std::vector<Row> delta;
+      int n = 10 + static_cast<int>(rng() % 50);
+      for (int i = 0; i < n; ++i) {
+        delta.push_back(Row{
+            Value::Int(next_tid++), Value::Int(static_cast<int>(rng() % 50)),
+            Value::Int(static_cast<int>(rng() % 12)),
+            Value::Int(static_cast<int>(rng() % 40)),
+            Value::Date(19900101 + static_cast<int>(rng() % 5) * 10000 +
+                        static_cast<int>(rng() % 12) * 100 +
+                        static_cast<int>(rng() % 28)),
+            Value::Int(1 + static_cast<int>(rng() % 5)),
+            Value::Double(5.0 + static_cast<double>(rng() % 995) * 0.25),
+            Value::Double(0.0)});
+      }
+      StatusOr<Database::MaintenanceReport> report =
+          db.Append("trans", std::move(delta), deferred);
+      ASSERT_TRUE(report.ok()) << "seed=" << seed << " round=" << round
+                               << ": " << report.status().ToString();
+      for (const Database::RefreshEntry& entry : report->entries) {
+        if (entry.summary_table != "ast_comp") continue;
+        EXPECT_EQ(entry.mode, Database::RefreshMode::kDeferred)
+            << "seed=" << seed << " round=" << round;
+      }
+    }
+
+    for (int q = 0; q < 6; ++q) {
+      std::string sql = gen_query();
+      QueryOptions base;
+      base.enable_rewrite = false;
+      base.max_threads = 1;
+      base.vectorized = false;
+      QueryOptions comp_row;
+      comp_row.max_threads = 1;
+      comp_row.vectorized = false;
+      QueryOptions comp_vec = comp_row;
+      comp_vec.vectorized = true;
+
+      StatusOr<QueryResult> a = db.Query(sql, base);
+      ASSERT_TRUE(a.ok()) << Diag(&db, sql, checked, seed)
+                          << "\nbase failed: " << a.status().ToString();
+      StatusOr<QueryResult> g = db.Query(sql, comp_row);
+      ASSERT_TRUE(g.ok()) << Diag(&db, sql, checked, seed)
+                          << "\nrow leg failed: " << g.status().ToString();
+      StatusOr<QueryResult> v = db.Query(sql, comp_vec);
+      ASSERT_TRUE(v.ok()) << Diag(&db, sql, checked, seed)
+                          << "\ncolumnar leg failed: "
+                          << v.status().ToString();
+
+      ++checked;
+      if (g->compensated) {
+        ++compensated;
+        EXPECT_GT(g->compensation_delta_rows, 0) << sql;
+        EXPECT_GT(g->compensation_epochs, 0) << sql;
+        EXPECT_EQ(g->summary_table, "ast_comp") << sql;
+      }
+      // Zero degraded answers: compensation either serves exactly or is
+      // never chosen — it must not trip the execute-fallback path.
+      EXPECT_FALSE(g->degradation.degraded)
+          << Diag(&db, sql, checked, seed)
+          << "\ndegraded: " << g->degradation.message;
+      EXPECT_TRUE(BitIdenticalSorted(a->relation, g->relation))
+          << Diag(&db, sql, checked, seed)
+          << "\ncompensated=" << g->compensated << "\nfull recompute:\n"
+          << a->relation.ToString(30) << "compensated (row):\n"
+          << g->relation.ToString(30);
+      EXPECT_TRUE(BitIdenticalSorted(a->relation, v->relation))
+          << Diag(&db, sql, checked, seed)
+          << "\ncompensated=" << v->compensated << "\nfull recompute:\n"
+          << a->relation.ToString(30) << "compensated (columnar):\n"
+          << v->relation.ToString(30);
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+  }
+  // The leg must actually exercise compensation, not fall back throughout.
+  EXPECT_GT(compensated, checked / 2)
+      << "only " << compensated << "/" << checked
+      << " queries were compensated";
+
+  // A refresh absorbs the deltas: the same query now routes through the
+  // fresh AST without compensation.
+  ASSERT_TRUE(db.RefreshSummaryTable("ast_comp").ok());
+  StatusOr<QueryResult> after = db.Query(
+      "select faid, count(*) as c, sum(qty) as s from trans group by faid",
+      QueryOptions{});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->used_summary_table);
+  EXPECT_FALSE(after->compensated);
+}
+
 // 160 card + 80 tpcd queries per seed = 240 >= the 200 the oracle promises.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values<uint64_t>(1, 77, 4242));

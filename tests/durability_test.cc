@@ -351,6 +351,137 @@ TEST_F(DurabilityTest, CorruptAstCheckpointSectionDropsOnlyThatAst) {
   testing::ExpectRewriteEquivalent(recovered.get(), kAstQuery);
 }
 
+TEST_F(DurabilityTest, CompensationSurvivesRestart) {
+  constexpr char kSumQuery[] =
+      "select faid, count(*) as c, sum(qty) as s from trans group by faid";
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+
+  // Twin: identical schema/data/deferred appends, never restarted. The
+  // recovered database must re-compensate to the twin's exact answers.
+  auto twin = testing::MakeCardDb(600);
+  ASSERT_TRUE(twin->DefineSummaryTable("ast1", kAstDef).ok());
+  ASSERT_TRUE(twin->Append("trans", MakeTransRows(900000, 25), deferred).ok());
+  ASSERT_TRUE(twin->Append("trans", MakeTransRows(910000, 35), deferred).ok());
+  StatusOr<QueryResult> twin_result = twin->Query(kSumQuery);
+  ASSERT_TRUE(twin_result.ok());
+  ASSERT_TRUE(twin_result->compensated);
+
+  {
+    auto db = MustOpenCardDb();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->DefineSummaryTable("ast1", kAstDef).ok());
+    ASSERT_TRUE(db->Append("trans", MakeTransRows(900000, 25), deferred).ok());
+    ASSERT_TRUE(db->Append("trans", MakeTransRows(910000, 35), deferred).ok());
+    StatusOr<QueryResult> live = db->Query(kSumQuery);
+    ASSERT_TRUE(live.ok());
+    EXPECT_TRUE(live->compensated);
+    EXPECT_EQ(live->compensation_delta_rows, 60);
+    EXPECT_EQ(live->compensation_epochs, 2);
+  }
+
+  // Restart #1: no checkpoint, so the deferred appends come back via
+  // kAppendDeferred WAL replay — which must NOT maintain the AST (that
+  // would silently absorb the delta and change the epoch high-water mark).
+  {
+    auto db = MustOpen();
+    ASSERT_NE(db, nullptr);
+    StatusOr<SummaryTableInfo> info = db->GetSummaryTableInfo("ast1");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->state, AstState::kStale);
+    EXPECT_EQ(info->staleness, 2);  // same epoch lag as before the restart
+    StatusOr<QueryResult> result = db->Query(kSumQuery);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->used_summary_table);
+    EXPECT_TRUE(result->compensated);
+    EXPECT_EQ(result->compensation_delta_rows, 60);
+    EXPECT_EQ(result->compensation_epochs, 2);
+    EXPECT_FALSE(result->degradation.degraded);
+    EXPECT_TRUE(
+        engine::SameRowMultiset(result->relation, twin_result->relation));
+    // Restart #2 seeds from a checkpoint instead: the retained delta
+    // partitions round-trip through kDeltaPartition sections.
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  {
+    auto db = MustOpen();
+    ASSERT_NE(db, nullptr);
+    EXPECT_EQ(db->Stats().durability.recovery_deltas_dropped, 0);
+    StatusOr<SummaryTableInfo> info = db->GetSummaryTableInfo("ast1");
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->staleness, 2);
+    StatusOr<QueryResult> result = db->Query(kSumQuery);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->compensated);
+    EXPECT_EQ(result->compensation_delta_rows, 60);
+    EXPECT_EQ(result->compensation_epochs, 2);
+    EXPECT_TRUE(
+        engine::SameRowMultiset(result->relation, twin_result->relation));
+
+    // Refresh absorbs; a restarted-and-refreshed database serves the plain
+    // (uncompensated) rewrite again.
+    ASSERT_TRUE(db->RefreshSummaryTable("ast1").ok());
+    StatusOr<QueryResult> fresh = db->Query(kSumQuery);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(fresh->used_summary_table);
+    EXPECT_FALSE(fresh->compensated);
+    EXPECT_TRUE(
+        engine::SameRowMultiset(fresh->relation, twin_result->relation));
+  }
+}
+
+TEST_F(DurabilityTest, CorruptDeltaCheckpointSectionDropsOnlyCompensation) {
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+  {
+    auto db = MustOpenCardDb();
+    ASSERT_NE(db, nullptr);
+    ASSERT_TRUE(db->DefineSummaryTable("ast1", kAstDef).ok());
+    ASSERT_TRUE(db->Append("trans", MakeTransRows(920000, 30), deferred).ok());
+    ASSERT_TRUE(db->Query(kAstQuery)->compensated);
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  // Flip a byte inside the retained delta's kDeltaPartition payload.
+  const std::string path = dir_ + "/" + wal::CheckpointFileName(1);
+  StatusOr<std::vector<wal::SectionInfo>> sections =
+      wal::ListCheckpointSections(path);
+  ASSERT_TRUE(sections.ok()) << sections.status().ToString();
+  bool corrupted = false;
+  for (const wal::SectionInfo& s : *sections) {
+    if (s.type != wal::SectionType::kDeltaPartition) continue;
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(s.payload_offset + s.payload_len / 2));
+    f.put('\x7f');
+    corrupted = true;
+    break;
+  }
+  ASSERT_TRUE(corrupted);
+
+  auto recovered = MustOpen();
+  ASSERT_NE(recovered, nullptr);
+  // Graceful degradation: ONLY the delta slice is dropped. The AST stays
+  // registered (stale), the base table keeps the appended rows, and the
+  // query falls back to base tables because compensation now has a
+  // coverage gap — a wrong answer is never an option.
+  ASSERT_EQ(recovered->recovery_events().size(), 1u);
+  EXPECT_EQ(recovered->recovery_events()[0].kind,
+            RejectReasonToken(RejectReason::kDeltaDroppedOnRecovery));
+  EXPECT_EQ(recovered->Stats().durability.recovery_deltas_dropped, 1);
+  EXPECT_EQ(StateOf(recovered.get(), "ast1"), AstState::kStale);
+
+  StatusOr<QueryResult> routed = recovered->Query(kAstQuery);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_FALSE(routed->used_summary_table);
+  EXPECT_FALSE(routed->compensated);
+  EXPECT_FALSE(routed->degradation.degraded);
+  EXPECT_TRUE(engine::SameRowMultiset(
+      routed->relation, BaseAnswer(recovered.get(), kAstQuery)));
+
+  // A refresh recomputes from base tables and restores plain rewrites.
+  ASSERT_TRUE(recovered->RefreshSummaryTable("ast1").ok());
+  testing::ExpectRewriteEquivalent(recovered.get(), kAstQuery);
+}
+
 TEST_F(DurabilityTest, CorruptCheckpointMetaFailsOpenWithStructuredReason) {
   {
     auto db = MustOpenCardDb();

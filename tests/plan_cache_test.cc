@@ -259,6 +259,112 @@ TEST_F(PlanCacheTest, StaleReadsUseDistinctKeyAndRespectStaleness) {
   EXPECT_FALSE(MustQuery(kQuery).used_summary_table);
 }
 
+// ---------------------------------------------------------------------------
+// Delta-compensation plans in the cache: a stale-but-compensatable AST is a
+// DISTINCT cache state from fresh and from allow_stale_reads — keyed by the
+// delta high-water mark, re-served only while the exact retained range is
+// still addressable, and invalidated with the delta-specific cause the
+// moment a refresh absorbs the slices.
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanCacheTest, CompensationPlanIsCachedAndInvalidatedByRefresh) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+  ASSERT_TRUE(db_->Append("trans", MakeTransRows(500000, 40), deferred).ok());
+  ASSERT_EQ(db_->GetSummaryTableInfo("ast1")->state, AstState::kStale);
+
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  engine::Relation reference = MustQuery(kQuery, no_rewrite).relation;
+
+  QueryResult cold = MustQuery(kQuery);
+  EXPECT_FALSE(cold.plan_cache_hit);
+  EXPECT_TRUE(cold.used_summary_table);
+  EXPECT_TRUE(cold.compensated);
+  EXPECT_EQ(cold.compensation_delta_rows, 40);
+  EXPECT_TRUE(engine::SameRowMultiset(reference, cold.relation));
+
+  // Warm hit: the memoized compensation plan is re-validated (same
+  // materialized epoch, same high-water mark, coverage intact) and re-run.
+  QueryResult warm = MustQuery(kQuery);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_TRUE(warm.compensated);
+  EXPECT_EQ(warm.compensation_delta_rows, cold.compensation_delta_rows);
+  EXPECT_TRUE(engine::SameRowMultiset(reference, warm.relation));
+  EXPECT_EQ(db_->GetSummaryTableInfo("ast1")->compensated_queries, 2);
+
+  // Refresh absorbs the delta range. The refresh also bumps the catalog
+  // generation, but the cause must name the REAL reason the entry died:
+  // its pinned delta range no longer matches the AST's materialized epoch.
+  ASSERT_TRUE(db_->RefreshSummaryTable("ast1").ok());
+  QueryOptions traced;
+  traced.collect_trace = true;
+  QueryResult after = MustQuery(kQuery, traced);
+  EXPECT_FALSE(after.plan_cache_hit);
+  ASSERT_NE(after.trace, nullptr);
+  EXPECT_EQ(after.trace->plan_cache_outcome(), PlanCacheOutcome::kInvalidated);
+  EXPECT_EQ(after.trace->plan_cache_invalidation_cause(), "delta:trans");
+  EXPECT_TRUE(after.used_summary_table);
+  EXPECT_FALSE(after.compensated);
+  EXPECT_TRUE(engine::SameRowMultiset(reference, after.relation));
+}
+
+TEST_F(PlanCacheTest, CompensationPlanInvalidatedWhenDeltaRangeMoves) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+  ASSERT_TRUE(db_->Append("trans", MakeTransRows(600000, 20), deferred).ok());
+  QueryResult cold = MustQuery(kQuery);
+  ASSERT_TRUE(cold.compensated);
+  EXPECT_EQ(cold.compensation_epochs, 1);
+  EXPECT_TRUE(MustQuery(kQuery).plan_cache_hit);
+
+  // Another deferred append moves the high-water mark: the cached plan's
+  // pinned [from, to] range is no longer the full staleness window, so
+  // serving it would silently drop the new rows. It must die as
+  // "delta:trans" and replan with the WIDER two-epoch range.
+  ASSERT_TRUE(db_->Append("trans", MakeTransRows(700000, 30), deferred).ok());
+  QueryOptions traced;
+  traced.collect_trace = true;
+  QueryResult after = MustQuery(kQuery, traced);
+  EXPECT_FALSE(after.plan_cache_hit);
+  ASSERT_NE(after.trace, nullptr);
+  EXPECT_EQ(after.trace->plan_cache_invalidation_cause(), "delta:trans");
+  EXPECT_TRUE(after.compensated);
+  EXPECT_EQ(after.compensation_epochs, 2);
+  EXPECT_EQ(after.compensation_delta_rows, 50);
+
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  EXPECT_TRUE(engine::SameRowMultiset(MustQuery(kQuery, no_rewrite).relation,
+                                      after.relation));
+}
+
+TEST_F(PlanCacheTest, CompensationFlagPartitionsTheCache) {
+  ASSERT_TRUE(db_->DefineSummaryTable("ast1", kAstDef).ok());
+  Database::AppendOptions deferred;
+  deferred.maintain = false;
+  ASSERT_TRUE(db_->Append("trans", MakeTransRows(800000, 10), deferred).ok());
+  ASSERT_TRUE(MustQuery(kQuery).compensated);
+
+  // Same text, compensation disabled: a distinct planning context, so a
+  // distinct key — it must NOT hit the compensated entry, and with the
+  // AST stale and staleness not tolerated it falls back to base tables.
+  QueryOptions off;
+  off.enable_compensation = false;
+  QueryResult no_comp = MustQuery(kQuery, off);
+  EXPECT_FALSE(no_comp.plan_cache_hit);
+  EXPECT_FALSE(no_comp.compensated);
+  EXPECT_FALSE(no_comp.used_summary_table);
+
+  // Both keys warm independently.
+  EXPECT_TRUE(MustQuery(kQuery, off).plan_cache_hit);
+  QueryResult comp_again = MustQuery(kQuery);
+  EXPECT_TRUE(comp_again.plan_cache_hit);
+  EXPECT_TRUE(comp_again.compensated);
+}
+
 TEST_F(PlanCacheTest, StatsCountersAreConsistent) {
   DatabaseStats before = db_->Stats();
   EXPECT_EQ(before.plan_cache_hits, 0);
