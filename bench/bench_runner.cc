@@ -35,15 +35,21 @@
 // delta compensation (fresh rewrite vs base-table fallback vs compensated
 // two-leg plan) at several retained-delta sizes; BENCH_pr9.json.
 //
+// The advisor leg replays a mixed weighted workload against a database with
+// no ASTs, lets TUNE mine the resulting workload log, and replays again:
+// BENCH_pr10.json reports before/after rewrite rate and workload cost with
+// bit-identical cross-checked answers.
+//
 // Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
 //                     [--out-serving PATH] [--out-durability PATH]
-//                     [--out-compensation PATH]
+//                     [--out-compensation PATH] [--out-advisor PATH]
 //   --quick           small data sizes + fewer reps (CI smoke mode)
 //   --out             matrix-leg JSON path (default BENCH_pr3.json)
 //   --out-vec         vectorized-leg JSON path (default BENCH_pr5.json)
 //   --out-serving     serving-leg JSON path (default BENCH_pr7.json)
 //   --out-durability  durability-leg JSON path (default BENCH_pr8.json)
 //   --out-compensation  compensation-leg JSON path (default BENCH_pr9.json)
+//   --out-advisor     advisor-leg JSON path (default BENCH_pr10.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -54,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "bench/bench_util.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -1007,6 +1014,236 @@ void RunCompensationLeg(bool quick, const std::string& path) {
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- advisor leg (BENCH_pr10.json) ----
+//
+// The closed tuning loop, priced: a mixed aggregate workload (with
+// per-query frequencies, a grouping-sets query, and background appends) is
+// replayed against a fresh card database with NO summary tables, so every
+// query scans base data and the database's workload log fills up. TUNE then
+// mines that log and materializes its chosen ASTs. The same workload is
+// replayed again and the leg asserts bit-identical answers, a strictly
+// higher rewrite rate, and a lower modeled workload cost; the
+// recommendation itself is computed twice and must be identical (the
+// advisor is deterministic for a fixed log and budget).
+void RunAdvisorLeg(bool quick, const std::string& path) {
+  bench::PrintHeader("advisor: workload-log-driven tuning (before/after)");
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = quick ? 20000 : 100000;
+  if (!data::SetupCardSchema(&db, params).ok()) std::exit(1);
+
+  struct AdvQuery {
+    const char* label;
+    const char* sql;
+    int freq;
+  };
+  const AdvQuery workload[] = {
+      {"aq1 faid-year",
+       "select faid, year(date) as y, count(*) as c from trans "
+       "group by faid, year(date)",
+       quick ? 4 : 8},
+      {"aq2 yearly qty",
+       "select year(date) as y, sum(qty) as q from trans group by year(date)",
+       quick ? 6 : 12},
+      {"aq3 rollup",
+       "select flid, year(date) as y, count(*) as c from trans "
+       "group by rollup(flid, year(date))",
+       3},
+      {"aq4 flid value",
+       "select flid, sum(qty * price) as v from trans group by flid",
+       quick ? 5 : 10},
+      {"aq5 state join",
+       "select state, count(*) as c from trans, loc where flid = lid "
+       "group by state",
+       4},
+      {"aq6 one-off",
+       "select faid, flid, count(*) as c from trans group by faid, flid", 1},
+  };
+  const size_t num_queries = std::size(workload);
+
+  // Background append traffic BEFORE the replays, so (a) the log carries
+  // append rates for the maintenance-cost model and (b) both replay phases
+  // see identical data and answers stay comparable.
+  for (int k = 0; k < 4; ++k) {
+    std::vector<Row> rows;
+    for (int i = 0; i < 500; ++i) {
+      int64_t j = k * 500 + i;
+      rows.push_back(Row{Value::Int(5000000 + j), Value::Int(j % 50),
+                         Value::Int(j % 12), Value::Int(j % 40),
+                         Value::Date(19940101 + (j % 28)),
+                         Value::Int(1 + j % 5), Value::Double(10.0),
+                         Value::Double(0.0)});
+    }
+    if (!db.Append("trans", std::move(rows)).ok()) {
+      std::fprintf(stderr, "advisor leg append failed\n");
+      std::exit(1);
+    }
+  }
+
+  struct PhaseStats {
+    int64_t executions = 0;
+    int64_t rewritten = 0;
+    double ms = 0;
+    double rate() const {
+      return executions > 0
+                 ? static_cast<double>(rewritten) /
+                       static_cast<double>(executions)
+                 : 0;
+    }
+  };
+  std::vector<engine::Relation> answers(num_queries);
+  auto replay = [&](bool check_answers) {
+    PhaseStats stats;
+    for (size_t i = 0; i < num_queries; ++i) {
+      for (int rep = 0; rep < workload[i].freq; ++rep) {
+        auto t0 = BenchClock::now();
+        StatusOr<QueryResult> result = db.Query(workload[i].sql);
+        stats.ms += std::chrono::duration<double, std::milli>(
+                        BenchClock::now() - t0)
+                        .count();
+        if (!result.ok()) {
+          std::fprintf(stderr, "advisor leg query failed: %s\n  %s\n",
+                       result.status().ToString().c_str(), workload[i].sql);
+          std::exit(1);
+        }
+        ++stats.executions;
+        stats.rewritten += result->used_summary_table;
+        if (rep == 0) {
+          if (check_answers &&
+              !engine::SameRowMultiset(answers[i], result->relation)) {
+            std::fprintf(stderr,
+                         "BENCH FAILURE: tuned answer diverges on %s\n",
+                         workload[i].sql);
+            std::exit(1);
+          }
+          if (!check_answers) answers[i] = std::move(result->relation);
+        }
+      }
+    }
+    return stats;
+  };
+
+  PhaseStats pre = replay(/*check_answers=*/false);
+
+  // Determinism: the same log and budget must produce the same choice set.
+  advisor::AdvisorOptions options;  // default budget = total base rows
+  WorkloadSnapshot log = db.WorkloadLogSnapshot();
+  std::vector<advisor::WorkloadQuery> mined;
+  for (const WorkloadQueryStats& q : log.queries) {
+    mined.push_back({q.normalized_sql, q.executions});
+  }
+  auto rec1 = advisor::RecommendForWorkload(&db, mined, options);
+  auto rec2 = advisor::RecommendForWorkload(&db, mined, options);
+  if (!rec1.ok() || !rec2.ok()) {
+    std::fprintf(stderr, "advisor leg recommendation failed\n");
+    std::exit(1);
+  }
+  bool deterministic = rec1->candidates.size() == rec2->candidates.size() &&
+                       rec1->workload_cost_after == rec2->workload_cost_after;
+  for (size_t i = 0; deterministic && i < rec1->candidates.size(); ++i) {
+    deterministic = rec1->candidates[i].sql == rec2->candidates[i].sql &&
+                    rec1->candidates[i].chosen == rec2->candidates[i].chosen;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "BENCH FAILURE: advisor is not deterministic\n");
+    std::exit(1);
+  }
+
+  auto tune = advisor::AdviseAndApply(&db, options);
+  if (!tune.ok()) {
+    std::fprintf(stderr, "advisor leg tune failed: %s\n",
+                 tune.status().ToString().c_str());
+    std::exit(1);
+  }
+  const advisor::Recommendation& rec = tune->recommendation;
+
+  PhaseStats post = replay(/*check_answers=*/true);
+
+  if (post.rewritten <= pre.rewritten) {
+    std::fprintf(stderr,
+                 "BENCH FAILURE: rewrite rate did not rise (%lld -> %lld)\n",
+                 static_cast<long long>(pre.rewritten),
+                 static_cast<long long>(post.rewritten));
+    std::exit(1);
+  }
+  if (rec.workload_cost_after >= rec.workload_cost_before) {
+    std::fprintf(stderr,
+                 "BENCH FAILURE: modeled workload cost did not drop "
+                 "(%lld -> %lld)\n",
+                 static_cast<long long>(rec.workload_cost_before),
+                 static_cast<long long>(rec.workload_cost_after));
+    std::exit(1);
+  }
+
+  std::printf("pre  : %3lld queries, %3lld rewritten (%.0f%%), %8.2f ms\n",
+              static_cast<long long>(pre.executions),
+              static_cast<long long>(pre.rewritten), 100 * pre.rate(),
+              pre.ms);
+  std::printf("tune : %zu candidate(s), %zu created, %lld rows under budget "
+              "%lld; model cost %lld -> %lld\n",
+              rec.candidates.size(), tune->created.size(),
+              static_cast<long long>(rec.total_rows_used),
+              static_cast<long long>(rec.budget_rows),
+              static_cast<long long>(rec.workload_cost_before),
+              static_cast<long long>(rec.workload_cost_after));
+  std::printf("post : %3lld queries, %3lld rewritten (%.0f%%), %8.2f ms "
+              "(%.2fx)\n",
+              static_cast<long long>(post.executions),
+              static_cast<long long>(post.rewritten), 100 * post.rate(),
+              post.ms, post.ms > 0 ? pre.ms / post.ms : 0.0);
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr10\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"fact_rows\": %lld,\n",
+               static_cast<long long>(db.TableRows("trans")));
+  std::fprintf(f, "  \"workload\": [\n");
+  for (size_t i = 0; i < num_queries; ++i) {
+    std::fprintf(f, "    {\"label\": \"%s\", \"freq\": %d}%s\n",
+                 workload[i].label, workload[i].freq,
+                 i + 1 < num_queries ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  auto phase_json = [&](const char* name, const PhaseStats& s,
+                        int64_t model_cost, const char* trailing) {
+    std::fprintf(f,
+                 "  \"%s\": {\"executions\": %lld, \"rewritten\": %lld, "
+                 "\"rewrite_rate\": %.4f, \"measured_ms\": %.3f, "
+                 "\"workload_cost_model\": %lld}%s\n",
+                 name, static_cast<long long>(s.executions),
+                 static_cast<long long>(s.rewritten), s.rate(), s.ms,
+                 static_cast<long long>(model_cost), trailing);
+  };
+  phase_json("pre", pre, rec.workload_cost_before, ",");
+  std::fprintf(f, "  \"advisor\": {\"deterministic\": true, ");
+  std::fprintf(f, "\"candidates\": %zu, \"created\": [",
+               rec.candidates.size());
+  for (size_t i = 0; i < tune->created.size(); ++i) {
+    std::fprintf(f, "\"%s\"%s", tune->created[i].c_str(),
+                 i + 1 < tune->created.size() ? ", " : "");
+  }
+  std::fprintf(f,
+               "], \"budget_rows\": %lld, \"total_rows_used\": %lld, "
+               "\"maintenance_cost\": %lld},\n",
+               static_cast<long long>(rec.budget_rows),
+               static_cast<long long>(rec.total_rows_used),
+               static_cast<long long>(rec.maintenance_cost));
+  phase_json("post", post, rec.workload_cost_after, ",");
+  std::fprintf(f, "  \"rewrite_rate_delta\": %.4f,\n",
+               post.rate() - pre.rate());
+  std::fprintf(f, "  \"workload_cost_ratio\": %.4f\n}\n",
+               rec.workload_cost_before > 0
+                   ? static_cast<double>(rec.workload_cost_after) /
+                         static_cast<double>(rec.workload_cost_before)
+                   : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -1132,6 +1369,7 @@ int main(int argc, char** argv) {
   std::string out_serving = "BENCH_pr7.json";
   std::string out_durability = "BENCH_pr8.json";
   std::string out_compensation = "BENCH_pr9.json";
+  std::string out_advisor = "BENCH_pr10.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -1146,11 +1384,13 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--out-compensation") == 0 &&
                i + 1 < argc) {
       out_compensation = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-advisor") == 0 && i + 1 < argc) {
+      out_advisor = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out PATH] [--out-vec PATH] "
                    "[--out-serving PATH] [--out-durability PATH] "
-                   "[--out-compensation PATH]\n",
+                   "[--out-compensation PATH] [--out-advisor PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -1168,6 +1408,7 @@ int main(int argc, char** argv) {
   RunServingLeg(quick, out_serving);
   RunDurabilityLeg(quick, out_durability);
   RunCompensationLeg(quick, out_compensation);
+  RunAdvisorLeg(quick, out_advisor);
 
   double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {

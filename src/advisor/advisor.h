@@ -4,14 +4,31 @@
 //
 // Candidates are generated from the workload's own aggregate blocks (each
 // query's SELECT->GROUPBY stack over base tables, augmented with COUNT(*) so
-// coarser queries can re-aggregate). Sizes are estimated by counting the
-// candidate's groups; benefits are computed with the *real* matcher: a
-// candidate benefits a query iff RewriteQuery fires, and the saving is the
-// reduction in scanned leaf rows. A greedy loop then picks candidates with
-// the best marginal-benefit-per-row under a total-row budget.
+// coarser queries can re-aggregate), then widened two ways:
+//   - cuboid-lattice ancestors of observed CUBE/ROLLUP/grouping-sets queries
+//     (Gray et al.): the finest single-set cuboid plus each observed set,
+//     so one materialization can answer the whole lattice by re-aggregation;
+//   - merged blocks (multi-query optimization, cf. Roy et al.): two
+//     candidates over the same tables and predicates are unioned into one
+//     shared candidate carrying both grouping columns and both aggregate
+//     sets.
+// Sizes are estimated by counting the candidate's groups; benefits use the
+// *real* matcher: a candidate benefits a query iff RewriteQuery fires, and
+// the saving is the frequency-weighted reduction in scanned leaf rows. Each
+// candidate is additionally charged an incremental-maintenance cost from the
+// workload's observed append rates (appended rows when AnalyzeMergePlan says
+// the candidate merges incrementally, batches x base rows when it would
+// recompute). A greedy loop then picks candidates with the best net marginal
+// benefit per materialized row under a total-row budget.
+//
+// AdviseAndApply closes the loop: it mines the database's own workload log,
+// recommends under budget, CREATEs the chosen candidates as advisor-owned
+// ASTs, and DROPs advisor-owned ASTs whose observed hit rate has decayed.
+// Reachable through SQL as "tune [budget <rows>]".
 #ifndef SUMTAB_ADVISOR_ADVISOR_H_
 #define SUMTAB_ADVISOR_ADVISOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,14 +38,51 @@
 namespace sumtab {
 namespace advisor {
 
+/// One workload query with its observed weight (execution frequency).
+struct WorkloadQuery {
+  std::string sql;
+  int64_t weight = 1;
+};
+
+struct AdvisorOptions {
+  /// Total materialized-row budget across chosen candidates. Negative
+  /// derives a default: the total row count of the base tables (an AST set
+  /// as large as the data is never worth more than that).
+  int64_t budget_rows = -1;
+  /// Scales the maintenance charge relative to scan savings (1.0 = a
+  /// maintained row costs what a scanned row saves).
+  double maintenance_weight = 1.0;
+  /// Auto-DROP threshold: an advisor-owned AST whose rewrite hit rate
+  /// (rewrite_hits / queries observed since creation) falls below this is
+  /// dropped by AdviseAndApply...
+  double min_hit_rate = 0.05;
+  /// ...but only once at least this many queries have been observed since
+  /// its creation — a fresh AST is not judged on a handful of queries.
+  int64_t min_queries_before_drop = 20;
+  /// Name prefix for created ASTs ("<prefix>0", "<prefix>1", ...,
+  /// uniquified against the catalog).
+  std::string name_prefix = "advisor_ast";
+};
+
 struct Candidate {
   std::string sql;              // candidate summary-table definition
   int64_t estimated_rows = 0;   // number of groups it would materialize
   /// Workload indexes this candidate can answer (matcher-verified).
   std::vector<int> covered_queries;
-  /// Total leaf rows saved per one run of the whole workload, when this
+  /// Frequency-weighted leaf rows saved per workload window when this
   /// candidate is used alone.
   int64_t standalone_benefit = 0;
+  /// Frequency-weighted maintenance charge per workload window, from the
+  /// observed append rates: appended rows where the candidate merges
+  /// incrementally, batches x its base rows where it would recompute.
+  int64_t maintenance_cost = 0;
+  /// True when every appended-to base table the candidate reads passes
+  /// AnalyzeMergePlan (no observed appends counts as maintainable).
+  bool maintainable = true;
+  /// Provenance: "query" (one query's aggregate block), "cuboid" (lattice
+  /// point derived from a grouping-sets query), or "merged" (union of two
+  /// compatible blocks).
+  std::string origin = "query";
   bool chosen = false;
 };
 
@@ -36,22 +90,57 @@ struct Recommendation {
   std::vector<Candidate> candidates;  // all generated, chosen ones flagged
   int64_t budget_rows = 0;
   int64_t total_rows_used = 0;
-  int64_t workload_cost_before = 0;  // leaf rows per workload run, no ASTs
+  int64_t workload_cost_before = 0;  // weighted leaf rows, no ASTs
   int64_t workload_cost_after = 0;   // with the chosen set
+  /// Total maintenance charge of the chosen set per workload window.
+  int64_t maintenance_cost = 0;
 };
 
-/// Analyzes `workload` against the database's schema and data statistics.
-/// The database is only read (candidate sizes are estimated with COUNT
-/// queries); nothing is materialized.
+/// Analyzes an explicit unweighted workload against the database's schema
+/// and data statistics. The database is only read (candidate sizes are
+/// estimated with COUNT queries); nothing is materialized. Deterministic for
+/// a fixed workload, database state, and budget.
 StatusOr<Recommendation> RecommendSummaryTables(
     Database* db, const std::vector<std::string>& workload,
     int64_t budget_rows);
 
-/// Materializes the chosen candidates as summary tables named
-/// `<prefix>0`, `<prefix>1`, ...; returns the created names.
+/// Weighted form: the full candidate-generation + costing pipeline described
+/// above. AdviseAndApply feeds it the observed workload log.
+StatusOr<Recommendation> RecommendForWorkload(
+    Database* db, const std::vector<WorkloadQuery>& workload,
+    const AdvisorOptions& options);
+
+/// Materializes the chosen candidates as advisor-owned summary tables named
+/// `<prefix>0`, `<prefix>1`, ... — counters skip names the catalog already
+/// holds. All-or-nothing: if any definition fails, every AST this call
+/// already created is dropped before the error returns. Returns the created
+/// names. Fault point: "advisor/apply" (after each successful define).
 StatusOr<std::vector<std::string>> ApplyRecommendation(
     Database* db, const Recommendation& recommendation,
     const std::string& prefix = "advisor_ast");
+
+/// One row of the TUNE action report.
+struct TuneAction {
+  std::string action;  // "create", "drop", or "summary"
+  std::string name;
+  int64_t rows = 0;
+  std::string detail;
+};
+
+struct TuneOutcome {
+  std::vector<std::string> created;
+  std::vector<std::string> dropped;
+  Recommendation recommendation;
+  std::vector<TuneAction> actions;
+};
+
+/// The closed loop: drop advisor-owned ASTs whose hit rate decayed, mine the
+/// database's workload log, recommend under `options.budget_rows`, and
+/// create the chosen candidates (skipping any whose normalized definition
+/// already exists as an AST). Deterministic for a fixed workload log,
+/// database state, and options.
+StatusOr<TuneOutcome> AdviseAndApply(Database* db,
+                                     const AdvisorOptions& options);
 
 }  // namespace advisor
 }  // namespace sumtab

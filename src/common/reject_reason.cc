@@ -132,6 +132,8 @@ const char* RejectReasonToken(RejectReason reason) {
       return "recovery_failed";
     case RejectReason::kDeltaDroppedOnRecovery:
       return "delta_dropped_on_recovery";
+    case RejectReason::kWorkloadDroppedOnRecovery:
+      return "workload_dropped_on_recovery";
     case RejectReason::kCompMultiTableStaleness:
       return "comp_multi_table_staleness";
     case RejectReason::kCompDeltaUnavailable:
@@ -152,6 +154,8 @@ const char* RejectReasonToken(RejectReason reason) {
       return "comp_nullable_grouping_set";
     case RejectReason::kCompAstMismatch:
       return "comp_ast_mismatch";
+    case RejectReason::kAdvisorNamespaceExhausted:
+      return "advisor_namespace_exhausted";
   }
   return "unknown";
 }

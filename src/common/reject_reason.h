@@ -95,6 +95,7 @@ enum class RejectReason : uint16_t {
   kAstDroppedOnRecovery = 145,
   kRecoveryFailed = 146,
   kDeltaDroppedOnRecovery = 147,
+  kWorkloadDroppedOnRecovery = 148,
 
   // ---- delta compensation: stale-AST rewrites over retained append
   // slices (src/matching/compensation.cc) ----
@@ -108,6 +109,9 @@ enum class RejectReason : uint16_t {
   kCompDistinctAggregate = 157,
   kCompNullableGroupingSet = 158,  // data-NULL vs padding-NULL key collision
   kCompAstMismatch = 159,          // the AST does not cover the stale scan
+
+  // ---- workload advisor (src/advisor/) ----
+  kAdvisorNamespaceExhausted = 160,  // no free placeholder/AST name found
 };
 
 /// Stable snake_case token for a reason, e.g. "distinct_mismatch".

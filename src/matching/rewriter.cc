@@ -141,5 +141,17 @@ StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
   return result;
 }
 
+std::vector<std::string> LeafBaseTables(const qgm::Graph& graph) {
+  std::vector<std::string> tables;
+  for (int id = 0; id < graph.size(); ++id) {
+    const Box* box = graph.box(id);
+    if (box->kind != Box::Kind::kBase) continue;
+    bool seen = false;
+    for (const std::string& t : tables) seen = seen || t == box->table_name;
+    if (!seen) tables.push_back(box->table_name);
+  }
+  return tables;
+}
+
 }  // namespace matching
 }  // namespace sumtab

@@ -5,6 +5,7 @@
 #define SUMTAB_MATCHING_REWRITER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "common/trace.h"
@@ -41,6 +42,13 @@ StatusOr<RewriteResult> RewriteQuery(const qgm::Graph& query,
                                      const catalog::Catalog& catalog,
                                      AstAttemptTrace* attempt = nullptr,
                                      QueryTrace* qtrace = nullptr);
+
+/// Distinct base-table names scanned at the leaves of `graph`, in
+/// first-appearance (box-id) order. Shared by the freshness bookkeeping
+/// (which base epochs does an AST depend on), the plan cache (which epochs
+/// validate an entry), and the advisor (which tables a candidate's
+/// maintenance cost charges).
+std::vector<std::string> LeafBaseTables(const qgm::Graph& graph);
 
 }  // namespace matching
 }  // namespace sumtab

@@ -557,5 +557,28 @@ bool IsExplainRewrite(const std::string& sql, std::string* inner_sql) {
   return true;
 }
 
+bool IsTuneStatement(const std::string& sql, int64_t* budget_rows) {
+  StatusOr<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return false;
+  const std::vector<Token>& toks = *tokens;
+  if (toks.empty() || toks[0].type != TokenType::kIdentifier ||
+      toks[0].text != "tune") {
+    return false;
+  }
+  int64_t budget = -1;
+  if (toks.size() >= 2 && toks[1].type != TokenType::kEnd) {
+    // The only accepted continuation is BUDGET <int>; anything else is not a
+    // TUNE statement (it falls through to the SELECT parser's error).
+    if (toks.size() < 3 || toks[1].type != TokenType::kIdentifier ||
+        toks[1].text != "budget" || toks[2].type != TokenType::kIntLiteral) {
+      return false;
+    }
+    if (toks.size() > 3 && toks[3].type != TokenType::kEnd) return false;
+    budget = toks[2].int_value;
+  }
+  if (budget_rows != nullptr) *budget_rows = budget;
+  return true;
+}
+
 }  // namespace sql
 }  // namespace sumtab

@@ -34,6 +34,15 @@ StatusOr<std::shared_ptr<SelectStmt>> Parse(const std::string& sql,
 /// use those names; only the statement *prefix* is recognized here.
 bool IsExplainRewrite(const std::string& sql, std::string* inner_sql);
 
+/// Statement-level dispatch for `TUNE [BUDGET <rows>]`: true when `sql` is
+/// exactly the (case-insensitive) TUNE statement — Database runs the
+/// workload advisor over its observed log and applies the recommendation.
+/// `*budget_rows` receives the BUDGET literal, or -1 when the clause is
+/// absent (the caller picks its default). Like EXPLAIN/REWRITE, TUNE and
+/// BUDGET lex as ordinary identifiers; only the statement shape is
+/// recognized here, so tables/columns may still use those names.
+bool IsTuneStatement(const std::string& sql, int64_t* budget_rows);
+
 }  // namespace sql
 }  // namespace sumtab
 

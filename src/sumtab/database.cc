@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "advisor/advisor.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/reject_reason.h"
@@ -20,17 +21,19 @@ namespace sumtab {
 
 namespace {
 
-/// Names of the tables scanned at the leaves of an AST definition.
-std::vector<std::string> LeafTables(const qgm::Graph& graph) {
-  std::vector<std::string> tables;
+/// Leaf-scan cost of a graph against a pinned snapshot: total rows of every
+/// scanned base table. Same heuristic TryRewrite costs candidates with; here
+/// it prices the query's base-table form for the workload log.
+int64_t LeafRowCost(const qgm::Graph& graph,
+                    const engine::Storage::Snapshot& snap) {
+  int64_t cost = 0;
   for (int id = 0; id < graph.size(); ++id) {
     const qgm::Box* box = graph.box(id);
     if (box->kind != qgm::Box::Kind::kBase) continue;
-    bool seen = false;
-    for (const std::string& t : tables) seen = seen || t == box->table_name;
-    if (!seen) tables.push_back(box->table_name);
+    const engine::Relation* rel = snap.FindTable(box->table_name);
+    if (rel != nullptr) cost += static_cast<int64_t>(rel->NumRows());
   }
-  return tables;
+  return cost;
 }
 
 }  // namespace
@@ -240,6 +243,12 @@ Status Database::BulkLoad(const std::string& table, std::vector<Row> rows) {
 
 StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
                                                const std::string& sql) {
+  return DefineSummaryTable(name, sql, /*advisor_owned=*/false);
+}
+
+StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
+                                               const std::string& sql,
+                                               bool advisor_owned) {
   // Parse + materialize under maint_mu_ alone (catalog/storage are stable:
   // no other mutator can run); only the registration commits under ddl_mu_.
   std::lock_guard<std::mutex> maint(maint_mu_);
@@ -257,7 +266,7 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
 
   // The definition parsed, built, and materialized — it will publish, so it
   // is safe (and required) to harden its record before the commit window.
-  SUMTAB_RETURN_NOT_OK(LogDefineOp(name, sql));
+  SUMTAB_RETURN_NOT_OK(LogDefineOp(name, sql, advisor_owned));
 
   {
     std::unique_lock<std::shared_mutex> lock(ddl_mu_);
@@ -280,6 +289,8 @@ StatusOr<int64_t> Database::DefineSummaryTable(const std::string& name,
     st->name = ToLower(name);
     st->sql = sql;
     st->graph = std::move(graph);
+    st->advisor_owned = advisor_owned;
+    st->created_at_query = queries_observed_.load(std::memory_order_acquire);
     MarkRefreshed(st.get());  // bumps the catalog generation
     summary_tables_.push_back(std::move(st));
   }
@@ -377,7 +388,7 @@ void Database::RecordAstFailure(SummaryTable* st) {
 
 void Database::MarkRefreshed(SummaryTable* st) {
   st->materialized_epochs.clear();
-  for (const std::string& table : LeafTables(st->graph)) {
+  for (const std::string& table : matching::LeafBaseTables(st->graph)) {
     st->materialized_epochs[ToLower(table)] = storage_.Epoch(table);
   }
   st->consecutive_failures.store(0, std::memory_order_release);
@@ -396,6 +407,7 @@ StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
   }
   SummaryTableInfo info;
   info.name = st->name;
+  info.sql = st->sql;
   info.state = StateOf(*st);
   info.staleness = StalenessOf(*st);
   info.max_staleness = st->max_staleness;
@@ -403,7 +415,24 @@ StatusOr<SummaryTableInfo> Database::GetSummaryTableInfo(
       st->consecutive_failures.load(std::memory_order_acquire);
   info.compensated_queries =
       st->compensated_queries.load(std::memory_order_acquire);
+  info.advisor_owned = st->advisor_owned;
+  info.rewrite_hits = st->rewrite_hits.load(std::memory_order_acquire);
+  info.queries_since_creation =
+      std::max<int64_t>(0, queries_observed_.load(std::memory_order_acquire) -
+                               st->created_at_query);
   return info;
+}
+
+// ---- workload log ----
+
+WorkloadSnapshot Database::WorkloadLogSnapshot() const {
+  return workload_log_.Snapshot();
+}
+
+void Database::ClearWorkloadLog() { workload_log_.Clear(); }
+
+int64_t Database::QueriesObserved() const {
+  return queries_observed_.load(std::memory_order_acquire);
 }
 
 Status Database::SetMaxStaleness(const std::string& name,
@@ -438,7 +467,7 @@ std::unique_ptr<qgm::Graph> Database::TryRewrite(
   // when tracing.
   auto maintenance_verdict = [](const SummaryTable& st) {
     std::string verdict;
-    for (const std::string& table : LeafTables(st.graph)) {
+    for (const std::string& table : matching::LeafBaseTables(st.graph)) {
       StatusOr<maintenance::MergePlan> plan =
           maintenance::AnalyzeMergePlan(st.graph, table);
       if (!verdict.empty()) verdict += ", ";
@@ -701,6 +730,21 @@ StatusOr<QueryResult> Database::Query(const std::string& sql,
     }
     return result;
   }
+  int64_t tune_budget = -1;
+  if (sql::IsTuneStatement(sql, &tune_budget)) {
+    advisor::AdvisorOptions tune_options;
+    tune_options.budget_rows = tune_budget;
+    SUMTAB_ASSIGN_OR_RETURN(advisor::TuneOutcome outcome,
+                            advisor::AdviseAndApply(this, tune_options));
+    QueryResult result;
+    result.relation.column_names = {"action", "name", "rows", "detail"};
+    for (const advisor::TuneAction& action : outcome.actions) {
+      result.relation.rows.push_back(
+          {Value::String(action.action), Value::String(action.name),
+           Value::Int(action.rows), Value::String(action.detail)});
+    }
+    return result;
+  }
   return QuerySelect(sql, options);
 }
 
@@ -737,6 +781,9 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   std::shared_ptr<const matching::CompensationPlan> comp;
   int64_t comp_delta_rows = 0;
   bool was_rewritten = false;
+  // Leaf rows a base-table plan scans (against the pinned snapshot): the
+  // workload log's direct-cost figure. Cache hits reuse the memoized value.
+  int64_t base_leaf_rows = 0;
   engine::Storage::Snapshot snap;
   int64_t plan_generation = 0;
 
@@ -784,6 +831,7 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
           }
         }
         was_rewritten = cached.used_summary_table;
+        base_leaf_rows = cached.base_leaf_rows;
         comp = cached.compensation;
         if (comp != nullptr) {
           // For compensation entries the cached graph is the ORIGINAL
@@ -812,6 +860,7 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
         trace->RecordPhaseMicros(QueryTrace::kPhaseQgmBuild, (t2 - t1) / 1000);
       }
       original = std::make_unique<qgm::Graph>(std::move(graph));
+      base_leaf_rows = LeafRowCost(*original, snap);
       if (options.enable_rewrite) {
         std::string chosen;
         int64_t rw0 = MonotonicNanos();
@@ -923,9 +972,11 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
   }
   if (result.degradation.degraded) degraded_queries->Increment();
   if (result.used_summary_table) {
-    // Serving through the AST(s) worked: clear their failure streaks.
+    // Serving through the AST(s) worked: clear their failure streaks and
+    // credit the hit (the advisor's auto-DROP lifecycle reads these).
     for (const SummaryTablePtr& st : used) {
       st->consecutive_failures.store(0, std::memory_order_release);
+      st->rewrite_hits.fetch_add(1, std::memory_order_acq_rel);
     }
   }
   if (comp != nullptr && result.used_summary_table) {
@@ -970,10 +1021,28 @@ StatusOr<QueryResult> Database::QuerySelect(const std::string& sql,
     entry.candidate_rewrites = result.candidate_rewrites;
     for (const SummaryTablePtr& st : used) entry.used_asts.push_back(st->name);
     entry.generation = plan_generation;
-    for (const std::string& table : LeafTables(*original)) {
+    entry.base_leaf_rows = base_leaf_rows;
+    for (const std::string& table : matching::LeafBaseTables(*original)) {
       entry.base_epochs[ToLower(table)] = snap.Epoch(ToLower(table));
     }
     plan_cache_.Insert(cache_key, std::move(entry));
+  }
+  // 4. Feed the workload log — the advisor's input. Off for the advisor's
+  //    own sizing probes (record_workload=false) so tuning doesn't observe
+  //    itself.
+  if (options.record_workload) {
+    queries_observed_.fetch_add(1, std::memory_order_acq_rel);
+    sumtab::WorkloadLog::QueryObservation obs;
+    obs.normalized_sql = NormalizeSqlText(sql);
+    obs.base_leaf_rows = base_leaf_rows;
+    obs.rewritten = result.used_summary_table;
+    obs.compensated = result.compensated;
+    if (!obs.rewritten) {
+      obs.reject =
+          result.candidate_rewrites > 0 ? "costlier_than_base" : "no_match";
+    }
+    for (const SummaryTablePtr& st : used) obs.used_asts.push_back(st->name);
+    workload_log_.RecordQuery(obs);
   }
   result.relation = std::move(*data);
   return result;
@@ -1079,6 +1148,20 @@ StatusOr<std::string> Database::ExplainRewrite(const std::string& sql,
   if (degradation.degraded) {
     trace.AddNote("degraded (" + degradation.stage +
                   "): " + degradation.message);
+  }
+  // Advisor-owned ASTs carry their lifecycle status into the trace so TUNE
+  // decisions are EXPLAIN-able: who created the AST and how it is earning
+  // its keep against the auto-DROP threshold.
+  for (const auto& st : summary_tables_) {
+    if (!st->advisor_owned) continue;
+    int64_t hits = st->rewrite_hits.load(std::memory_order_acquire);
+    int64_t window =
+        queries_observed_.load(std::memory_order_acquire) -
+        st->created_at_query;
+    trace.AddNote("ast '" + st->name + "' is advisor-owned (" +
+                  std::to_string(hits) + " rewrite hit(s) over " +
+                  std::to_string(window < 0 ? 0 : window) +
+                  " observed queries)");
   }
 
   std::string out = "== EXPLAIN REWRITE ==\n";

@@ -44,6 +44,7 @@
 #include "matching/compensation.h"
 #include "qgm/qgm.h"
 #include "sumtab/plan_cache.h"
+#include "sumtab/workload_log.h"
 
 namespace sumtab {
 
@@ -147,6 +148,10 @@ struct QueryOptions {
   /// deliberately NOT part of the plan-cache key, so both engines share one
   /// cached plan.
   bool vectorized = true;
+  /// Record this query in the workload log (src/sumtab/workload_log.h) so
+  /// the advisor can mine it. The advisor's own sizing probes turn this off
+  /// to keep its introspection from polluting the telemetry it reads.
+  bool record_workload = true;
 };
 
 /// Diagnostic attached to a QueryResult when something on the rewrite path
@@ -200,6 +205,9 @@ struct DatabaseStats {
 /// Introspection snapshot of one summary table's freshness bookkeeping.
 struct SummaryTableInfo {
   std::string name;
+  /// The defining SELECT (as registered). The advisor compares candidates
+  /// against it (normalized) so TUNE never re-creates an existing AST.
+  std::string sql;
   AstState state = AstState::kFresh;
   /// Total epoch lag across base tables (0 when fully fresh).
   int64_t staleness = 0;
@@ -209,6 +217,14 @@ struct SummaryTableInfo {
   int consecutive_failures = 0;
   /// Queries this AST answered while stale, via delta compensation.
   int64_t compensated_queries = 0;
+  /// True when the advisor created this AST (AdviseAndApply / TUNE): it is
+  /// subject to the auto-DROP lifecycle when its hit rate decays.
+  bool advisor_owned = false;
+  /// Queries this AST's rewrite actually answered since creation.
+  int64_t rewrite_hits = 0;
+  /// Queries the database has observed since this AST was created — the
+  /// denominator of the advisor's hit-rate decay check.
+  int64_t queries_since_creation = 0;
 };
 
 class Database {
@@ -315,6 +331,12 @@ class Database {
   /// rewriter. Returns the number of materialized rows.
   StatusOr<int64_t> DefineSummaryTable(const std::string& name,
                                        const std::string& sql);
+  /// Same, but stamps the AST advisor-owned: the TUNE / AdviseAndApply
+  /// lifecycle may auto-DROP it later when its hit rate decays. Ownership
+  /// is WAL-logged and checkpointed, so it survives restart.
+  StatusOr<int64_t> DefineSummaryTable(const std::string& name,
+                                       const std::string& sql,
+                                       bool advisor_owned);
   Status DropSummaryTable(const std::string& name);
   std::vector<std::string> SummaryTableNames() const;
 
@@ -327,6 +349,10 @@ class Database {
   Status SetMaxStaleness(const std::string& name, int64_t max_epoch_lag);
 
   // ---- queries ----
+  /// Also routes two statement forms besides plain SELECTs:
+  /// "explain rewrite <select...>" (rewrite trace as a one-column relation)
+  /// and "tune [budget <rows>]" (runs the workload advisor over the observed
+  /// log and applies its recommendation; returns the action report).
   StatusOr<QueryResult> Query(const std::string& sql,
                               const QueryOptions& options = {});
 
@@ -353,6 +379,17 @@ class Database {
   /// Plan-cache and DDL counters (snapshot).
   DatabaseStats Stats() const;
 
+  // ---- workload log (src/sumtab/workload_log.h; advisor input) ----
+  /// Point-in-time copy of the observed workload: per normalized query the
+  /// execution count, leaf-row costs, rewrite outcome and per-AST hit
+  /// counts; per base table the append rate. Persisted across restarts via
+  /// checkpoints (kWorkloadLog section).
+  WorkloadSnapshot WorkloadLogSnapshot() const;
+  void ClearWorkloadLog();
+  /// Total SELECT queries observed (workload-recorded) since open/clear —
+  /// the denominator of per-AST hit rates.
+  int64_t QueriesObserved() const;
+
  private:
   struct SummaryTable {
     std::string name;
@@ -370,6 +407,14 @@ class Database {
     /// Queries answered while stale via delta compensation (post-execution
     /// path, no lock held).
     std::atomic<int64_t> compensated_queries{0};
+    /// True when the advisor created this AST; persists across restart.
+    bool advisor_owned = false;
+    /// Queries whose winning rewrite spliced this AST in (post-execution
+    /// path, no lock held).
+    std::atomic<int64_t> rewrite_hits{0};
+    /// Value of Database::queries_observed_ when this AST was registered;
+    /// hit rate = rewrite_hits / (queries_observed_ - created_at_query).
+    int64_t created_at_query = 0;
   };
   /// Queries keep shared_ptr copies of the ASTs their plan spliced in, so a
   /// concurrent DropSummaryTable cannot free an AST out from under the
@@ -458,7 +503,8 @@ class Database {
                    const std::vector<Row>& rows);
   /// Drop and refresh: just the summary table's name.
   Status LogNameOp(uint8_t type, const std::string& name);
-  Status LogDefineOp(const std::string& name, const std::string& sql);
+  Status LogDefineOp(const std::string& name, const std::string& sql,
+                     bool advisor_owned);
   Status LogStalenessOp(const std::string& name, int64_t max_epoch_lag);
   /// Appends + hardens (strict mode) one framed record. OK when in-memory.
   Status LogOp(uint8_t type, const std::string& body);
@@ -517,6 +563,13 @@ class Database {
   /// consult from any thread.
   ShardedPlanCache plan_cache_;
   std::atomic<int64_t> catalog_generation_{0};
+
+  /// Observed-workload telemetry (internally synchronized); the advisor's
+  /// input. Persisted in checkpoints, restored by Recover().
+  sumtab::WorkloadLog workload_log_;
+  /// Workload-recorded SELECTs since open/clear (post-execution path, no
+  /// lock held).
+  std::atomic<int64_t> queries_observed_{0};
 };
 
 }  // namespace sumtab

@@ -110,11 +110,13 @@ Status Database::LogNameOp(uint8_t type, const std::string& name) {
   return LogOp(type, body);
 }
 
-Status Database::LogDefineOp(const std::string& name, const std::string& sql) {
+Status Database::LogDefineOp(const std::string& name, const std::string& sql,
+                             bool advisor_owned) {
   if (wal_ == nullptr || replaying_) return Status::OK();
   std::string body;
   wal::PutString(&body, name);
   wal::PutString(&body, sql);
+  wal::PutU8(&body, advisor_owned ? 1 : 0);
   return LogOp(static_cast<uint8_t>(wal::RecordType::kDefineSummary), body);
 }
 
@@ -176,6 +178,24 @@ Status Database::Recover() {
     for (const catalog::ForeignKey& fk : ckpt.state.foreign_keys) {
       SUMTAB_RETURN_NOT_OK(catalog_.AddForeignKey(
           fk.child_table, fk.child_column, fk.parent_table, fk.parent_column));
+    }
+    if (ckpt.state.workload_corrupt) {
+      // Advisory telemetry only: dropping it never affects answers, so a
+      // corrupt section is an event, not a failure.
+      recovery_events_.push_back(RecoveryEvent{
+          RejectReasonToken(RejectReason::kWorkloadDroppedOnRecovery),
+          "workload log dropped: corrupt checkpoint section"});
+    } else if (ckpt.state.workload_present) {
+      workload_log_.Restore(ckpt.state.workload);
+      // Re-seed the query counter from the restored log BEFORE recovering
+      // ASTs: RecoverAst stamps created_at_query from it, so recovered ASTs
+      // restart their decay window at zero instead of appearing to have
+      // idled through every pre-restart query.
+      int64_t observed = 0;
+      for (const WorkloadQueryStats& q : ckpt.state.workload.queries) {
+        observed += q.executions;
+      }
+      queries_observed_.store(observed, std::memory_order_release);
     }
     for (wal::CheckpointAst& ast : ckpt.state.asts) {
       SUMTAB_RETURN_NOT_OK(RecoverAst(std::move(ast)));
@@ -308,6 +328,10 @@ Status Database::RecoverAst(wal::CheckpointAst&& ast) {
   st->consecutive_failures.store(ast.consecutive_failures,
                                  std::memory_order_release);
   st->disabled.store(ast.disabled || dropped, std::memory_order_release);
+  // Advisor ownership survives restart so the auto-DROP lifecycle keeps
+  // governing the AST. The hit-rate window restarts with the process.
+  st->advisor_owned = ast.advisor_owned;
+  st->created_at_query = queries_observed_.load(std::memory_order_acquire);
   summary_tables_.push_back(std::move(st));
   return Status::OK();
 }
@@ -368,8 +392,11 @@ Status Database::ApplyRecord(uint64_t lsn, uint8_t type,
     case wal::RecordType::kDefineSummary: {
       std::string name = in.String();
       std::string sql = in.String();
+      // Trailing advisor-owned flag; absent in records written before the
+      // advisor existed (treated as user-owned).
+      bool advisor_owned = !in.AtEnd() && in.U8() != 0;
       if (!in.AtEnd()) return MalformedRecord(lsn, "DefineSummary");
-      return DefineSummaryTable(name, sql).status();
+      return DefineSummaryTable(name, sql, advisor_owned).status();
     }
     case wal::RecordType::kDropSummary: {
       std::string name = in.String();
@@ -449,9 +476,14 @@ Status Database::CheckpointLocked() {
     ast.consecutive_failures =
         st->consecutive_failures.load(std::memory_order_acquire);
     ast.disabled = st->disabled.load(std::memory_order_acquire);
+    ast.advisor_owned = st->advisor_owned;
     ast.data = *rel;
     state.asts.push_back(std::move(ast));
   }
+  // The observed workload travels with the checkpoint so the advisor's
+  // input survives restart (always present; an empty log encodes small).
+  state.workload = workload_log_.Snapshot();
+  state.workload_present = true;
   // Retained delta slices travel with the checkpoint so a recovered process
   // can re-compensate the same stale ASTs without the covering WAL segments.
   std::vector<engine::Storage::RetainedDelta> retained =

@@ -286,6 +286,10 @@ StatusOr<Database::MaintenanceReport> Database::Append(
   const engine::Relation* stored_base = storage_.FindTable(table);
   delta.column_names = stored_base->column_names;
   delta.rows = std::move(rows);
+  // Workload telemetry: the advisor charges candidates their maintenance
+  // cost from this observed append rate. Recording during replay is correct
+  // — a restored checkpoint covers appends up to its last_lsn only.
+  const int64_t appended_rows = static_cast<int64_t>(delta.rows.size());
 
   MaintenanceReport report;
 
@@ -333,6 +337,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     // No-op unless every dependent AST already covers the new epoch (e.g.
     // an append to a table no enabled AST reads).
     PruneAbsorbedDeltas(meta->name);
+    workload_log_.RecordAppend(meta->name, appended_rows);
     MaybeCheckpointLocked();
     return report;
   }
@@ -530,6 +535,7 @@ StatusOr<Database::MaintenanceReport> Database::Append(
         ->Increment();
   }
   PruneAbsorbedDeltas(meta->name);
+  workload_log_.RecordAppend(meta->name, appended_rows);
   MaybeCheckpointLocked();
   return report;
 }

@@ -73,6 +73,7 @@ ShardedPlanCache::Lookup ShardedPlanCache::LookupAndValidate(
   out->compensation = entry.compensation;
   out->generation = entry.generation;
   out->base_epochs = entry.base_epochs;
+  out->base_leaf_rows = entry.base_leaf_rows;
   return Lookup::kHit;
 }
 

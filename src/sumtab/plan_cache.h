@@ -53,6 +53,12 @@ struct CachedPlan {
   /// (BulkLoad / Append) invalidates: the plan may scan an AST whose
   /// content no longer reflects the base data.
   std::map<std::string, int64_t> base_epochs;
+  /// Leaf rows a base-table plan scans for this query, captured at planning
+  /// time. Lets a cache hit feed the workload log (src/sumtab/workload_log.h)
+  /// the same direct-cost figure the compile path computes, without
+  /// re-parsing. Epoch validation bounds its drift: any base-table change
+  /// invalidates the entry, so the figure is exact for the snapshot served.
+  int64_t base_leaf_rows = 0;
 };
 
 class ShardedPlanCache {

@@ -1,0 +1,78 @@
+#include "sumtab/workload_log.h"
+
+#include <algorithm>
+
+namespace sumtab {
+
+void WorkloadLog::RecordQuery(const QueryObservation& obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(obs.normalized_sql);
+  if (it == queries_.end()) {
+    if (capacity_ > 0 && queries_.size() >= capacity_) {
+      // Evict the least-executed entry; among ties the lexicographically
+      // LAST key goes, so eviction is deterministic and the retained set is
+      // independent of arrival order.
+      auto victim = queries_.begin();
+      for (auto cand = queries_.begin(); cand != queries_.end(); ++cand) {
+        if (cand->second.executions < victim->second.executions ||
+            (cand->second.executions == victim->second.executions &&
+             cand->first > victim->first)) {
+          victim = cand;
+        }
+      }
+      queries_.erase(victim);
+      ++evicted_;
+    }
+    WorkloadQueryStats fresh;
+    fresh.normalized_sql = obs.normalized_sql;
+    it = queries_.emplace(obs.normalized_sql, std::move(fresh)).first;
+  }
+  WorkloadQueryStats& stats = it->second;
+  ++stats.executions;
+  stats.base_leaf_rows = obs.base_leaf_rows;
+  stats.total_leaf_rows += obs.base_leaf_rows;
+  if (obs.rewritten) {
+    ++stats.rewritten;
+    if (obs.compensated) ++stats.compensated;
+    stats.last_reject.clear();
+    for (const std::string& ast : obs.used_asts) ++stats.ast_hits[ast];
+  } else {
+    stats.last_reject = obs.reject;
+  }
+}
+
+void WorkloadLog::RecordAppend(const std::string& table, int64_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkloadAppendStats& stats = appends_[table];
+  ++stats.batches;
+  stats.rows += rows;
+}
+
+WorkloadSnapshot WorkloadLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkloadSnapshot snap;
+  snap.queries.reserve(queries_.size());
+  for (const auto& [key, stats] : queries_) snap.queries.push_back(stats);
+  snap.appends = appends_;
+  snap.evicted = evicted_;
+  return snap;
+}
+
+void WorkloadLog::Restore(const WorkloadSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.clear();
+  appends_ = snap.appends;
+  evicted_ = snap.evicted;
+  for (const WorkloadQueryStats& stats : snap.queries) {
+    queries_[stats.normalized_sql] = stats;
+  }
+}
+
+void WorkloadLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_.clear();
+  appends_.clear();
+  evicted_ = 0;
+}
+
+}  // namespace sumtab

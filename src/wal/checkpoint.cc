@@ -125,6 +125,30 @@ std::string EncodeAstMeta(const CheckpointAst& ast) {
   PutI64(&out, ast.max_staleness);
   PutU32(&out, static_cast<uint32_t>(ast.consecutive_failures));
   PutU8(&out, ast.disabled ? 1 : 0);
+  PutU8(&out, ast.advisor_owned ? 1 : 0);
+  return out;
+}
+
+std::string EncodeWorkload(const WorkloadSnapshot& workload) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(workload.queries.size()));
+  for (const WorkloadQueryStats& q : workload.queries) {
+    PutString(&out, q.normalized_sql);
+    PutI64(&out, q.executions);
+    PutI64(&out, q.rewritten);
+    PutI64(&out, q.compensated);
+    PutI64(&out, q.base_leaf_rows);
+    PutI64(&out, q.total_leaf_rows);
+    PutString(&out, q.last_reject);
+    PutEpochMap(&out, q.ast_hits);
+  }
+  PutU32(&out, static_cast<uint32_t>(workload.appends.size()));
+  for (const auto& [table, stats] : workload.appends) {
+    PutString(&out, table);
+    PutI64(&out, stats.batches);
+    PutI64(&out, stats.rows);
+  }
+  PutI64(&out, workload.evicted);
   return out;
 }
 
@@ -187,6 +211,11 @@ Status WriteCheckpoint(const std::string& dir, uint64_t seq,
     PutI64(&payload, delta.epoch);
     PutRelation(&payload, delta.data);
     AppendSection(&contents, SectionType::kDeltaPartition, payload);
+  }
+  if (state.workload_present) {
+    SUMTAB_FAULT_POINT("checkpoint/write");
+    AppendSection(&contents, SectionType::kWorkloadLog,
+                  EncodeWorkload(state.workload));
   }
   AppendSection(&contents, SectionType::kEnd, "");
 
@@ -323,6 +352,7 @@ StatusOr<CheckpointLoadResult> LoadLatestCheckpoint(const std::string& dir) {
         ast.max_staleness = body.I64();
         ast.consecutive_failures = static_cast<int32_t>(body.U32());
         ast.disabled = body.U8() != 0;
+        ast.advisor_owned = body.U8() != 0;
         if (!body.AtEnd()) {
           return Corrupt(best_path + ": AST meta decode (" + ast.name + ")");
         }
@@ -362,6 +392,43 @@ StatusOr<CheckpointLoadResult> LoadLatestCheckpoint(const std::string& dir) {
           }
         }
         state.deltas.push_back(std::move(delta));
+        break;
+      }
+      case SectionType::kWorkloadLog: {
+        // Graceful on corruption: the telemetry is advisory (the advisor
+        // just starts from an emptier log), so a bad section drops ONLY the
+        // workload — never the database.
+        state.workload_present = false;
+        state.workload_corrupt = true;
+        if (!crc_ok) break;
+        Decoder body(payload, len);
+        WorkloadSnapshot workload;
+        uint32_t nq = body.U32();
+        for (uint32_t i = 0; i < nq && body.ok(); ++i) {
+          WorkloadQueryStats q;
+          q.normalized_sql = body.String();
+          q.executions = body.I64();
+          q.rewritten = body.I64();
+          q.compensated = body.I64();
+          q.base_leaf_rows = body.I64();
+          q.total_leaf_rows = body.I64();
+          q.last_reject = body.String();
+          q.ast_hits = body.GetEpochMap();
+          workload.queries.push_back(std::move(q));
+        }
+        uint32_t na = body.U32();
+        for (uint32_t i = 0; i < na && body.ok(); ++i) {
+          std::string table = body.String();
+          WorkloadAppendStats stats;
+          stats.batches = body.I64();
+          stats.rows = body.I64();
+          workload.appends.emplace(std::move(table), stats);
+        }
+        workload.evicted = body.I64();
+        if (!body.AtEnd()) break;
+        state.workload = std::move(workload);
+        state.workload_present = true;
+        state.workload_corrupt = false;
         break;
       }
       case SectionType::kEnd: {

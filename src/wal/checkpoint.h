@@ -33,12 +33,15 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "engine/relation.h"
+#include "sumtab/workload_log.h"
 
 namespace sumtab {
 namespace wal {
 
 /// Checkpoint format version; bump on incompatible layout changes.
-constexpr uint32_t kCheckpointVersion = 1;
+/// v2: kAstMeta grew the advisor-owned flag; kWorkloadLog sections carry the
+/// observed-workload telemetry across restarts.
+constexpr uint32_t kCheckpointVersion = 2;
 
 /// Section type tags. Stable on-disk constants.
 enum class SectionType : uint8_t {
@@ -51,6 +54,12 @@ enum class SectionType : uint8_t {
   /// checkpoints written before delta compensation existed; readers treat
   /// absence as "no retained deltas" — same version, no migration.
   kDeltaPartition = 6,
+  /// The workload log (src/sumtab/workload_log.h): observed query/append
+  /// telemetry the advisor mines. At most one per checkpoint; absence reads
+  /// as an empty log, and corruption drops ONLY the telemetry (reported as
+  /// workload_dropped_on_recovery) — the log is advisory, never load-bearing
+  /// for correctness.
+  kWorkloadLog = 7,
 };
 
 struct CheckpointBaseTable {
@@ -67,6 +76,10 @@ struct CheckpointAst {
   int64_t max_staleness = 0;
   int32_t consecutive_failures = 0;
   bool disabled = false;
+  /// True for ASTs the advisor created (Database::AdviseAndApply / TUNE):
+  /// ownership survives restart so the auto-DROP lifecycle keeps governing
+  /// them in the recovered process.
+  bool advisor_owned = false;
   engine::Relation data;
   /// False when this AST's kAstData section was corrupt or missing: the
   /// metadata survived but the rows did not. Recovery registers the AST
@@ -95,6 +108,13 @@ struct CheckpointState {
   std::vector<CheckpointBaseTable> base_tables;
   std::vector<CheckpointAst> asts;
   std::vector<CheckpointDelta> deltas;
+  /// Workload-log telemetry. `workload_present` false when the checkpoint
+  /// carries no kWorkloadLog section; `workload_corrupt` true when one
+  /// existed but failed its CRC/decode (the telemetry is dropped, recovery
+  /// reports workload_dropped_on_recovery, startup proceeds).
+  bool workload_present = false;
+  bool workload_corrupt = false;
+  WorkloadSnapshot workload;
 };
 
 /// "ckpt-00000042.stck" — zero-padded, same convention as WAL segments.
