@@ -40,9 +40,16 @@
 // BENCH_pr10.json reports before/after rewrite rate and workload cost with
 // bit-identical cross-checked answers.
 //
+// A seventh leg prices the dictionary-encoded columnar core: the pr5 query
+// set re-measured with dict-code join probes and encoded grouping keys, a
+// supergroup (CUBE / ROLLUP / GROUPING SETS) vec-vs-row set, and append
+// maintenance wall time with vectorized_maintenance off vs on over
+// byte-identical delta streams; BENCH_pr11.json.
+//
 // Usage: bench_runner [--quick] [--out PATH] [--out-vec PATH]
 //                     [--out-serving PATH] [--out-durability PATH]
 //                     [--out-compensation PATH] [--out-advisor PATH]
+//                     [--out-join PATH]
 //   --quick           small data sizes + fewer reps (CI smoke mode)
 //   --out             matrix-leg JSON path (default BENCH_pr3.json)
 //   --out-vec         vectorized-leg JSON path (default BENCH_pr5.json)
@@ -50,12 +57,14 @@
 //   --out-durability  durability-leg JSON path (default BENCH_pr8.json)
 //   --out-compensation  compensation-leg JSON path (default BENCH_pr9.json)
 //   --out-advisor     advisor-leg JSON path (default BENCH_pr10.json)
+//   --out-join        dict/supergroup/maintenance JSON (default BENCH_pr11.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -1358,6 +1367,176 @@ void WriteVecJson(const std::string& path, bool quick,
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- pr11 leg: dictionary kernels (joins + supergroups) and vectorized
+// maintenance ----
+//
+// Three blocks in BENCH_pr11.json:
+//   pr5_suite    the vec-vs-row numbers measured THIS run on the pr5 query
+//                set (vg1-4 / vt1-4) — the dict-code join probe and encoded
+//                grouping land here, so CI compares these against the
+//                recorded pr5 baseline;
+//   supergroups  CUBE / ROLLUP / GROUPING SETS vec-vs-row, including a
+//                string-keyed rollup that exercises the encoded multi-column
+//                grouping path end to end (answers cross-checked);
+//   maintenance  byte-identical append streams into two databases, one with
+//                vectorized_maintenance off (row reference) and one with it
+//                on, wall-timed end to end with the final AST contents
+//                cross-checked.
+void RunJoinLeg(bool quick, const std::string& path,
+                const std::vector<SuiteResult>& suites, int reps) {
+  bench::PrintHeader("pr11: supergroup kernels (rewrite off)");
+  Database db;
+  data::CardSchemaParams params;
+  params.num_trans = quick ? 20000 : 100000;
+  if (!data::SetupCardSchema(&db, params).ok()) std::exit(1);
+  const BenchQuery sg_queries[] = {
+      {"sg1 cube",
+       "select flid, year(date) as y, count(*) as cnt, sum(qty) as sq "
+       "from trans group by cube(flid, year(date))"},
+      {"sg2 rollup3",
+       "select faid, flid, year(date) as y, count(*) as cnt "
+       "from trans group by rollup(faid, flid, year(date))"},
+      {"sg3 grouping sets",
+       "select flid, faid, year(date) as y, count(*) as cnt, "
+       "sum(qty * price) as value from trans group by grouping sets "
+       "((flid, faid), (flid, year(date)), (year(date)))"},
+      {"sg4 string rollup",
+       "select state, year(date) as y, count(*) as cnt, sum(qty) as sq "
+       "from trans, loc where flid = lid group by rollup(state, year(date))"},
+  };
+  std::vector<VecRow> sg_rows;
+  for (const BenchQuery& q : sg_queries) {
+    sg_rows.push_back(RunVecLeg(&db, q, reps));
+  }
+
+  bench::PrintHeader("pr11: maintenance row vs vectorized");
+  // Identical schemas, identical deltas; only the maintenance engine
+  // differs. Seeded generation keeps the streams byte-identical.
+  Database row_db;
+  Database vec_db;
+  row_db.SetVectorizedMaintenance(false);
+  if (!data::SetupCardSchema(&row_db, params).ok()) std::exit(1);
+  if (!data::SetupCardSchema(&vec_db, params).ok()) std::exit(1);
+  const char* maint_ast =
+      "select faid, flid, count(*) as cnt, sum(qty) as sq, min(qty) as mn, "
+      "max(qty) as mx, sum(price) as sp from trans group by faid, flid";
+  if (!row_db.DefineSummaryTable("ast_maint", maint_ast).ok()) std::exit(1);
+  if (!vec_db.DefineSummaryTable("ast_maint", maint_ast).ok()) std::exit(1);
+  const int rounds = quick ? 4 : 6;
+  const int rows_per_round = quick ? 2000 : 20000;
+  auto gen_delta = [&](uint64_t round) {
+    std::mt19937_64 rng(0x9e11c5ULL + round);
+    std::vector<Row> delta;
+    delta.reserve(rows_per_round);
+    int tid = 5000000 + static_cast<int>(round) * rows_per_round;
+    for (int i = 0; i < rows_per_round; ++i) {
+      delta.push_back(Row{
+          Value::Int(tid++), Value::Int(static_cast<int>(rng() % 50)),
+          Value::Int(static_cast<int>(rng() % 12)),
+          Value::Int(static_cast<int>(rng() % 40)),
+          Value::Date(19900101 + static_cast<int>(rng() % 5) * 10000 +
+                      static_cast<int>(rng() % 12) * 100 +
+                      static_cast<int>(rng() % 28)),
+          Value::Int(1 + static_cast<int>(rng() % 5)),
+          Value::Double(5.0 + static_cast<double>(rng() % 995) * 0.25),
+          Value::Double(0.0)});
+    }
+    return delta;
+  };
+  auto time_appends = [&](Database* target) {
+    auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < rounds; ++round) {
+      StatusOr<Database::MaintenanceReport> report =
+          target->Append("trans", gen_delta(round));
+      if (!report.ok()) {
+        std::fprintf(stderr, "maintenance append failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+    }
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  };
+  const double row_maint_ms = time_appends(&row_db);
+  const double vec_maint_ms = time_appends(&vec_db);
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  const char* stored = "select faid, flid, cnt, sq, mn, mx, sp from ast_maint";
+  StatusOr<QueryResult> by_row = row_db.Query(stored, no_rewrite);
+  StatusOr<QueryResult> by_vec = vec_db.Query(stored, no_rewrite);
+  if (!by_row.ok() || !by_vec.ok() ||
+      !engine::SameRowMultiset(by_row->relation, by_vec->relation)) {
+    std::fprintf(stderr,
+                 "BENCH FAILURE: maintenance engines disagree on ast_maint\n");
+    std::exit(1);
+  }
+  const double maint_speedup =
+      vec_maint_ms > 0 ? row_maint_ms / vec_maint_ms : 0.0;
+  std::printf("%-22s row %8.2f ms | vec %8.2f ms | %5.2fx | %d x %d rows\n",
+              "maintenance appends", row_maint_ms, vec_maint_ms, maint_speedup,
+              rounds, rows_per_round);
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"pr11\",\n  \"quick\": %s,\n",
+               quick ? "true" : "false");
+  std::fprintf(f, "  \"hardware_concurrency\": %d,\n",
+               ThreadPool::HardwareParallelism());
+  auto write_queries = [&](const std::vector<VecRow>& rows) {
+    double row_total = 0, vec_total = 0, min_speedup = 1e18;
+    std::fprintf(f, "    \"queries\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const VecRow& q = rows[i];
+      double speedup = q.vec_ms > 0 ? q.row_ms / q.vec_ms : 0.0;
+      row_total += q.row_ms;
+      vec_total += q.vec_ms;
+      if (speedup < min_speedup) min_speedup = speedup;
+      std::fprintf(f,
+                   "      {\"label\": \"%s\", \"result_rows\": %zu, "
+                   "\"row_ms\": %.4f, \"vec_ms\": %.4f, "
+                   "\"vec_speedup\": %.3f}%s\n",
+                   JsonEscape(q.label).c_str(), q.result_rows, q.row_ms,
+                   q.vec_ms, speedup, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ],\n    \"row_total_ms\": %.4f,\n"
+                 "    \"vec_total_ms\": %.4f,\n"
+                 "    \"overall_vec_speedup\": %.3f,\n"
+                 "    \"min_vec_speedup\": %.3f\n",
+                 row_total, vec_total,
+                 vec_total > 0 ? row_total / vec_total : 0.0,
+                 min_speedup == 1e18 ? 0.0 : min_speedup);
+  };
+  std::vector<VecRow> pr5_rows;
+  for (const SuiteResult& suite : suites) {
+    pr5_rows.insert(pr5_rows.end(), suite.vec_queries.begin(),
+                    suite.vec_queries.end());
+  }
+  std::fprintf(f, "  \"pr5_suite\": {\n");
+  write_queries(pr5_rows);
+  std::fprintf(f, "  },\n  \"supergroups\": {\n");
+  write_queries(sg_rows);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"maintenance\": {\"rounds\": %d, \"rows_per_round\": %d, "
+               "\"row_ms\": %.4f, \"vec_ms\": %.4f, \"speedup\": %.3f, "
+               "\"asts_match\": true},\n",
+               rounds, rows_per_round, row_maint_ms, vec_maint_ms,
+               maint_speedup);
+  // The pr5 numbers recorded when the vectorized engine landed, before
+  // dictionary encoding — CI warns (shared runners vary) rather than fails
+  // when the current run does not beat them.
+  std::fprintf(f,
+               "  \"baseline_pr5\": {\"overall_vec_speedup\": 6.533, "
+               "\"min_vec_speedup\": 4.926, \"vg3\": 5.597, "
+               "\"vt3\": 5.211}\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace sumtab
 
@@ -1370,6 +1549,7 @@ int main(int argc, char** argv) {
   std::string out_durability = "BENCH_pr8.json";
   std::string out_compensation = "BENCH_pr9.json";
   std::string out_advisor = "BENCH_pr10.json";
+  std::string out_join = "BENCH_pr11.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -1386,11 +1566,14 @@ int main(int argc, char** argv) {
       out_compensation = argv[++i];
     } else if (std::strcmp(argv[i], "--out-advisor") == 0 && i + 1 < argc) {
       out_advisor = argv[++i];
+    } else if (std::strcmp(argv[i], "--out-join") == 0 && i + 1 < argc) {
+      out_join = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--out PATH] [--out-vec PATH] "
                    "[--out-serving PATH] [--out-durability PATH] "
-                   "[--out-compensation PATH] [--out-advisor PATH]\n",
+                   "[--out-compensation PATH] [--out-advisor PATH] "
+                   "[--out-join PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -1409,6 +1592,7 @@ int main(int argc, char** argv) {
   RunDurabilityLeg(quick, out_durability);
   RunCompensationLeg(quick, out_compensation);
   RunAdvisorLeg(quick, out_advisor);
+  RunJoinLeg(quick, out_join, suites, reps);
 
   double cold = 0, warm = 0, t1 = 0, tn = 0, row_ms = 0, vec_ms = 0;
   for (const SuiteResult& suite : suites) {

@@ -1,10 +1,12 @@
 #include "engine/aggregator.h"
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "engine/kernels.h"
 
 namespace sumtab {
 namespace engine {
@@ -356,6 +358,199 @@ void FastAggregateSet(const Batch& input, size_t num_grouping_cols,
   }
 }
 
+/// How many grouping columns the encoded composite-key path can widen into
+/// one fixed-size key.
+constexpr int kMaxEncodedKeyCols = 4;
+
+/// One grouping column widened to an int64 code view: ints borrow their
+/// buffer, dates/bools widen into `scratch`, dictionary-encoded strings widen
+/// their codes. Two rows carry the same widened code iff their Values are
+/// equal, which is exactly what group identity needs. Doubles are excluded —
+/// bit-pattern equality would split -0.0 from 0.0 and disagree with Value
+/// equality across int/double — as are raw strings and variants.
+struct EncodedKey {
+  const int64_t* values = nullptr;
+  std::vector<int64_t> scratch;
+  const ColumnVector* col = nullptr;  // for IsNull and emit-time decode
+};
+
+bool EncodeKeyColumn(const ColumnVector& col, int64_t n, EncodedKey* out) {
+  out->col = &col;
+  switch (col.tag()) {
+    case ColumnVector::Tag::kInt:
+      out->values = col.ints().data();
+      return true;
+    case ColumnVector::Tag::kDate: {
+      out->scratch.resize(n);
+      const int32_t* src = col.dates().data();
+      for (int64_t i = 0; i < n; ++i) out->scratch[i] = src[i];
+      out->values = out->scratch.data();
+      return true;
+    }
+    case ColumnVector::Tag::kBool: {
+      out->scratch.resize(n);
+      const uint8_t* src = col.bools().data();
+      for (int64_t i = 0; i < n; ++i) out->scratch[i] = src[i];
+      out->values = out->scratch.data();
+      return true;
+    }
+    case ColumnVector::Tag::kString: {
+      if (!col.dict_encoded()) return false;
+      out->scratch.resize(n);
+      const int32_t* src = col.codes().data();
+      for (int64_t i = 0; i < n; ++i) out->scratch[i] = src[i];
+      out->values = out->scratch.data();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Composite key of up to kMaxEncodedKeyCols widened codes. NULL slots carry
+/// code 0 with their null_mask bit set so equality is a flat compare.
+struct EncodedGroupKey {
+  std::array<int64_t, kMaxEncodedKeyCols> v{};
+  uint8_t null_mask = 0;
+  uint8_t width = 0;
+
+  bool operator==(const EncodedGroupKey& o) const {
+    return null_mask == o.null_mask && v == o.v;
+  }
+};
+
+struct EncodedGroupKeyHash {
+  size_t operator()(const EncodedGroupKey& k) const {
+    return static_cast<size_t>(
+        kernels::MixKey(k.v.data(), k.width, k.null_mask));
+  }
+};
+
+/// One cuboid over 1..kMaxEncodedKeyCols encodable grouping columns: widen
+/// every key column to int64 codes once, then group through a flat composite
+/// key — no per-row Value construction or Row hashing. Returns false (output
+/// untouched) when any grouping column is not encodable.
+///
+/// Parallel lanes hash-partition rows by key hash, so each group lands wholly
+/// in one partition and every partition walks [0, n) in input order: the
+/// per-group accumulation order — and thus every floating-point sum — is
+/// exactly the serial one.
+bool EncodedAggregateSet(const Batch& input, size_t num_grouping_cols,
+                         const std::vector<int>& set,
+                         const std::vector<int>& grouping_cols,
+                         const std::vector<AggSpec>& aggs, int lanes,
+                         std::vector<Row>* output) {
+  const int width = static_cast<int>(set.size());
+  const int64_t n = input.num_rows;
+  std::vector<EncodedKey> keys(width);
+  for (int g = 0; g < width; ++g) {
+    if (!EncodeKeyColumn(input.columns[grouping_cols[set[g]]], n, &keys[g])) {
+      return false;
+    }
+  }
+  const std::vector<FastAggPlan> plans = BuildFastAggPlans(input, aggs);
+
+  // Group payload: accumulators plus the first input row, whose column
+  // Values decode the key at emit time (every row of a group carries
+  // bit-identical key Values, so the first is as good as any).
+  struct GroupState {
+    int64_t first_row = 0;
+    std::vector<Accum> accums;
+  };
+
+  auto accumulate = [&](int64_t i, std::vector<Accum>* accums) {
+    for (size_t a = 0; a < plans.size(); ++a) {
+      Accum& acc = (*accums)[a];
+      const FastAggPlan& plan = plans[a];
+      switch (plan.op) {
+        case FastOp::kStar:
+          ++acc.count;
+          break;
+        case FastOp::kCount:
+          if (!plan.arg->IsNull(i)) ++acc.count;
+          break;
+        case FastOp::kSumInt:
+          if (!plan.arg->IsNull(i)) acc.AddSumInt(plan.arg->ints()[i]);
+          break;
+        case FastOp::kSumDouble:
+          if (!plan.arg->IsNull(i)) acc.AddSumDouble(plan.arg->NumericAt(i));
+          break;
+        case FastOp::kGeneric:
+          acc.AddValue(aggs[a], plan.arg->ValueAt(i));
+          break;
+      }
+    }
+  };
+  auto make_key = [&](int64_t i) {
+    EncodedGroupKey key;
+    key.width = static_cast<uint8_t>(width);
+    for (int g = 0; g < width; ++g) {
+      if (keys[g].col->IsNull(i)) {
+        key.null_mask |= static_cast<uint8_t>(1u << g);
+      } else {
+        key.v[g] = keys[g].values[i];
+      }
+    }
+    return key;
+  };
+  auto emit = [&](const EncodedGroupKey& key, const GroupState& state,
+                  std::vector<Row>* out_rows) {
+    Row out;
+    out.reserve(num_grouping_cols + aggs.size());
+    for (size_t g = 0; g < num_grouping_cols; ++g) {
+      int pos = -1;
+      for (int s = 0; s < width; ++s) {
+        if (set[s] == static_cast<int>(g)) pos = s;
+      }
+      if (pos < 0 || ((key.null_mask >> pos) & 1) != 0) {
+        out.push_back(Value::Null());
+      } else {
+        out.push_back(keys[pos].col->ValueAt(state.first_row));
+      }
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      out.push_back(state.accums[a].Finish(aggs[a]));
+    }
+    out_rows->push_back(std::move(out));
+  };
+  // Scans [0, n) keeping rows whose partition matches (partition < 0 keeps
+  // all — the serial path).
+  auto run_partition = [&](int partition, std::vector<Row>* out_rows) {
+    std::unordered_map<EncodedGroupKey, GroupState, EncodedGroupKeyHash>
+        groups;
+    for (int64_t i = 0; i < n; ++i) {
+      EncodedGroupKey key = make_key(i);
+      if (partition >= 0) {
+        const int p = static_cast<int>(EncodedGroupKeyHash{}(key) %
+                                       static_cast<uint64_t>(lanes));
+        if (p != partition) continue;
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.first_row = i;
+        it->second.accums.resize(aggs.size());
+      }
+      accumulate(i, &it->second.accums);
+    }
+    for (const auto& [key, state] : groups) emit(key, state, out_rows);
+  };
+
+  if (lanes <= 1) {
+    run_partition(-1, output);
+    return true;
+  }
+  std::vector<std::vector<Row>> lane_output(lanes);
+  ParallelFor(lanes, lanes, [&](int, int64_t begin, int64_t end) {
+    for (int64_t p = begin; p < end; ++p) {
+      run_partition(static_cast<int>(p), &lane_output[p]);
+    }
+  }, /*min_chunk=*/1);
+  for (std::vector<Row>& part : lane_output) {
+    for (Row& row : part) output->push_back(std::move(row));
+  }
+  return true;
+}
+
 }  // namespace
 
 StatusOr<std::vector<Row>> Aggregate(
@@ -444,6 +639,14 @@ StatusOr<std::vector<Row>> AggregateBatch(
                          aggs, lanes, &output);
         continue;
       }
+    }
+    // Up to kMaxEncodedKeyCols encodable grouping columns (ints, dates,
+    // bools, dictionary-encoded strings): one composite widened key per row,
+    // no Row hashing. Falls through when any column is not encodable.
+    if (!set.empty() && set.size() <= kMaxEncodedKeyCols &&
+        EncodedAggregateSet(input, grouping_cols.size(), set, grouping_cols,
+                            aggs, lanes, &output)) {
+      continue;
     }
     // Generic path: identical structure to the row-store Aggregate, with
     // per-row Values reconstructed from the columns.

@@ -27,6 +27,56 @@ ColumnVector::Tag TagForKind(Value::Kind kind) {
 
 }  // namespace
 
+StringDictionary::StringDictionary(int32_t max_codes)
+    : max_codes_(max_codes < 0 ? 0 : max_codes) {
+  chunks_.resize((static_cast<size_t>(max_codes_) + kChunkSize - 1) /
+                 kChunkSize);
+}
+
+int32_t StringDictionary::InternLocked(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  if (size_ >= max_codes_) return -1;
+  int32_t code = size_;
+  auto& chunk = chunks_[code >> kChunkBits];
+  if (chunk == nullptr) chunk = std::make_unique<std::string[]>(kChunkSize);
+  chunk[code & (kChunkSize - 1)] = s;
+  index_.emplace(s, code);
+  ++size_;
+  return code;
+}
+
+int32_t StringDictionary::Intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(s);
+}
+
+int32_t StringDictionary::Find(const std::string& s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+int32_t StringDictionary::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+bool StringDictionary::EncodeAll(const std::vector<std::string>& values,
+                                 const std::vector<uint8_t>& nulls,
+                                 std::vector<int32_t>* codes) {
+  std::vector<int32_t> out(values.size(), 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (nulls[i] != 0) continue;
+    int32_t code = InternLocked(values[i]);
+    if (code < 0) return false;  // exhausted; caller keeps raw strings
+    out[i] = code;
+  }
+  *codes = std::move(out);
+  return true;
+}
+
 Value ColumnVector::ValueAt(int64_t i) const {
   if (nulls_[i] != 0) return Value::Null();
   switch (tag_) {
@@ -35,7 +85,7 @@ Value ColumnVector::ValueAt(int64_t i) const {
     case Tag::kDouble:
       return Value::Double(doubles_[i]);
     case Tag::kString:
-      return Value::String(strings_[i]);
+      return Value::String(StringAt(i));
     case Tag::kDate:
       return Value::Date(dates_[i]);
     case Tag::kBool:
@@ -71,7 +121,11 @@ void ColumnVector::Reserve(int64_t n) {
       doubles_.reserve(n);
       break;
     case Tag::kString:
-      strings_.reserve(n);
+      if (dict_ != nullptr) {
+        codes_.reserve(n);
+      } else {
+        strings_.reserve(n);
+      }
       break;
     case Tag::kDate:
       dates_.reserve(n);
@@ -94,7 +148,11 @@ void ColumnVector::AppendPlaceholder() {
       doubles_.push_back(0.0);
       break;
     case Tag::kString:
-      strings_.emplace_back();
+      if (dict_ != nullptr) {
+        codes_.push_back(0);
+      } else {
+        strings_.emplace_back();
+      }
       break;
     case Tag::kDate:
       dates_.push_back(0);
@@ -123,7 +181,54 @@ void ColumnVector::PromoteToVariant() {
   strings_.clear();
   dates_.clear();
   bools_.clear();
+  codes_.clear();
+  dict_.reset();
   tag_ = Tag::kVariant;
+}
+
+bool ColumnVector::EncodeStrings(const DictionaryPtr& dict) {
+  if (tag_ != Tag::kString || dict_ != nullptr || dict == nullptr) {
+    return false;
+  }
+  std::vector<int32_t> codes;
+  if (!dict->EncodeAll(strings_, nulls_, &codes)) return false;
+  codes_ = std::move(codes);
+  dict_ = dict;
+  strings_.clear();
+  strings_.shrink_to_fit();
+  return true;
+}
+
+void ColumnVector::DecodeToRaw() {
+  if (dict_ == nullptr) return;
+  strings_.clear();
+  strings_.reserve(codes_.size());
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    // Null slots get the empty-string placeholder, matching raw columns.
+    if (nulls_[i] != 0) {
+      strings_.emplace_back();
+    } else {
+      strings_.push_back(dict_->At(codes_[i]));
+    }
+  }
+  codes_.clear();
+  codes_.shrink_to_fit();
+  dict_.reset();
+}
+
+void ColumnVector::PushString(const std::string& s) {
+  saw_value_ = true;
+  if (dict_ != nullptr) {
+    int32_t code = dict_->Intern(s);
+    if (code >= 0) {
+      nulls_.push_back(0);
+      codes_.push_back(code);
+      return;
+    }
+    DecodeToRaw();  // code space exhausted: the whole column reverts to raw
+  }
+  nulls_.push_back(0);
+  strings_.push_back(s);
 }
 
 void ColumnVector::AppendValue(const Value& v) {
@@ -143,11 +248,17 @@ void ColumnVector::AppendValue(const Value& v) {
       dates_.clear();
       bools_.clear();
       variants_.clear();
+      codes_.clear();
+      dict_.reset();
       tag_ = want;
       for (size_t i = 0; i < n; ++i) AppendPlaceholder();
     } else if (tag_ != Tag::kVariant) {
       PromoteToVariant();
     }
+  }
+  if (tag_ == Tag::kString) {
+    PushString(v.AsString());
+    return;
   }
   saw_value_ = true;
   nulls_.push_back(0);
@@ -159,8 +270,7 @@ void ColumnVector::AppendValue(const Value& v) {
       doubles_.push_back(v.AsDouble());
       break;
     case Tag::kString:
-      strings_.push_back(v.AsString());
-      break;
+      break;  // handled above
     case Tag::kDate:
       dates_.push_back(v.AsDate());
       break;
@@ -179,6 +289,16 @@ void ColumnVector::AppendFrom(const ColumnVector& src, int64_t i) {
     return;
   }
   if (tag_ == src.tag_ && tag_ != Tag::kVariant) {
+    if (tag_ == Tag::kString) {
+      if (dict_ != nullptr && dict_ == src.dict_) {
+        saw_value_ = true;
+        nulls_.push_back(0);
+        codes_.push_back(src.codes_[i]);
+      } else {
+        PushString(src.StringAt(i));
+      }
+      return;
+    }
     saw_value_ = true;
     nulls_.push_back(0);
     switch (tag_) {
@@ -188,16 +308,13 @@ void ColumnVector::AppendFrom(const ColumnVector& src, int64_t i) {
       case Tag::kDouble:
         doubles_.push_back(src.doubles_[i]);
         return;
-      case Tag::kString:
-        strings_.push_back(src.strings_[i]);
-        return;
       case Tag::kDate:
         dates_.push_back(src.dates_[i]);
         return;
       case Tag::kBool:
         bools_.push_back(src.bools_[i]);
         return;
-      case Tag::kVariant:
+      default:
         break;
     }
   }
@@ -209,7 +326,10 @@ void ColumnVector::AppendColumn(const ColumnVector& src) {
     *this = src;
     return;
   }
-  if (tag_ == src.tag_ && tag_ != Tag::kVariant) {
+  // Bulk concatenation needs matching tags AND — for strings — matching
+  // encodings (same dictionary, or both raw); anything else goes per-row.
+  if (tag_ == src.tag_ && tag_ != Tag::kVariant &&
+      (tag_ != Tag::kString || dict_ == src.dict_)) {
     nulls_.insert(nulls_.end(), src.nulls_.begin(), src.nulls_.end());
     saw_value_ = saw_value_ || src.saw_value_;
     switch (tag_) {
@@ -221,8 +341,12 @@ void ColumnVector::AppendColumn(const ColumnVector& src) {
                         src.doubles_.end());
         return;
       case Tag::kString:
-        strings_.insert(strings_.end(), src.strings_.begin(),
-                        src.strings_.end());
+        if (dict_ != nullptr) {
+          codes_.insert(codes_.end(), src.codes_.begin(), src.codes_.end());
+        } else {
+          strings_.insert(strings_.end(), src.strings_.begin(),
+                          src.strings_.end());
+        }
         return;
       case Tag::kDate:
         dates_.insert(dates_.end(), src.dates_.begin(), src.dates_.end());
@@ -240,9 +364,61 @@ void ColumnVector::AppendColumn(const ColumnVector& src) {
 
 ColumnVector ColumnVector::Gather(const ColumnVector& src,
                                   const std::vector<int64_t>& indexes) {
+  const int64_t n = static_cast<int64_t>(indexes.size());
   ColumnVector out(src.tag_);
-  out.Reserve(static_cast<int64_t>(indexes.size()));
-  for (int64_t i : indexes) out.AppendFrom(src, i);
+  if (src.tag_ == Tag::kVariant) {
+    out.Reserve(n);
+    for (int64_t i : indexes) out.AppendFrom(src, i);
+    return out;
+  }
+  // Typed bulk gather: null bitmap first (null slots already hold the zero
+  // placeholder in src, so the payload gather below needs no branches).
+  out.nulls_.resize(n);
+  uint8_t all_null = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    uint8_t nv = src.nulls_[indexes[i]];
+    out.nulls_[i] = nv;
+    all_null &= nv;
+  }
+  // Matches the per-row semantics: the gathered column saw a value iff any
+  // gathered row is non-null.
+  out.saw_value_ = n > 0 && all_null == 0;
+  switch (src.tag_) {
+    case Tag::kInt:
+      out.ints_.resize(n);
+      for (int64_t i = 0; i < n; ++i) out.ints_[i] = src.ints_[indexes[i]];
+      break;
+    case Tag::kDouble:
+      out.doubles_.resize(n);
+      for (int64_t i = 0; i < n; ++i) {
+        out.doubles_[i] = src.doubles_[indexes[i]];
+      }
+      break;
+    case Tag::kString:
+      if (src.dict_ != nullptr) {
+        out.dict_ = src.dict_;
+        out.codes_.resize(n);
+        for (int64_t i = 0; i < n; ++i) {
+          out.codes_[i] = src.codes_[indexes[i]];
+        }
+      } else {
+        out.strings_.reserve(n);
+        for (int64_t i = 0; i < n; ++i) {
+          out.strings_.push_back(src.strings_[indexes[i]]);
+        }
+      }
+      break;
+    case Tag::kDate:
+      out.dates_.resize(n);
+      for (int64_t i = 0; i < n; ++i) out.dates_[i] = src.dates_[indexes[i]];
+      break;
+    case Tag::kBool:
+      out.bools_.resize(n);
+      for (int64_t i = 0; i < n; ++i) out.bools_[i] = src.bools_[indexes[i]];
+      break;
+    case Tag::kVariant:
+      break;
+  }
   return out;
 }
 
@@ -261,8 +437,14 @@ ColumnVector ColumnVector::Slice(const ColumnVector& src, int64_t begin,
                           src.doubles_.begin() + begin + n);
       break;
     case Tag::kString:
-      out.strings_.assign(src.strings_.begin() + begin,
-                          src.strings_.begin() + begin + n);
+      if (src.dict_ != nullptr) {
+        out.dict_ = src.dict_;
+        out.codes_.assign(src.codes_.begin() + begin,
+                          src.codes_.begin() + begin + n);
+      } else {
+        out.strings_.assign(src.strings_.begin() + begin,
+                            src.strings_.begin() + begin + n);
+      }
       break;
     case Tag::kDate:
       out.dates_.assign(src.dates_.begin() + begin,
@@ -319,6 +501,26 @@ Batch GatherBatch(const Batch& batch, const std::vector<int64_t>& indexes) {
     out.columns.push_back(ColumnVector::Gather(col, indexes));
   }
   return out;
+}
+
+void DictEncodeBatch(Batch* batch, const std::vector<DictionaryPtr>& seeds) {
+  for (size_t c = 0; c < batch->columns.size(); ++c) {
+    ColumnVector& col = batch->columns[c];
+    if (col.tag() != ColumnVector::Tag::kString || col.dict_encoded()) {
+      continue;
+    }
+    DictionaryPtr dict = c < seeds.size() && seeds[c] != nullptr
+                             ? seeds[c]
+                             : std::make_shared<StringDictionary>();
+    col.EncodeStrings(dict);
+  }
+}
+
+std::vector<DictionaryPtr> BatchDictionaries(const Batch& batch) {
+  std::vector<DictionaryPtr> dicts;
+  dicts.reserve(batch.columns.size());
+  for (const ColumnVector& col : batch.columns) dicts.push_back(col.dict());
+  return dicts;
 }
 
 }  // namespace engine

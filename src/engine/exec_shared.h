@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "engine/aggregator.h"
+#include "engine/relation.h"
 #include "expr/expr.h"
 #include "qgm/qgm.h"
 
@@ -22,6 +23,13 @@ namespace exec_internal {
 
 /// Quantifier indexes referenced by a predicate.
 std::vector<int> PredQuantifiers(const expr::ExprPtr& pred);
+
+/// Applies an ORDER BY spec to a final result: stable sort under the
+/// engine-wide Value::Compare total order (NULL first, numerics by value
+/// across kinds). The ONE definition every result-ordering site uses — the
+/// executor's Execute tail and compensation's merged answers — so a
+/// compensated or rewritten query is ordered exactly like a direct one.
+void ApplyOrderBy(const std::vector<qgm::OrderSpec>& spec, Relation* result);
 
 /// True for `ColRef{qa,*} = ColRef{qb,*}` with qa != qb.
 bool IsEquiJoin(const expr::ExprPtr& pred, int* qa, int* ca, int* qb, int* cb);

@@ -88,6 +88,18 @@ Status BuildGroupBySpec(const qgm::Box& box, GroupBySpec* spec) {
   return Status::OK();
 }
 
+void ApplyOrderBy(const std::vector<qgm::OrderSpec>& spec, Relation* result) {
+  if (spec.empty()) return;
+  std::stable_sort(result->rows.begin(), result->rows.end(),
+                   [&spec](const Row& a, const Row& b) {
+                     for (const qgm::OrderSpec& s : spec) {
+                       int c = a[s.output_index].Compare(b[s.output_index]);
+                       if (c != 0) return s.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+}
+
 }  // namespace exec_internal
 
 namespace {
@@ -508,21 +520,16 @@ StatusOr<Relation> Executor::Execute(const qgm::Graph& graph) {
     result = BatchToRelation(*root, RootColumnNames(graph));
   } else {
     SUMTAB_ASSIGN_OR_RETURN(RelPtr root, ExecBox(graph, graph.root()));
-    result = *root;  // copy; root may alias storage
+    if (root.use_count() == 1) {
+      // Uniquely-owned operator output: steal it. A bare base scan arrives
+      // through the aliasing constructor (use_count 0) and anything shared
+      // still deep-copies — sorting below must never mutate storage.
+      result = std::move(*std::const_pointer_cast<Relation>(root));
+    } else {
+      result = *root;
+    }
   }
-  if (!graph.order_by().empty()) {
-    const std::vector<qgm::OrderSpec>& spec = graph.order_by();
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [&spec](const Row& a, const Row& b) {
-                       for (const qgm::OrderSpec& s : spec) {
-                         const Value& va = a[s.output_index];
-                         const Value& vb = b[s.output_index];
-                         if (va < vb) return s.ascending;
-                         if (vb < va) return !s.ascending;
-                       }
-                       return false;
-                     });
-  }
+  exec_internal::ApplyOrderBy(graph.order_by(), &result);
   return result;
 }
 

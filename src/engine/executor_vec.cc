@@ -6,6 +6,7 @@
 // rows. Because every plan decision keys off the same filtered child row
 // counts as the row path, the two engines produce bit-identical results up
 // to output row order (the differential oracle's columnar legs check this).
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -15,6 +16,7 @@
 #include "engine/aggregator.h"
 #include "engine/exec_shared.h"
 #include "engine/executor.h"
+#include "engine/kernels.h"
 #include "expr/expr_vec_eval.h"
 
 namespace sumtab {
@@ -49,9 +51,7 @@ StatusOr<std::vector<int64_t>> SelectIndexes(const ExprPtr& pred,
       lane_status[lane] = std::move(st);
       return;
     }
-    for (int64_t i = begin; i < end; ++i) {
-      if (mask[i - begin] != 0) lane_idx[lane].push_back(i);
-    }
+    kernels::SelectFromMask(mask.data(), end - begin, begin, &lane_idx[lane]);
   }, kMorselRows);
   for (const Status& st : lane_status) SUMTAB_RETURN_NOT_OK(st);
   size_t total = 0;
@@ -282,24 +282,45 @@ StatusOr<Executor::BatchPtr> Executor::ExecSelectVec(const qgm::Graph& graph,
         int cj = jp->qa == next ? jp->cb : jp->ca;
         probe_slots.push_back(offsets[qj] + cj);
       }
-      // Single-column keys over matching int-like tags probe through a flat
-      // int64 table (the common star-schema case); anything else keys on
+      // Single-column keys over matching int-like tags — ints, dates, and
+      // dictionary-encoded strings — probe through the flat int64 kernel
+      // table (the common star-schema case); anything else keys on
       // materialized Rows, which reproduces Value equality exactly.
+      // Dictionary keys come in two flavors: both sides on the SAME
+      // dictionary probe codes directly; different dictionaries translate
+      // probe codes to build codes once (one Find per distinct string) and
+      // then probe the same pure int loop.
       const ColumnVector* bkey = &build.columns[build_cols[0]];
       const ColumnVector* pkey = &combined->columns[probe_slots[0]];
-      const bool int_keys =
-          build_cols.size() == 1 && bkey->tag() == pkey->tag() &&
-          (bkey->tag() == ColumnVector::Tag::kInt ||
-           bkey->tag() == ColumnVector::Tag::kDate);
-      const bool date_keys = int_keys && bkey->tag() == ColumnVector::Tag::kDate;
-      std::unordered_map<int64_t, std::vector<int64_t>> int_table;
+      enum class KeyMode { kNone, kInt, kDate, kCode, kCodeTranslate };
+      KeyMode mode = KeyMode::kNone;
+      if (build_cols.size() == 1 && bkey->tag() == pkey->tag()) {
+        if (bkey->tag() == ColumnVector::Tag::kInt) {
+          mode = KeyMode::kInt;
+        } else if (bkey->tag() == ColumnVector::Tag::kDate) {
+          mode = KeyMode::kDate;
+        } else if (bkey->tag() == ColumnVector::Tag::kString &&
+                   bkey->dict_encoded() && pkey->dict_encoded()) {
+          mode = bkey->dict() == pkey->dict() ? KeyMode::kCode
+                                              : KeyMode::kCodeTranslate;
+        }
+      }
+      std::vector<int64_t> xlate;  // probe code -> build code (or -1)
+      if (mode == KeyMode::kCodeTranslate) {
+        xlate = kernels::TranslateCodes(*pkey->dict(), *bkey->dict());
+      }
+      std::unique_ptr<kernels::Int64JoinTable> flat;
       std::unordered_map<Row, std::vector<int64_t>, RowHash> row_table;
-      if (int_keys) {
-        int_table.reserve(build.num_rows);
-        for (int64_t i = 0; i < build.num_rows; ++i) {
+      if (mode != KeyMode::kNone) {
+        flat = std::make_unique<kernels::Int64JoinTable>(build.num_rows);
+        // Reverse insertion: chains come back in ascending build-row order,
+        // matching the row engine's bucket vectors.
+        for (int64_t i = build.num_rows - 1; i >= 0; --i) {
           if (bkey->IsNull(i)) continue;  // SQL '=' never matches NULL
-          int64_t k = date_keys ? bkey->dates()[i] : bkey->ints()[i];
-          int_table[k].push_back(i);
+          int64_t k = mode == KeyMode::kInt    ? bkey->ints()[i]
+                      : mode == KeyMode::kDate ? bkey->dates()[i]
+                                               : bkey->codes()[i];
+          flat->Insert(k, i);
         }
       } else {
         row_table.reserve(build.num_rows);
@@ -322,36 +343,60 @@ StatusOr<Executor::BatchPtr> Executor::ExecSelectVec(const qgm::Graph& graph,
       std::vector<std::vector<std::pair<int64_t, int64_t>>> lane_pairs(lanes);
       std::vector<Status> lane_status(lanes, Status::OK());
       ParallelFor(probe_n, lanes, [&](int lane, int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          const std::vector<int64_t>* matches = nullptr;
-          if (int_keys) {
+        auto& pairs = lane_pairs[lane];
+        if (flat != nullptr) {
+          for (int64_t i = begin; i < end; ++i) {
             if (pkey->IsNull(i)) continue;
-            int64_t k = date_keys ? pkey->dates()[i] : pkey->ints()[i];
-            auto it = int_table.find(k);
-            if (it == int_table.end()) continue;
-            matches = &it->second;
-          } else {
-            Row key;
-            key.reserve(probe_slots.size());
-            bool has_null = false;
-            for (int slot : probe_slots) {
-              Value v = combined->columns[slot].ValueAt(i);
-              has_null = has_null || v.is_null();
-              key.push_back(std::move(v));
+            int64_t k;
+            switch (mode) {
+              case KeyMode::kInt:
+                k = pkey->ints()[i];
+                break;
+              case KeyMode::kDate:
+                k = pkey->dates()[i];
+                break;
+              case KeyMode::kCode:
+                k = pkey->codes()[i];
+                break;
+              default:  // kCodeTranslate
+                k = xlate[pkey->codes()[i]];
+                if (k < 0) continue;  // string absent from the build side
+                break;
             }
-            if (has_null) continue;
-            auto it = row_table.find(key);
-            if (it == row_table.end()) continue;
-            matches = &it->second;
+            int64_t head = flat->Probe(k);
+            if (head < 0) continue;
+            size_t first = pairs.size();
+            for (int64_t bi = head; bi != -1; bi = flat->Next(bi)) {
+              pairs.emplace_back(i, bi);
+            }
+            // One charge per probe row covering all its matches — the same
+            // total the row path charges one output row at a time.
+            Status charged = Charge(static_cast<int64_t>(pairs.size() - first));
+            if (!charged.ok()) {
+              lane_status[lane] = std::move(charged);
+              return;
+            }
           }
-          // One charge per probe row covering all its matches — the same
-          // total the row path charges one output row at a time.
-          Status charged = Charge(static_cast<int64_t>(matches->size()));
+          return;
+        }
+        for (int64_t i = begin; i < end; ++i) {
+          Row key;
+          key.reserve(probe_slots.size());
+          bool has_null = false;
+          for (int slot : probe_slots) {
+            Value v = combined->columns[slot].ValueAt(i);
+            has_null = has_null || v.is_null();
+            key.push_back(std::move(v));
+          }
+          if (has_null) continue;
+          auto it = row_table.find(key);
+          if (it == row_table.end()) continue;
+          Status charged = Charge(static_cast<int64_t>(it->second.size()));
           if (!charged.ok()) {
             lane_status[lane] = std::move(charged);
             return;
           }
-          for (int64_t bi : *matches) lane_pairs[lane].emplace_back(i, bi);
+          for (int64_t bi : it->second) pairs.emplace_back(i, bi);
         }
       }, kMorselRows);
       for (const Status& st : lane_status) SUMTAB_RETURN_NOT_OK(st);

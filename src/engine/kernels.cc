@@ -1,0 +1,36 @@
+#include "engine/kernels.h"
+
+namespace sumtab {
+namespace engine {
+namespace kernels {
+
+Int64JoinTable::Int64JoinTable(int64_t build_rows) {
+  uint64_t cap = 16;
+  while (cap < static_cast<uint64_t>(build_rows) * 2) cap <<= 1;
+  mask_ = cap - 1;
+  slot_key_.resize(cap);
+  slot_head_.assign(cap, -1);
+  next_.assign(build_rows, -1);
+}
+
+void Int64JoinTable::Insert(int64_t key, int64_t row) {
+  uint64_t s = Mix64(static_cast<uint64_t>(key)) & mask_;
+  while (slot_head_[s] != -1 && slot_key_[s] != key) s = (s + 1) & mask_;
+  slot_key_[s] = key;
+  next_[row] = slot_head_[s];
+  slot_head_[s] = row;
+}
+
+std::vector<int64_t> TranslateCodes(const StringDictionary& from,
+                                    const StringDictionary& to) {
+  const int32_t n = from.size();
+  std::vector<int64_t> translate(n);
+  for (int32_t c = 0; c < n; ++c) {
+    translate[c] = to.Find(from.At(c));
+  }
+  return translate;
+}
+
+}  // namespace kernels
+}  // namespace engine
+}  // namespace sumtab

@@ -98,10 +98,20 @@ std::string Storage::Key(const std::string& name) { return ToLower(name); }
 std::shared_ptr<const Batch> Storage::ColumnarOf(const Version& version) {
   std::lock_guard<std::mutex> lock(version.columnar_mu);
   if (version.columnar == nullptr) {
-    version.columnar = std::make_shared<const Batch>(BatchFromRows(
+    auto batch = std::make_shared<Batch>(BatchFromRows(
         version.relation.rows, version.relation.NumColumns()));
+    DictEncodeBatch(batch.get(), version.dict_seeds);
+    version.columnar = std::move(batch);
   }
   return version.columnar;
+}
+
+std::vector<DictionaryPtr> Storage::SeedsOf(const Version& version) {
+  std::lock_guard<std::mutex> lock(version.columnar_mu);
+  if (version.columnar != nullptr) {
+    return BatchDictionaries(*version.columnar);
+  }
+  return version.dict_seeds;
 }
 
 Status Storage::AddTable(const std::string& name, Relation relation) {
@@ -134,6 +144,9 @@ Status Storage::Replace(const std::string& name, Relation relation) {
   if (it == tables_.end()) {
     return Status::NotFound("table data for '" + name + "'");
   }
+  // Carry the predecessor's dictionaries forward so the new version's twin
+  // extends them (an append interns only the new strings).
+  version->dict_seeds = SeedsOf(*it->second);
   // Swap in the new version; snapshots holding the old one keep it alive.
   it->second = std::move(version);
   return Status::OK();
@@ -157,6 +170,17 @@ std::shared_ptr<const Batch> Storage::FindColumnar(
   return ColumnarOf(*version);
 }
 
+std::vector<DictionaryPtr> Storage::DictSeeds(const std::string& name) const {
+  VersionPtr version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(Key(name));
+    if (it == tables_.end()) return {};
+    version = it->second;
+  }
+  return SeedsOf(*version);
+}
+
 int64_t Storage::Epoch(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = epochs_.find(Key(name));
@@ -178,6 +202,12 @@ void Storage::RetainDelta(const std::string& name, int64_t epoch,
   auto version = std::make_shared<Version>();
   version->relation = std::move(delta);
   std::lock_guard<std::mutex> lock(mu_);
+  // Slices share the base table's dictionaries: a compensated join between
+  // the stale AST's base tables and the slice then keys on the same codes.
+  auto table = tables_.find(Key(name));
+  if (table != tables_.end()) {
+    version->dict_seeds = SeedsOf(*table->second);
+  }
   DeltaMap& slices = deltas_[Key(name)];
   slices[epoch] = std::move(version);
   // Cap retention: dropping the OLDEST slice widens the coverage gap at the

@@ -80,6 +80,11 @@ class Storage {
   /// One immutable published version of a table.
   struct Version {
     Relation relation;
+    /// Per-column dictionaries to extend when this version's twin is built —
+    /// captured from the predecessor version at Replace/RetainDelta time, so
+    /// an append extends the table's shared dictionaries instead of
+    /// rebuilding them (codes stay stable across versions and delta slices).
+    std::vector<DictionaryPtr> dict_seeds;
     /// Columnar twin of this version; built on first FindColumnar and shared
     /// by every snapshot holding the version.
     mutable std::mutex columnar_mu;
@@ -153,6 +158,12 @@ class Storage {
   /// the row store of the current version and cached with it.
   std::shared_ptr<const Batch> FindColumnar(const std::string& name) const;
 
+  /// The dictionaries `name`'s current version would encode against — for
+  /// callers (incremental maintenance) that build their own delta batches
+  /// and want them to share the table's dictionaries. Does not force twin
+  /// construction; empty for unknown tables or tables never encoded.
+  std::vector<DictionaryPtr> DictSeeds(const std::string& name) const;
+
   /// Current version epoch of `name` (0 for never-modified / unknown tables).
   int64_t Epoch(const std::string& name) const;
   /// Marks a data change; returns the new epoch.
@@ -189,8 +200,16 @@ class Storage {
   /// freshness check — names are case-insensitive everywhere).
   static std::string Key(const std::string& name);
 
-  /// Builds/returns the columnar twin of one version.
+  /// Builds/returns the columnar twin of one version. String columns are
+  /// dictionary-encoded against the version's seeds (fresh dictionaries when
+  /// there are none).
   static std::shared_ptr<const Batch> ColumnarOf(const Version& version);
+
+  /// The dictionaries the next version of this table should extend: the
+  /// built twin's when it exists, else the seeds this version itself carries
+  /// (so chains of appends stay on one dictionary even when no query built a
+  /// twin in between).
+  static std::vector<DictionaryPtr> SeedsOf(const Version& version);
 
   /// Guards the maps; pinned versions are immutable so holders never need it.
   mutable std::mutex mu_;

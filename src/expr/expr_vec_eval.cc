@@ -297,6 +297,33 @@ StatusOr<VecVal> EvalBinary(const ExprPtr& e, const VecEvalContext& ctx) {
 
   if (IsComparison(op)) {
     if (StringOperand(l) && StringOperand(r)) {
+      // Dictionary fast path: constant = / <> against a dictionary-encoded
+      // column is one Find() per batch and then a pure code-compare loop (a
+      // constant absent from the dictionary, code -1, equals no stored
+      // string). Ordering comparisons still decode: codes are assigned in
+      // arrival order, not collation order.
+      if ((op == BinaryOp::kEq || op == BinaryOp::kNe) &&
+          (l.is_const != r.is_const)) {
+        const VecVal& cv = l.is_const ? l : r;
+        const VecVal& colv = l.is_const ? r : l;
+        if (colv.vec().dict_encoded()) {
+          const ColumnVector& col = colv.vec();
+          const int64_t off = colv.off();
+          const int32_t code = col.dict()->Find(cv.const_val.AsString());
+          const int32_t* codes = col.codes().data();
+          const bool want_eq = op == BinaryOp::kEq;
+          ColumnVector out(Tag::kBool);
+          out.Reserve(n);
+          for (int64_t i = 0; i < n; ++i) {
+            if (col.IsNull(off + i)) {
+              out.AppendNull();
+            } else {
+              out.AppendBool((codes[off + i] == code) == want_eq);
+            }
+          }
+          return Owned(std::move(out));
+        }
+      }
       ColumnVector out(Tag::kBool);
       out.Reserve(n);
       for (int64_t i = 0; i < n; ++i) {

@@ -8,33 +8,17 @@
 #include <vector>
 
 #include "common/reject_reason.h"
+#include "engine/exec_shared.h"
 #include "expr/expr_eval.h"
 #include "sumtab/maintenance.h"
 
 namespace sumtab {
 namespace compensation {
 
-namespace {
-
-/// Identical comparison to the executor's ORDER BY application
-/// (engine/executor.cc), so a compensated answer is ordered exactly as a
-/// direct execution of the original graph would order it.
-void ApplyOrderBy(const std::vector<qgm::OrderSpec>& spec,
-                  engine::Relation* result) {
-  if (spec.empty()) return;
-  std::stable_sort(result->rows.begin(), result->rows.end(),
-                   [&spec](const Row& a, const Row& b) {
-                     for (const qgm::OrderSpec& s : spec) {
-                       const Value& va = a[s.output_index];
-                       const Value& vb = b[s.output_index];
-                       if (va < vb) return s.ascending;
-                       if (vb < va) return !s.ascending;
-                     }
-                     return false;
-                   });
-}
-
-}  // namespace
+// Result ordering goes through the executor's own ApplyOrderBy
+// (engine/exec_shared.h) — sharing the definition makes ordering divergence
+// between a compensated answer and a direct execution impossible.
+using engine::exec_internal::ApplyOrderBy;
 
 StatusOr<engine::Relation> ExecuteCompensationPlan(
     const matching::CompensationPlan& plan,

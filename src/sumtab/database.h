@@ -82,6 +82,12 @@ struct DatabaseOptions {
   /// Auto-checkpoint after this many logged operations (0 = manual
   /// Checkpoint() calls only). Checkpoints prune covered WAL segments.
   int64_t checkpoint_interval_records = 0;
+  /// Run summary-table maintenance (refresh recomputes, incremental delta
+  /// aggregation) on the vectorized engine. The row interpreter stays the
+  /// semantic reference — the differential oracle's vectorized-maintenance
+  /// legs pin both modes to bit-identical results — so this is a pure
+  /// performance knob, on by default.
+  bool vectorized_maintenance = true;
 };
 
 /// One noteworthy event from Database::Open()'s recovery pass.
@@ -324,6 +330,14 @@ class Database {
 
   /// Full recomputation of one summary table from the base tables.
   Status RefreshSummaryTable(const std::string& name);
+
+  /// Toggles DatabaseOptions::vectorized_maintenance after construction —
+  /// lets default-constructed (in-memory) databases pick the maintenance
+  /// engine; the differential tests run both modes against each other.
+  void SetVectorizedMaintenance(bool vectorized) {
+    options_.vectorized_maintenance = vectorized;
+  }
+  const DatabaseOptions& options() const { return options_; }
 
   // ---- summary tables ----
   /// Parses and materializes `sql` (executing it against the base tables),

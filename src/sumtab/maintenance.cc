@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/reject_reason.h"
 #include "common/str_util.h"
+#include "engine/column_vector.h"
 #include "engine/executor.h"
 #include "expr/expr_rewrite.h"
 #include "sumtab/database.h"
@@ -232,7 +233,9 @@ Status Database::RefreshUnderMaint(SummaryTable* st) {
   // Recompute without ddl_mu_: maint_mu_ excludes every other writer, so
   // storage is stable and concurrent queries keep planning while the (full)
   // re-aggregation runs.
-  engine::Executor executor(storage_);
+  engine::ExecOptions exec_options;
+  exec_options.vectorized = options_.vectorized_maintenance;
+  engine::Executor executor(storage_, exec_options);
   SUMTAB_ASSIGN_OR_RETURN(engine::Relation data, executor.Execute(st->graph));
   const engine::Relation* stored = storage_.FindTable(st->name);
   if (stored == nullptr) {
@@ -342,6 +345,18 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     return report;
   }
 
+  // Vectorized maintenance scans a prebuilt columnar delta: encoded once
+  // against the base table's dictionaries (so joins and group keys land on
+  // the table's shared codes) and reused by every AST's phase-1 evaluation
+  // instead of re-converting the delta rows per AST.
+  std::map<std::string, std::shared_ptr<const engine::Batch>> delta_columnar;
+  if (options_.vectorized_maintenance) {
+    auto batch = std::make_shared<engine::Batch>(
+        engine::BatchFromRows(delta.rows, delta.NumColumns()));
+    engine::DictEncodeBatch(batch.get(), storage_.DictSeeds(meta->name));
+    delta_columnar[meta->name] = std::move(batch);
+  }
+
   // Phase 1: aggregate the delta through every incrementally-maintainable
   // AST (reads dimensions from storage, the appended table from the delta).
   // Storage and the registry are stable under maint_mu_ alone.
@@ -391,6 +406,8 @@ StatusOr<Database::MaintenanceReport> Database::Append(
     overrides[meta->name] = &delta;
     engine::ExecOptions options;
     options.table_overrides = &overrides;
+    options.vectorized = options_.vectorized_maintenance;
+    if (!delta_columnar.empty()) options.columnar_overrides = &delta_columnar;
     engine::Executor executor(storage_, options);
     Status injected = FaultInjector::Instance().Check("maintenance/incremental");
     StatusOr<engine::Relation> delta_eval =

@@ -469,6 +469,131 @@ TEST_P(DifferentialTest, IncrementalMaintenanceMatchesRecompute) {
   }
 }
 
+// Vectorized-maintenance legs: maintenance itself (delta aggregation in
+// Append's phase 1, refresh recomputes, and the compensation delta leg) runs
+// on the columnar engine when DatabaseOptions::vectorized_maintenance is on
+// (the default). Two databases fed byte-identical appends — one with the
+// knob off (row interpreter, the semantic reference) and one with it on —
+// must hold BIT-IDENTICAL stored AST contents after every round, eager and
+// deferred alike. This holds even for SUM(double): both sides execute the
+// same maintenance sequence, the vectorized engine reproduces the row
+// engine's arithmetic exactly (pinned by the D/E/F legs above), and the
+// phase-3 merge is shared code.
+TEST_P(DifferentialTest, VectorizedMaintenanceLegsMatchRowMaintenance) {
+  const uint64_t seed = GetParam();
+  Database row_db;
+  Database vec_db;
+  row_db.SetVectorizedMaintenance(false);
+  ASSERT_TRUE(vec_db.options().vectorized_maintenance)
+      << "vectorized maintenance must default on";
+  data::CardSchemaParams params;
+  params.num_trans = 3000;
+  params.seed = seed;
+  ASSERT_TRUE(data::SetupCardSchema(&row_db, params).ok());
+  ASSERT_TRUE(data::SetupCardSchema(&vec_db, params).ok());
+  struct AstDef {
+    const char* name;
+    const char* stored;
+    std::string def;
+  };
+  std::vector<AstDef> asts = {
+      {"ast_int", "select faid, flid, cnt, sq, mn, mx from ast_int",
+       "select faid, flid, count(*) as cnt, sum(qty) as sq, "
+       "min(qty) as mn, max(qty) as mx from trans group by faid, flid"},
+      {"ast_mixed", "select fpgid, y, cnt, sp, mnp from ast_mixed",
+       "select fpgid, year(date) as y, count(*) as cnt, "
+       "sum(price) as sp, min(price) as mnp from trans "
+       "group by fpgid, year(date)"},
+      {"ast_rollup", "select faid, y, c from ast_rollup",
+       "select faid, year(date) as y, count(*) as c from trans "
+       "group by rollup(faid, year(date))"},
+  };
+  for (const AstDef& ast : asts) {
+    ASSERT_TRUE(row_db.DefineSummaryTable(ast.name, ast.def).ok()) << ast.name;
+    ASSERT_TRUE(vec_db.DefineSummaryTable(ast.name, ast.def).ok()) << ast.name;
+  }
+
+  QueryOptions no_rewrite;
+  no_rewrite.enable_rewrite = false;
+  auto compare_asts = [&](int round, const char* phase) {
+    for (const AstDef& ast : asts) {
+      StatusOr<QueryResult> by_row = row_db.Query(ast.stored, no_rewrite);
+      ASSERT_TRUE(by_row.ok()) << by_row.status().ToString();
+      StatusOr<QueryResult> by_vec = vec_db.Query(ast.stored, no_rewrite);
+      ASSERT_TRUE(by_vec.ok()) << by_vec.status().ToString();
+      EXPECT_TRUE(BitIdenticalSorted(by_row->relation, by_vec->relation))
+          << "seed=" << seed << " round=" << round << " phase=" << phase
+          << " ast=" << ast.name << "\nrow maintenance:\n"
+          << by_row->relation.ToString(30) << "vectorized maintenance:\n"
+          << by_vec->relation.ToString(30);
+    }
+  };
+
+  std::mt19937_64 rng(seed ^ 0xfeedULL);
+  int next_tid = 3000000;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<Row> delta;
+    int n = 20 + static_cast<int>(rng() % 60);
+    for (int i = 0; i < n; ++i) {
+      delta.push_back(Row{
+          Value::Int(next_tid++), Value::Int(static_cast<int>(rng() % 50)),
+          Value::Int(static_cast<int>(rng() % 12)),
+          Value::Int(static_cast<int>(rng() % 40)),
+          Value::Date(19900101 + static_cast<int>(rng() % 5) * 10000 +
+                      static_cast<int>(rng() % 12) * 100 +
+                      static_cast<int>(rng() % 28)),
+          Value::Int(1 + static_cast<int>(rng() % 5)),
+          Value::Double(5.0 + static_cast<double>(rng() % 995) * 0.25),
+          Value::Double(0.0)});
+    }
+    const bool eager = round % 2 == 0;
+    Database::AppendOptions append_options;
+    append_options.maintain = eager;
+    std::vector<Row> delta_copy = delta;
+    StatusOr<Database::MaintenanceReport> row_report =
+        row_db.Append("trans", std::move(delta), append_options);
+    ASSERT_TRUE(row_report.ok()) << row_report.status().ToString();
+    StatusOr<Database::MaintenanceReport> vec_report =
+        vec_db.Append("trans", std::move(delta_copy), append_options);
+    ASSERT_TRUE(vec_report.ok()) << vec_report.status().ToString();
+    if (eager) {
+      // Both sides must take the same refresh path — the knob changes the
+      // engine under phase 1, never the incremental-vs-recompute decision.
+      for (const Database::MaintenanceReport* report :
+           {&*row_report, &*vec_report}) {
+        for (const Database::RefreshEntry& entry : report->entries) {
+          EXPECT_EQ(entry.mode, Database::RefreshMode::kIncremental)
+              << "seed=" << seed << " round=" << round
+              << " ast=" << entry.summary_table << " error=" << entry.error;
+        }
+      }
+    } else {
+      // Deferred round: while stale, a compensated answer (whose delta leg
+      // runs vectorized in vec_db) must match row_db's compensated answer.
+      const std::string probe =
+          "select faid, flid, count(*) as cnt, sum(qty) as sq from trans "
+          "group by faid, flid";
+      StatusOr<QueryResult> by_row = row_db.Query(probe, QueryOptions{});
+      ASSERT_TRUE(by_row.ok()) << by_row.status().ToString();
+      StatusOr<QueryResult> by_vec = vec_db.Query(probe, QueryOptions{});
+      ASSERT_TRUE(by_vec.ok()) << by_vec.status().ToString();
+      EXPECT_EQ(by_row->compensated, by_vec->compensated);
+      EXPECT_TRUE(BitIdenticalSorted(by_row->relation, by_vec->relation))
+          << "seed=" << seed << " round=" << round
+          << " compensated probe diverged\nrow:\n"
+          << by_row->relation.ToString(30) << "vec:\n"
+          << by_vec->relation.ToString(30);
+      // Then refresh both so the next eager round merges from equal states.
+      for (const AstDef& ast : asts) {
+        ASSERT_TRUE(row_db.RefreshSummaryTable(ast.name).ok()) << ast.name;
+        ASSERT_TRUE(vec_db.RefreshSummaryTable(ast.name).ok()) << ast.name;
+      }
+    }
+    compare_asts(round, eager ? "eager" : "deferred+refresh");
+    if (HasFatalFailure() || HasNonfatalFailure()) return;
+  }
+}
+
 // Seventh leg — delta compensation: after randomized *deferred* appends
 // (AppendOptions::maintain = false) the AST is stale but every missing
 // epoch is a retained append slice, so the rewriter answers through the

@@ -192,6 +192,51 @@ TEST_F(EngineTest, OrderByAppliesToFinalResult) {
   EXPECT_TRUE(r.rows[4][1].is_null());
 }
 
+TEST_F(EngineTest, OrderByTotalOrderSharedAcrossEngines) {
+  // Both engines order through the one exec_internal::ApplyOrderBy /
+  // Value::Compare definition: NULL first ascending, identical full order.
+  const char* sql = "select id, val from t order by val, id desc";
+  QueryOptions vec;
+  vec.enable_rewrite = false;
+  QueryOptions row = vec;
+  row.vectorized = false;
+  StatusOr<QueryResult> rv = db_.Query(sql, vec);
+  StatusOr<QueryResult> rr = db_.Query(sql, row);
+  ASSERT_TRUE(rv.ok() && rr.ok());
+  ASSERT_EQ(rv->relation.NumRows(), 5u);
+  EXPECT_TRUE(rv->relation.rows[0][1].is_null());
+  EXPECT_EQ(rv->relation.rows[0][0].AsInt(), 3);
+  ASSERT_EQ(rr->relation.NumRows(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(Value::CompareRows(rv->relation.rows[i], rr->relation.rows[i]),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST_F(EngineTest, OrderByDoesNotMutateStoredRelation) {
+  // Execute() may steal a uniquely-owned root instead of copying it; a root
+  // that aliases storage must still be copied, or this ORDER BY would
+  // reorder the stored table in place.
+  for (bool vectorized : {true, false}) {
+    QueryOptions opts;
+    opts.enable_rewrite = false;
+    opts.vectorized = vectorized;
+    StatusOr<QueryResult> sorted =
+        db_.Query("select id, grp, val from t order by id desc", opts);
+    ASSERT_TRUE(sorted.ok());
+    EXPECT_EQ(sorted->relation.rows[0][0].AsInt(), 5);
+    StatusOr<QueryResult> scan =
+        db_.Query("select id, grp, val from t", opts);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan->relation.NumRows(), 5u);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(scan->relation.rows[i][0].AsInt(), i + 1)
+          << "storage order disturbed (vectorized=" << vectorized << ")";
+    }
+  }
+}
+
 TEST_F(EngineTest, DerivedTable) {
   engine::Relation r = Run(
       "select g, c from (select grp as g, count(*) as c from t group by grp) "

@@ -379,6 +379,97 @@ TEST(VecEvalTest, NullTotalOrderIsSharedAndNullSourceInvisible) {
   EXPECT_TRUE(left.rows[2][0] == Value::Int(3));
 }
 
+TEST(VecEvalTest, DictEncodedConstantComparisonMatchesScalar) {
+  // The vectorized evaluator compares a dictionary-encoded string column
+  // against a constant with one Find() and an int loop — results must match
+  // the scalar interpreter exactly, including the absent-string and NULL
+  // cases and the empty string as an ordinary value.
+  std::vector<Row> rows = {R1(Value::String("a")), R1(Value::String("b")),
+                           R1(Value::Null()),      R1(Value::String("")),
+                           R1(Value::String("a"))};
+  Batch batch = BatchFromRows(rows, 1);
+  engine::DictEncodeBatch(&batch, {});
+  ASSERT_TRUE(batch.columns[0].dict_encoded());
+  std::vector<int> offsets = {0};
+  expr::VecEvalContext vctx{&offsets, &batch, 0, batch.num_rows};
+  for (const char* lit : {"a", "", "absent"}) {
+    for (BinaryOp op : {BinaryOp::kEq, BinaryOp::kNe}) {
+      for (bool const_on_left : {false, true}) {
+        ExprPtr col = expr::ColRef(0, 0);
+        ExprPtr c = expr::LitString(lit);
+        ExprPtr e = const_on_left ? expr::Binary(op, c, col)
+                                  : expr::Binary(op, col, c);
+        StatusOr<ColumnVector> got = expr::EvalVec(e, vctx);
+        ASSERT_TRUE(got.ok()) << lit;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          expr::EvalContext ctx{&offsets, &rows[i]};
+          StatusOr<Value> want = expr::Eval(e, ctx);
+          ASSERT_TRUE(want.ok());
+          EXPECT_TRUE(got->ValueAt(static_cast<int64_t>(i)) == *want)
+              << "lit '" << lit << "' op " << expr::BinaryOpName(op)
+              << " row " << i;
+        }
+      }
+    }
+  }
+  // Ordering comparisons must NOT use arrival-ordered codes: 'b' < 'a' would
+  // be true by code but false by collation. They decode instead.
+  ExprPtr lt = expr::Binary(BinaryOp::kLt, expr::ColRef(0, 0),
+                            expr::LitString("b"));
+  StatusOr<ColumnVector> got = expr::EvalVec(lt, vctx);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->ValueAt(0) == Value::Bool(true));   // "a" < "b"
+  EXPECT_TRUE(got->ValueAt(1) == Value::Bool(false));  // "b" < "b"
+  EXPECT_TRUE(got->ValueAt(2).is_null());
+  EXPECT_TRUE(got->ValueAt(3) == Value::Bool(true));   // "" < "b"
+}
+
+TEST(VecEvalTest, DictEncodedGroupingMatchesRowAggregator) {
+  AggSpec star;
+  star.star = true;
+  // Composite keys over dict-encoded strings + ints route through the
+  // encoded multi-column grouping path; the row aggregator is the oracle.
+  std::vector<Row> input;
+  const char* regions[] = {"east", "west", "", "east"};
+  for (int i = 0; i < 40; ++i) {
+    input.push_back(Row{
+        i % 5 == 0 ? Value::Null() : Value::String(regions[i % 4]),
+        Value::Int(i % 3),
+        i % 7 == 0 ? Value::Null() : Value::String("p" + std::to_string(i % 2)),
+        i % 11 == 0 ? Value::Double(i * 0.5) : Value::Int(i)});
+  }
+  Batch batch = BatchFromRows(input, 4);
+  engine::DictEncodeBatch(&batch, {});
+  ASSERT_TRUE(batch.columns[0].dict_encoded());
+  ASSERT_TRUE(batch.columns[2].dict_encoded());
+  std::vector<AggSpec> aggs = {Spec(AggFunc::kSum, 3), Spec(AggFunc::kMin, 3),
+                               star};
+  // Rollup-style grouping sets: padding NULLs for grouped-out dict columns
+  // must land exactly where the row path puts data NULLs.
+  std::vector<std::vector<int>> sets = {{0, 1, 2}, {0, 1}, {0}, {}};
+  for (int threads : {1, 4}) {
+    StatusOr<std::vector<Row>> by_rows =
+        Aggregate(input, {0, 1, 2}, sets, aggs, /*max_threads=*/1);
+    ASSERT_TRUE(by_rows.ok());
+    StatusOr<std::vector<Row>> by_batch =
+        AggregateBatch(batch, {0, 1, 2}, sets, aggs, threads);
+    ASSERT_TRUE(by_batch.ok());
+    ExpectSameRowsExactly(*by_rows, *by_batch,
+                          "dict rollup threads=" + std::to_string(threads));
+  }
+  // Raw (non-encoded) string keys can't use the code path — the generic
+  // fallback must still agree.
+  Batch raw = BatchFromRows(input, 4);
+  ASSERT_FALSE(raw.columns[0].dict_encoded());
+  StatusOr<std::vector<Row>> by_rows =
+      Aggregate(input, {0, 1, 2}, sets, aggs, 1);
+  StatusOr<std::vector<Row>> by_raw =
+      AggregateBatch(raw, {0, 1, 2}, sets, aggs, 4);
+  ASSERT_TRUE(by_rows.ok());
+  ASSERT_TRUE(by_raw.ok());
+  ExpectSameRowsExactly(*by_rows, *by_raw, "raw string fallback");
+}
+
 TEST(VecEvalTest, ColumnVectorMixedKindsRoundTrip) {
   // Tag inference: all-null prefix re-binds; mixed kinds promote to variant;
   // ValueAt reconstructs exactly what was appended.
